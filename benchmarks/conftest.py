@@ -1,0 +1,15 @@
+"""Shared helpers for the figure-regeneration benches."""
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
+
+
+def record(result, name: str) -> None:
+    """Render a FigureResult to stdout and benchmarks/results/<name>.txt,
+    then assert every paper-shape expectation held."""
+    text = result.render()
+    print("\n" + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    assert result.all_expectations_met, result.failed_expectations()

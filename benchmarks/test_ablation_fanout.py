@@ -1,0 +1,11 @@
+"""Ablation: parallel vs sequential replica fan-out (Fig. 7a mechanism)."""
+
+from conftest import record
+
+from repro.bench.ablations import ablation_fanout
+
+
+def test_ablation_fanout(benchmark):
+    result = benchmark.pedantic(ablation_fanout, rounds=1, iterations=1)
+    benchmark.extra_info["speedup"] = result.notes["speedup"]
+    record(result, "ablation_fanout")

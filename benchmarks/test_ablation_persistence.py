@@ -1,0 +1,10 @@
+"""Ablation: persistence strategy vs write speed and crash recovery."""
+
+from conftest import record
+
+from repro.bench.ablations import ablation_persistence
+
+
+def test_ablation_persistence(benchmark):
+    result = benchmark.pedantic(ablation_persistence, rounds=1, iterations=1)
+    record(result, "ablation_persistence")

@@ -1,0 +1,10 @@
+"""Ablation: quorum parameters (N, R, W) vs latency and replica work."""
+
+from conftest import record
+
+from repro.bench.ablations import ablation_quorum
+
+
+def test_ablation_quorum(benchmark):
+    result = benchmark.pedantic(ablation_quorum, rounds=1, iterations=1)
+    record(result, "ablation_quorum")

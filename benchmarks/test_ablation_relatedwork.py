@@ -1,0 +1,22 @@
+"""§VII design-argument ablations: routing, membership, write protocol."""
+
+from conftest import record
+
+from repro.bench.relatedwork import (ablation_membership, ablation_routing,
+                                     ablation_write_protocol)
+
+
+def test_ablation_routing(benchmark):
+    result = benchmark.pedantic(ablation_routing, rounds=1, iterations=1)
+    record(result, "ablation_routing")
+
+
+def test_ablation_membership(benchmark):
+    result = benchmark.pedantic(ablation_membership, rounds=1, iterations=1)
+    record(result, "ablation_membership")
+
+
+def test_ablation_write_protocol(benchmark):
+    result = benchmark.pedantic(ablation_write_protocol, rounds=1,
+                                iterations=1)
+    record(result, "ablation_write_protocol")

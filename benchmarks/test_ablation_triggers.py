@@ -1,0 +1,10 @@
+"""Trigger-path latency vs scanner cadence (§IV.C)."""
+
+from conftest import record
+
+from repro.bench.triggerperf import trigger_latency
+
+
+def test_ablation_trigger_latency(benchmark):
+    result = benchmark.pedantic(trigger_latency, rounds=1, iterations=1)
+    record(result, "ablation_triggers")

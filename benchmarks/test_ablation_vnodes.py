@@ -1,0 +1,10 @@
+"""Ablation: virtual-node count vs load balance (§III.B)."""
+
+from conftest import record
+
+from repro.bench.ablations import ablation_vnodes
+
+
+def test_ablation_vnodes(benchmark):
+    result = benchmark.pedantic(ablation_vnodes, rounds=1, iterations=1)
+    record(result, "ablation_vnodes")

@@ -1,0 +1,10 @@
+"""First-boot vs late-join ZooKeeper cost (§III.E situation 1)."""
+
+from conftest import record
+
+from repro.bench.bootcost import boot_cost
+
+
+def test_boot_cost(benchmark):
+    result = benchmark.pedantic(boot_cost, rounds=1, iterations=1)
+    record(result, "boot_cost")

@@ -1,0 +1,14 @@
+"""Fig. 4: multi-trigger topologies and ripple-effect suppression.
+
+Paper shape: a circular trigger chain floods the cluster without the
+per-application trigger interval and is rate-limited with it (§IV.B).
+"""
+
+from conftest import record
+
+from repro.bench.usecase import fig4_ripple
+
+
+def test_fig4_ripple_suppression(benchmark):
+    result = benchmark.pedantic(fig4_ripple, rounds=1, iterations=1)
+    record(result, "fig4")

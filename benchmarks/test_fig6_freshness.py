@@ -1,0 +1,14 @@
+"""Fig. 6: the micro-blogging search engine, crawl -> searchable.
+
+Paper claim: "the time between (1) and (7) should be less than several
+minutes" (§V); with a memory store and triggers it is sub-second.
+"""
+
+from conftest import record
+
+from repro.bench.usecase import fig6_freshness
+
+
+def test_fig6_search_freshness(benchmark):
+    result = benchmark.pedantic(fig6_freshness, rounds=1, iterations=1)
+    record(result, "fig6")

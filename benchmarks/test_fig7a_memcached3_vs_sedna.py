@@ -1,0 +1,16 @@
+"""Fig. 7(a): Sedna vs Memcached writing/reading 3 sequential copies.
+
+Paper shape: Sedna's three *parallel* replica writes beat the client
+that stores three copies *sequentially* on plain memcached, for both
+writes and reads (§VI.A.1, Fig. 7a).
+"""
+
+from conftest import record
+
+from repro.bench.figures import fig7a
+
+
+def test_fig7a_memcached3_vs_sedna(benchmark):
+    result = benchmark.pedantic(fig7a, rounds=1, iterations=1)
+    benchmark.extra_info["speedup_write"] = result.notes["speedup_write"]
+    record(result, "fig7a")

@@ -1,0 +1,15 @@
+"""Fig. 7(b): Sedna vs Memcached writing each datum once.
+
+Paper shape: "Sedna performance is quite stable, and slightly slower
+than original write-once Memcached performance" (§VI.A.1, Fig. 7b).
+"""
+
+from conftest import record
+
+from repro.bench.figures import fig7b
+
+
+def test_fig7b_memcached1_vs_sedna(benchmark):
+    result = benchmark.pedantic(fig7b, rounds=1, iterations=1)
+    benchmark.extra_info["ratio_write"] = result.notes["ratio_write"]
+    record(result, "fig7b")

@@ -1,0 +1,16 @@
+"""Fig. 8: R/W speed with nine concurrent clients vs one client.
+
+Paper shape: per-client time rises under contention, aggregate
+throughput rises with client count (§VI.A.2, Fig. 8).
+"""
+
+from conftest import record
+
+from repro.bench.figures import fig8
+
+
+def test_fig8_nine_vs_one_client(benchmark):
+    result = benchmark.pedantic(fig8, rounds=1, iterations=1)
+    benchmark.extra_info["slowdown"] = result.notes["slowdown_per_client"]
+    benchmark.extra_info["throughput_gain"] = result.notes["throughput_gain"]
+    record(result, "fig8")

@@ -1,0 +1,21 @@
+"""Microbench: DES kernel event throughput (per the HPC guides, the
+substrate hot loop is measured, not guessed)."""
+
+from repro.net.simulator import Simulator
+
+
+def _run_events(n: int) -> float:
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(n):
+            yield sim.timeout(0.001)
+
+    sim.process(ticker())
+    sim.run()
+    return sim.now
+
+
+def test_kernel_event_throughput(benchmark):
+    result = benchmark(lambda: _run_events(20_000))
+    assert result > 0

@@ -1,0 +1,84 @@
+"""Microbenchmarks of the hot data structures (real wall-clock, via
+pytest-benchmark's normal timing loop).
+
+These are the per-op costs the latency model abstracts into constants;
+tracking them keeps the substrate honest about what a Python engine
+can actually sustain.
+"""
+
+import random
+
+from repro.core.hashring import Ring
+from repro.storage.hashtable import HashTable, fnv1a
+from repro.storage.memstore import MemStore
+from repro.storage.versioned import VersionedStore
+from repro.workloads.kv import paper_keys
+
+KEYS = paper_keys(10_000, seed=1)
+
+
+def test_fnv1a_throughput(benchmark):
+    keys = KEYS[:1000]
+
+    def hash_batch():
+        return sum(fnv1a(k) for k in keys) & 0xFF
+
+    benchmark(hash_batch)
+
+
+def test_hashtable_put_get(benchmark):
+    def workload():
+        table = HashTable(initial_power=8)
+        for key in KEYS[:2000]:
+            table.put(key, key)
+        hits = sum(1 for key in KEYS[:2000] if table.get(key) is not None)
+        return hits
+
+    assert benchmark(workload) == 2000
+
+
+def test_memstore_set_get(benchmark):
+    def workload():
+        store = MemStore(memory_limit=64 << 20)
+        for key in KEYS[:2000]:
+            store.set(key, b"value-0123456789abcd")
+        hits = sum(1 for key in KEYS[:2000] if store.get(key) is not None)
+        return hits
+
+    assert benchmark(workload) == 2000
+
+
+def test_memstore_eviction_pressure(benchmark):
+    """Sets under constant memory pressure: slab alloc + LRU eviction."""
+    value = b"x" * 800
+
+    def workload():
+        store = MemStore(memory_limit=1 << 20)
+        for key in KEYS[:3000]:
+            store.set(key, value)
+        return store.evictions
+
+    evictions = benchmark(workload)
+    assert evictions > 0
+
+
+def test_versioned_store_write_latest(benchmark):
+    def workload():
+        store = VersionedStore()
+        for ts, key in enumerate(KEYS[:2000]):
+            store.write_latest(key.decode(), "v", float(ts), "bench")
+        return len(store)
+
+    assert benchmark(workload) == 2000
+
+
+def test_ring_lookup_throughput(benchmark):
+    ring = Ring(1024)
+    for v in range(1024):
+        ring.assign(v, f"node{v % 9}")
+    keys = [k.decode() for k in KEYS[:2000]]
+
+    def workload():
+        return sum(len(ring.replicas_for_key(key, 3)[1]) for key in keys)
+
+    assert benchmark(workload) == 6000

@@ -1,0 +1,10 @@
+"""Incremental-scalability claim: aggregate throughput vs fleet size."""
+
+from conftest import record
+
+from repro.bench.scalability import scalability
+
+
+def test_scalability(benchmark):
+    result = benchmark.pedantic(scalability, rounds=1, iterations=1)
+    record(result, "scalability")

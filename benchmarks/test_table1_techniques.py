@@ -1,0 +1,14 @@
+"""Table I: the summary of Sedna techniques, verified live.
+
+Every row of the paper's technique table maps to a module in this
+repository and is exercised against a running cluster.
+"""
+
+from conftest import record
+
+from repro.bench.ablations import table1
+
+
+def test_table1_techniques(benchmark):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    record(result, "table1")

@@ -1,0 +1,14 @@
+"""§III.E ablation: the three ZooKeeper read-bottleneck strategies.
+
+Local cache + adaptive lease + changelog refresh vs full reloads, and
+the watch storm Sedna deliberately avoids.
+"""
+
+from conftest import record
+
+from repro.bench.ablations import zk_bottleneck
+
+
+def test_zk_bottleneck_strategies(benchmark):
+    result = benchmark.pedantic(zk_bottleneck, rounds=1, iterations=1)
+    record(result, "zk_bottleneck")

@@ -1,0 +1,10 @@
+"""Baseline systems the paper compares against (§VI): memcached."""
+
+from .memcached import (MemcachedCluster, MemcachedClusterClient,
+                        MemcachedServer)
+from .ketama import KetamaRing
+from .wire import WireMemcachedClient, WireMemcachedServer
+
+__all__ = ["KetamaRing",
+           "MemcachedCluster", "MemcachedClusterClient", "MemcachedServer",
+           "WireMemcachedClient", "WireMemcachedServer"]

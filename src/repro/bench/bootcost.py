@@ -1,0 +1,82 @@
+"""Boot-cost bench: §III.E situation 1.
+
+"Lots of creation operations will take a long time when the virtual
+nodes number is large, but it only happens once when the Sedna cluster
+firstly starts up."  This bench measures (a) how first-boot cost scales
+with the virtual-node count, and (b) that a node joining an
+*initialized* cluster pays almost nothing in ZooKeeper writes.
+"""
+
+from __future__ import annotations
+
+from ..core.cluster import SednaCluster
+from ..core.config import SednaConfig
+from ..core.node import SednaNode
+from ..persistence.disk import SimDisk
+from .harness import FigureResult
+
+__all__ = ["boot_cost_at", "boot_cost"]
+
+
+def boot_cost_at(num_vnodes: int, seed: int = 42) -> dict:
+    """Boot a 3-node cluster with the join protocol; return costs."""
+    cluster = SednaCluster(n_nodes=3, zk_size=3, seed=seed,
+                           config=SednaConfig(num_vnodes=num_vnodes))
+    t0 = cluster.sim.now
+    cluster.start(bootstrap="join")
+    boot_time = cluster.sim.now - t0
+    writes_at_boot = sum(s.writes_led for s in cluster.ensemble.servers)
+
+    # A late joiner against the already-initialized namespace.
+    disk = SimDisk()
+    late = SednaNode(cluster.sim, cluster.network, "late",
+                     cluster.ensemble.names, cluster.config,
+                     cluster.zk_config, disk=disk)
+    cluster.nodes["late"] = late
+    cluster.node_names.append("late")
+    t1 = cluster.sim.now
+    proc = cluster.sim.process(late.join())
+    cluster.sim.run(until=proc)
+    join_time = cluster.sim.now - t1
+    writes_for_join = (sum(s.writes_led for s in cluster.ensemble.servers)
+                       - writes_at_boot)
+    return {
+        "num_vnodes": num_vnodes,
+        "boot_time_s": boot_time,
+        "boot_zk_writes": writes_at_boot,
+        "late_join_time_s": join_time,
+        "late_join_zk_writes": writes_for_join,
+    }
+
+
+def boot_cost() -> FigureResult:
+    """First boot vs late join, at two ring sizes."""
+    small = boot_cost_at(128)
+    large = boot_cost_at(512)
+    result = FigureResult("§III.E-boot",
+                          "First-boot cost vs late-join cost")
+    result.totals = {
+        "128 vnodes: boot ZK writes": float(small["boot_zk_writes"]),
+        "128 vnodes: late-join ZK writes":
+            float(small["late_join_zk_writes"]),
+        "512 vnodes: boot ZK writes": float(large["boot_zk_writes"]),
+        "512 vnodes: late-join ZK writes":
+            float(large["late_join_zk_writes"]),
+        "512 vnodes: boot time (s)": large["boot_time_s"],
+        "512 vnodes: late-join time (s)": large["late_join_time_s"],
+    }
+    result.expect(
+        "boot writes scale with the vnode count",
+        large["boot_zk_writes"] > 2.5 * small["boot_zk_writes"],
+        f"{small['boot_zk_writes']} -> {large['boot_zk_writes']}")
+    result.expect(
+        "it only happens once: late joins are far cheaper than boot",
+        large["late_join_zk_writes"] < large["boot_zk_writes"] / 2,
+        f"join {large['late_join_zk_writes']} vs boot "
+        f"{large['boot_zk_writes']} ZK writes")
+    result.expect(
+        "late join completes in seconds",
+        large["late_join_time_s"] < 10.0,
+        f"{large['late_join_time_s']:.2f}s")
+    result.notes.update(small=small, large=large)
+    return result

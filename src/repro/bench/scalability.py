@@ -1,0 +1,84 @@
+"""Scalability bench: aggregate throughput vs cluster size.
+
+Not a paper figure — the paper *claims* incremental scalability
+("designed especially for huge size data centers", §I; Table I row
+"Partitioning → Incremental Scalability") but never plots it.  This
+bench quantifies the claim on the reproduction: total write/read
+throughput with one pinned client per node as the fleet grows.
+Perfect scaling doubles throughput per doubling; the expectation we
+assert is the qualitative one (bigger fleets sustain materially more
+aggregate throughput, and the hierarchical ZooKeeper layer does not
+flatten the curve).
+"""
+
+from __future__ import annotations
+
+from ..core.cluster import SednaCluster
+from ..core.config import SednaConfig
+from ..net.simulator import AllOf
+from ..workloads.kv import PAPER_VALUE, paper_keys
+from .harness import FigureResult
+
+__all__ = ["throughput_at_size", "scalability"]
+
+
+def throughput_at_size(n_nodes: int, ops_per_client: int = 400,
+                       seed: int = 42) -> dict:
+    """Aggregate ops/s with one smart client per node."""
+    cluster = SednaCluster(n_nodes=n_nodes, zk_size=3, seed=seed,
+                           config=SednaConfig(num_vnodes=64 * n_nodes))
+    cluster.start()
+    clients = [cluster.smart_client(f"scale{i}") for i in range(n_nodes)]
+    keyspaces = [paper_keys(ops_per_client, seed=seed + i)
+                 for i in range(n_nodes)]
+
+    def run_one(i):
+        client = clients[i]
+        yield from client.connect()
+        for key in keyspaces[i]:
+            yield from client.write_latest(key.decode(),
+                                           PAPER_VALUE.decode())
+        for key in keyspaces[i]:
+            yield from client.read_latest(key.decode())
+        return True
+
+    t0 = cluster.sim.now
+    procs = [cluster.sim.process(run_one(i)) for i in range(n_nodes)]
+    cluster.sim.run(until=AllOf(cluster.sim, procs))
+    duration = cluster.sim.now - t0
+    total_ops = 2 * ops_per_client * n_nodes
+    return {
+        "nodes": n_nodes,
+        "throughput": total_ops / duration,
+        "duration_s": duration,
+        "failures": sum(c.failures for c in clients),
+    }
+
+
+def scalability(ops_per_client: int = 400) -> FigureResult:
+    """Aggregate throughput at 3, 6 and 12 Sedna nodes."""
+    small = throughput_at_size(3, ops_per_client)
+    medium = throughput_at_size(6, ops_per_client)
+    large = throughput_at_size(12, ops_per_client)
+    result = FigureResult("scalability",
+                          "Aggregate throughput vs cluster size")
+    result.totals = {
+        "3 nodes (ops/s)": small["throughput"],
+        "6 nodes (ops/s)": medium["throughput"],
+        "12 nodes (ops/s)": large["throughput"],
+    }
+    result.expect(
+        "throughput grows with cluster size",
+        large["throughput"] > medium["throughput"] > small["throughput"],
+        f"{small['throughput']:,.0f} -> {medium['throughput']:,.0f} -> "
+        f"{large['throughput']:,.0f} ops/s")
+    result.expect(
+        "scaling efficiency stays above 50% per doubling",
+        large["throughput"] > 1.5 * medium["throughput"] * 0.5
+        and medium["throughput"] > 1.5 * small["throughput"] * 0.5,
+        "hierarchical status layer must not flatten the curve")
+    result.expect(
+        "no failures at any size",
+        small["failures"] == medium["failures"] == large["failures"] == 0)
+    result.notes.update(small=small, medium=medium, large=large)
+    return result

@@ -1,0 +1,32 @@
+"""Sedna core: partitioning, replication, node management, client API.
+
+The primary contribution of the paper — a memory-based distributed
+key-value store with a hierarchical (ZooKeeper-backed) cluster-status
+structure and quorum replication — lives here.
+"""
+
+from .config import SednaConfig
+from .types import DEFAULT_DATASET, DEFAULT_TABLE, FullKey
+from .hashring import ImbalanceTable, Ring, VnodeStatus
+from .cache import MappingCache, ZkLayout
+from .coordinator import QuorumCoordinator
+from .node import SednaNode
+from .client import SednaClient, SmartSednaClient
+from .cluster import SednaCluster
+from .rebalance import Rebalancer
+from .antientropy import AntiEntropyManager
+from .gc import GarbageCollector
+from .detector import ActiveDetector
+from .stats import LatencySeries, percentile, summarize
+
+__all__ = [
+    "SednaConfig",
+    "DEFAULT_DATASET", "DEFAULT_TABLE", "FullKey",
+    "ImbalanceTable", "Ring", "VnodeStatus",
+    "MappingCache", "ZkLayout",
+    "QuorumCoordinator",
+    "SednaNode", "SednaClient", "SmartSednaClient", "SednaCluster",
+    "Rebalancer", "AntiEntropyManager", "GarbageCollector",
+    "ActiveDetector",
+    "LatencySeries", "percentile", "summarize",
+]

@@ -1,0 +1,329 @@
+"""SednaClient — the application-facing API of §III.F.
+
+``write_latest`` / ``write_all`` / ``read_latest`` / ``read_all`` with
+the paper's reply vocabulary (``ok`` / ``outdated`` / ``failure``).
+Requests are "directly routed to a server in data center" (§III.A):
+the client picks a coordinator node (round-robin by default) and that
+node runs the quorum fan-out.
+
+All operations are process helpers — use ``yield from`` inside a
+simulation process.  Per-operation latencies are recorded for the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..net.rpc import RpcNode, RpcRejected, RpcTimeout
+from ..net.simulator import Simulator
+from ..net.transport import Network
+from ..storage.versioned import ValueElement, WriteOutcome
+from ..zk.client import ZkClient
+from ..zk.server import ZkConfig
+from .cache import MappingCache
+from .config import SednaConfig
+from .coordinator import QuorumCoordinator
+from .types import DEFAULT_DATASET, DEFAULT_TABLE, FullKey
+
+__all__ = ["SednaClient", "SmartSednaClient"]
+
+
+class SednaClient:
+    """Client handle bound to a set of coordinator nodes.
+
+    Parameters
+    ----------
+    sim, network:
+        Simulation substrate.
+    name:
+        Unique endpoint name; doubles as the write *source* identity
+        used by ``write_all`` value lists.
+    nodes:
+        Coordinator endpoint names (usually every Sedna real node).
+    config:
+        The cluster's :class:`~repro.core.config.SednaConfig`.
+    pinned:
+        When set, always use this node as coordinator instead of
+        round-robin (the paper's experiments run one client per server
+        against its local Sedna service).
+    """
+
+    def __init__(self, sim: Simulator, network: Network, name: str,
+                 nodes: list[str], config: Optional[SednaConfig] = None,
+                 pinned: Optional[str] = None):
+        self.sim = sim
+        self.name = name
+        self.nodes = list(nodes)
+        self.config = config if config is not None else SednaConfig()
+        self.rpc = RpcNode(network, name)
+        self.pinned = pinned
+        self._rr = 0
+        self._last_ts = 0.0
+        # Measurements for the harness.
+        self.write_latencies: list[float] = []
+        self.read_latencies: list[float] = []
+        self.failures = 0
+
+    # -- plumbing ---------------------------------------------------------
+    def _timestamp(self) -> float:
+        """Strictly increasing per-client timestamp (write versions)."""
+        ts = self.sim.now
+        if ts <= self._last_ts:
+            ts = self._last_ts + 1e-9
+        self._last_ts = ts
+        return ts
+
+    def _coordinator(self) -> str:
+        if self.pinned is not None:
+            return self.pinned
+        node = self.nodes[self._rr % len(self.nodes)]
+        self._rr += 1
+        return node
+
+    def _request(self, method: str, args: Any):
+        """One coordinator RPC with a single failover retry."""
+        coordinator = self._coordinator()
+        try:
+            result = yield from self.rpc.call(coordinator, method, args,
+                                              timeout=self.config.client_timeout)
+            return result
+        except (RpcTimeout, RpcRejected):
+            fallback = self._coordinator()
+            if fallback == coordinator and len(self.nodes) > 1:
+                fallback = self._coordinator()
+            result = yield from self.rpc.call(fallback, method, args,
+                                              timeout=self.config.client_timeout)
+            return result
+
+    @staticmethod
+    def _encode(key: str, table: str, dataset: str) -> str:
+        return FullKey(dataset=dataset, table=table, key=key).encoded()
+
+    # -- write APIs (§III.F.1) ------------------------------------------------
+    def _write(self, mode: str, key: str, value: Any, table: str,
+               dataset: str):
+        args = {"key": self._encode(key, table, dataset), "value": value,
+                "ts": self._timestamp(), "source": self.name, "mode": mode}
+        t0 = self.sim.now
+        try:
+            result = yield from self._request("sedna.write", args)
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            self.write_latencies.append(self.sim.now - t0)
+            return WriteOutcome.FAILURE
+        self.write_latencies.append(self.sim.now - t0)
+        return result["status"]
+
+    def write_latest(self, key: str, value: Any,
+                     table: str = DEFAULT_TABLE,
+                     dataset: str = DEFAULT_DATASET):
+        """Lock-free last-write-wins write; returns ok/outdated/failure."""
+        result = yield from self._write("latest", key, value, table, dataset)
+        return result
+
+    def write_all(self, key: str, value: Any,
+                  table: str = DEFAULT_TABLE,
+                  dataset: str = DEFAULT_DATASET):
+        """Per-source value-list write; returns ok/outdated/failure."""
+        result = yield from self._write("all", key, value, table, dataset)
+        return result
+
+    # -- read APIs (§III.F.2) -------------------------------------------------
+    def read_latest(self, key: str, table: str = DEFAULT_TABLE,
+                    dataset: str = DEFAULT_DATASET):
+        """The freshest value regardless of writer; None when absent."""
+        args = {"key": self._encode(key, table, dataset), "mode": "latest"}
+        t0 = self.sim.now
+        try:
+            result = yield from self._request("sedna.read", args)
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            self.read_latencies.append(self.sim.now - t0)
+            return None
+        self.read_latencies.append(self.sim.now - t0)
+        if not result.get("found"):
+            return None
+        return result["value"]
+
+    def read_latest_element(self, key: str, table: str = DEFAULT_TABLE,
+                            dataset: str = DEFAULT_DATASET):
+        """Like :meth:`read_latest` but returns the full element."""
+        args = {"key": self._encode(key, table, dataset), "mode": "latest"}
+        try:
+            result = yield from self._request("sedna.read", args)
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            return None
+        if not result.get("found"):
+            return None
+        return ValueElement(result["source"], result["ts"], result["value"])
+
+    def read_all(self, key: str, table: str = DEFAULT_TABLE,
+                 dataset: str = DEFAULT_DATASET):
+        """Every element of the value list ("all the values corresponding
+        that key", §III.F.2)."""
+        args = {"key": self._encode(key, table, dataset), "mode": "all"}
+        t0 = self.sim.now
+        try:
+            result = yield from self._request("sedna.read", args)
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            self.read_latencies.append(self.sim.now - t0)
+            return []
+        self.read_latencies.append(self.sim.now - t0)
+        return [ValueElement(s, ts, v) for s, ts, v in result["elements"]]
+
+    def delete(self, key: str, table: str = DEFAULT_TABLE,
+               dataset: str = DEFAULT_DATASET):
+        """Quorum delete of a key."""
+        args = {"key": self._encode(key, table, dataset)}
+        try:
+            yield from self._request("sedna.delete", args)
+            return True
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            return False
+
+
+class SmartSednaClient:
+    """Zero-hop client: coordinates quorums itself (§VII).
+
+    "Sedna uses a zero-hop DHT that each node caches enough routing
+    information locally to route a request to the appropriate node
+    directly."  The smart client holds its own mapping cache (synced
+    from ZooKeeper with the same adaptive lease as the nodes) and fans
+    writes/reads out to the replicas in parallel without an
+    intermediate coordinator hop.  This is the configuration the
+    paper's §VI load-test programs use: "Sedna writes every key value
+    pair three times into different real nodes parallel, and reads
+    every key value pair three times from different real nodes."
+
+    Call :meth:`connect` (with ``yield from``) before the first
+    operation.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, name: str,
+                 zk_servers: list[str],
+                 config: Optional[SednaConfig] = None,
+                 zk_config: Optional[ZkConfig] = None):
+        self.sim = sim
+        self.name = name
+        self.config = config if config is not None else SednaConfig()
+        self.rpc = RpcNode(network, name)
+        self.zk = ZkClient(sim, network, f"{name}-zk", zk_servers, zk_config)
+        self.cache = MappingCache(sim, self.zk, self.config)
+        self.coordinator = QuorumCoordinator(sim, self.rpc, self.cache,
+                                             self.config)
+        self._last_ts = 0.0
+        self.write_latencies: list[float] = []
+        self.read_latencies: list[float] = []
+        self.failures = 0
+
+    def connect(self):
+        """Open the ZooKeeper session and load the vnode mapping."""
+        yield from self.zk.connect()
+        yield from self.cache.load_full()
+        self.cache.start_lease_loop()
+        return self.name
+
+    def close(self):
+        """Stop the lease loop and release the ZooKeeper session."""
+        self.cache.stop()
+        yield from self.zk.close()
+
+    def _timestamp(self) -> float:
+        ts = self.sim.now
+        if ts <= self._last_ts:
+            ts = self._last_ts + 1e-9
+        self._last_ts = ts
+        return ts
+
+    @staticmethod
+    def _encode(key: str, table: str, dataset: str) -> str:
+        return FullKey(dataset=dataset, table=table, key=key).encoded()
+
+    # -- write APIs ---------------------------------------------------------
+    def _write(self, mode: str, key: str, value: Any, table: str,
+               dataset: str):
+        args = {"key": self._encode(key, table, dataset), "value": value,
+                "ts": self._timestamp(), "source": self.name, "mode": mode}
+        t0 = self.sim.now
+        try:
+            result = yield from self.coordinator.coordinate_write(args)
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            self.write_latencies.append(self.sim.now - t0)
+            return WriteOutcome.FAILURE
+        self.write_latencies.append(self.sim.now - t0)
+        return result["status"]
+
+    def write_latest(self, key: str, value: Any,
+                     table: str = DEFAULT_TABLE,
+                     dataset: str = DEFAULT_DATASET):
+        """Lock-free last-write-wins write, straight to the replicas."""
+        result = yield from self._write("latest", key, value, table, dataset)
+        return result
+
+    def write_all(self, key: str, value: Any,
+                  table: str = DEFAULT_TABLE,
+                  dataset: str = DEFAULT_DATASET):
+        """Per-source value-list write, straight to the replicas."""
+        result = yield from self._write("all", key, value, table, dataset)
+        return result
+
+    # -- read APIs -----------------------------------------------------------
+    def read_latest(self, key: str, table: str = DEFAULT_TABLE,
+                    dataset: str = DEFAULT_DATASET):
+        """Quorum read of the freshest value; None when absent."""
+        args = {"key": self._encode(key, table, dataset), "mode": "latest"}
+        t0 = self.sim.now
+        try:
+            result = yield from self.coordinator.coordinate_read(args)
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            self.read_latencies.append(self.sim.now - t0)
+            return None
+        self.read_latencies.append(self.sim.now - t0)
+        if not result.get("found"):
+            return None
+        return result["value"]
+
+    def read_all(self, key: str, table: str = DEFAULT_TABLE,
+                 dataset: str = DEFAULT_DATASET):
+        """Quorum read of the whole value list."""
+        args = {"key": self._encode(key, table, dataset), "mode": "all"}
+        t0 = self.sim.now
+        try:
+            result = yield from self.coordinator.coordinate_read(args)
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            self.read_latencies.append(self.sim.now - t0)
+            return []
+        self.read_latencies.append(self.sim.now - t0)
+        return [ValueElement(s, ts, v) for s, ts, v in result["elements"]]
+
+    def delete(self, key: str, table: str = DEFAULT_TABLE,
+               dataset: str = DEFAULT_DATASET):
+        """Quorum delete of a key."""
+        args = {"key": self._encode(key, table, dataset)}
+        try:
+            yield from self.coordinator.coordinate_delete(args)
+            return True
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            return False
+
+    def read_latest_element(self, key: str, table: str = DEFAULT_TABLE,
+                            dataset: str = DEFAULT_DATASET):
+        """Like :meth:`read_latest` but returns the full element
+        (source, timestamp, value); None when absent."""
+        args = {"key": self._encode(key, table, dataset), "mode": "latest"}
+        try:
+            result = yield from self.coordinator.coordinate_read(args)
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            return None
+        if not result.get("found"):
+            return None
+        return ValueElement(result["source"], result["ts"], result["value"])

@@ -1,0 +1,342 @@
+"""Quorum coordination: the parallel N-replica fan-out of §III.C/F.
+
+Sedna is "a zero-hop DHT that each node caches enough routing
+information locally to route a request to the appropriate node
+directly" (§VII).  The same coordination logic therefore runs in two
+places:
+
+* inside every :class:`~repro.core.node.SednaNode`, serving requests
+  from thin clients that route to any server (§III.A); and
+* inside the *smart* :class:`~repro.core.client.SednaClient`, which
+  caches the mapping itself and talks straight to the replicas — the
+  configuration the paper's load-test programs use ("Sedna writes every
+  key value pair three times into different real nodes parallel",
+  §VI.A.1).
+
+:class:`QuorumCoordinator` encapsulates it once for both.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..net.rpc import RpcError, RpcNode, RpcRejected, RpcTimeout
+from ..net.simulator import AnyOf, Event, Simulator
+from ..storage.versioned import ValueElement, VersionedStore, WriteOutcome
+from .cache import MappingCache
+from .config import SednaConfig
+
+__all__ = ["QuorumCoordinator", "wire_elements", "unwire_elements"]
+
+
+def wire_elements(elements: list[ValueElement]) -> list[tuple]:
+    """Serialize value-list elements for the simulated wire."""
+    return [(e.source, e.timestamp, e.value) for e in elements]
+
+
+def unwire_elements(blob: list[tuple]) -> list[ValueElement]:
+    """Inverse of :func:`wire_elements`."""
+    return [ValueElement(source, ts, value) for source, ts, value in blob]
+
+
+class QuorumCoordinator:
+    """Runs quorum reads/writes against the replica plane.
+
+    Parameters
+    ----------
+    sim, rpc, cache, config:
+        The substrate handles.
+    local_name / local_dispatch:
+        When the coordinator lives on a storage node, calls to itself
+        short-circuit the network through ``local_dispatch(method,
+        args) -> Event``.
+    on_suspect:
+        Callback ``(replica_name, vnode_id)`` fired when a replica
+        refuses or stays silent — nodes hook their lazy-recovery
+        investigation here (§III.C).
+    """
+
+    def __init__(self, sim: Simulator, rpc: RpcNode, cache: MappingCache,
+                 config: SednaConfig,
+                 local_name: Optional[str] = None,
+                 local_dispatch: Optional[Callable[[str, Any], Event]] = None,
+                 on_suspect: Optional[Callable[[str, int], None]] = None):
+        self.sim = sim
+        self.rpc = rpc
+        self.cache = cache
+        self.config = config
+        self.local_name = local_name
+        self.local_dispatch = local_dispatch
+        self.on_suspect = on_suspect
+        # Stats.
+        self.coordinated_writes = 0
+        self.coordinated_reads = 0
+        self.read_repairs = 0
+
+    # -- plumbing -----------------------------------------------------------
+    def _suspect(self, name: str, vnode_id: int) -> None:
+        if self.on_suspect is not None:
+            self.on_suspect(name, vnode_id)
+
+    def _replica_call(self, replica: str, method: str, args: Any) -> Event:
+        if replica == self.local_name and self.local_dispatch is not None:
+            return self.local_dispatch(method, args)
+        return self.rpc.call_async(replica, method, args)
+
+    def _quorum_fanout(self, calls: list[tuple[str, Event]], needed: int,
+                       timeout: float):
+        """Wait for ``needed`` successes with replica attribution.
+
+        Returns ``(oks, fails)`` as ``[(name, value)]`` /
+        ``[(name, exception)]``; raises :class:`RpcTimeout` on deadline
+        and :class:`RpcError` when too many replicas failed.
+        """
+        deadline = self.sim.timeout(timeout)
+        oks: list[tuple[str, Any]] = []
+        fails: list[tuple[str, BaseException]] = []
+        pending = dict(calls)
+        while True:
+            for name, ev in list(pending.items()):
+                if ev.triggered:
+                    del pending[name]
+                    if ev.ok:
+                        oks.append((name, ev.value))
+                    else:
+                        fails.append((name, ev.value))
+            if len(oks) >= needed:
+                return oks, fails
+            if len(oks) + len(pending) < needed:
+                raise RpcError(f"quorum unreachable: {len(fails)} failures")
+            if deadline.processed:
+                raise RpcTimeout(
+                    f"quorum {needed} not met; {len(oks)} ok so far")
+            try:
+                yield AnyOf(self.sim,
+                            tuple(ev for ev in pending.values()) + (deadline,))
+            except RpcError:
+                pass  # loop re-scans and attributes the failure
+
+    def _post_quorum_watch(self, calls: list[tuple[str, Event]],
+                           vnode_id: int, already_ok: set[str]) -> None:
+        """Keep watching the laggards after the quorum returned.
+
+        Late refusals trigger suspicion, and so does *silence*: a dead
+        replica never answers, so each outstanding call gets a deadline
+        (§III.C: "according to the 'timeout', 'refuse' response ...
+        Sedna service will determine whether the servers have failed").
+        """
+        for name, ev in calls:
+            if name in already_ok:
+                continue
+
+            def check(done: Event, name=name) -> None:
+                if not done.ok:
+                    self._suspect(name, vnode_id)
+
+            if ev.callbacks is None:
+                check(ev)
+                continue
+            ev.callbacks.append(check)
+
+            def silence(name=name, ev=ev) -> None:
+                if not ev.triggered:
+                    self._suspect(name, vnode_id)
+
+            self.sim.schedule_callback(self.config.request_timeout, silence)
+
+    def _replica_set(self, key: str):
+        """Replica set from the cache, with one invalidation retry."""
+        vnode_id, replicas = self.cache.replicas_for_key(key)
+        if len(replicas) < self.config.replicas:
+            yield from self.cache.invalidate(vnode_id)
+            vnode_id, replicas = self.cache.replicas_for_key(key)
+        return vnode_id, replicas
+
+    # -- operations -----------------------------------------------------------
+    def coordinate_write(self, args: Any):
+        """Parallel N-way replica write; returns at W acks (§III.C/F)."""
+        self.coordinated_writes += 1
+        cfg = self.config
+        key = args["key"]
+        vnode_id, replicas = yield from self._replica_set(key)
+        if len(replicas) < cfg.write_quorum:
+            raise RpcRejected("not-enough-replicas")
+        payload = {"vnode": vnode_id, "key": key, "value": args["value"],
+                   "ts": args["ts"], "source": args["source"],
+                   "mode": args["mode"]}
+        calls = [(r, self._replica_call(r, "replica.write", payload))
+                 for r in replicas]
+        try:
+            oks, fails = yield from self._quorum_fanout(
+                calls, cfg.write_quorum, cfg.request_timeout)
+        except (RpcTimeout, RpcError) as err:
+            self._post_quorum_watch(calls, vnode_id, set())
+            if not args.get("_retried"):
+                # A stale mapping can fail a quorum with 'not-owner'
+                # refusals: invalidate and retry once (§III.E).
+                yield from self.cache.invalidate(vnode_id)
+                retry = dict(args)
+                retry["_retried"] = True
+                result = yield from self.coordinate_write(retry)
+                return result
+            raise RpcRejected(f"write-quorum-failed:{err}")
+        statuses = [value["status"] for _n, value in oks]
+        outcome = (WriteOutcome.OK if WriteOutcome.OK in statuses
+                   else WriteOutcome.OUTDATED)
+        self._post_quorum_watch(calls, vnode_id, {n for n, _v in oks})
+        for name, _exc in fails:
+            self._suspect(name, vnode_id)
+        return {"status": outcome, "vnode": vnode_id}
+
+    def coordinate_read(self, args: Any):
+        """Parallel read from all replicas, waiting for R agreeing copies.
+
+        §III.C: "requests all the corresponding real nodes to get data
+        with timestamp, then checks for R equality."  When fewer than R
+        copies agree on the freshest version, the coordinator pushes
+        the merged freshest elements to the stale replicas (read
+        repair) before answering.
+        """
+        self.coordinated_reads += 1
+        cfg = self.config
+        key = args["key"]
+        mode = args.get("mode", "latest")
+        vnode_id, replicas = yield from self._replica_set(key)
+        if len(replicas) < cfg.read_quorum:
+            raise RpcRejected("not-enough-replicas")
+        payload = {"vnode": vnode_id, "key": key}
+        calls = [(r, self._replica_call(r, "replica.read", payload))
+                 for r in replicas]
+        try:
+            oks, fails = yield from self._quorum_fanout(
+                calls, cfg.read_quorum, cfg.request_timeout)
+        except (RpcTimeout, RpcError) as err:
+            self._post_quorum_watch(calls, vnode_id, set())
+            if not args.get("_retried"):
+                yield from self.cache.invalidate(vnode_id)
+                retry = dict(args)
+                retry["_retried"] = True
+                result = yield from self.coordinate_read(retry)
+                return result
+            raise RpcRejected(f"read-quorum-failed:{err}")
+        for name, _exc in fails:
+            self._suspect(name, vnode_id)
+        # Merge responses: newest element per source.
+        merged = VersionedStore()
+        responses: dict[str, list[ValueElement]] = {}
+        for name, value in oks:
+            elements = unwire_elements(value["elements"])
+            responses[name] = elements
+            merged.merge_elements(key, elements)
+        merged_elements = merged.read_all(key)
+        latest = merged.read_latest(key)
+
+        if latest is None and len(responses) < len(calls):
+            # An apparent miss met by the first R (empty) replies can be
+            # a membership-churn artifact: a recent write may live only
+            # on a replica that has not answered yet (its quorum-set
+            # overlap shrank while the mapping moved).  Cheap insurance:
+            # wait out the remaining replies before concluding.
+            deadline = self.sim.timeout(cfg.request_timeout)
+            answered = set(responses)
+            pending = {name: ev for name, ev in calls
+                       if name not in answered}
+            while pending and not deadline.processed:
+                for name, ev in list(pending.items()):
+                    if ev.triggered:
+                        del pending[name]
+                        if ev.ok:
+                            elements = unwire_elements(ev.value["elements"])
+                            responses[name] = elements
+                            merged.merge_elements(key, elements)
+                if not pending:
+                    break
+                try:
+                    yield AnyOf(self.sim,
+                                tuple(pending.values()) + (deadline,))
+                except RpcError:
+                    pass
+            merged_elements = merged.read_all(key)
+            latest = merged.read_latest(key)
+
+        def agree_count() -> int:
+            if latest is None:
+                return sum(1 for els in responses.values() if not els)
+            return sum(1 for els in responses.values()
+                       if any(e.source == latest.source
+                              and e.timestamp == latest.timestamp
+                              for e in els))
+
+        stale = [name for name, els in responses.items()
+                 if latest is not None
+                 and not any(e.source == latest.source
+                             and e.timestamp == latest.timestamp
+                             for e in els)]
+        if stale and merged_elements:
+            # Read repair: push the merged freshest elements to every
+            # responder that lacked them.  The wait is only as long as
+            # R-equality requires (§III.C); extra repairs are
+            # fire-and-forget so divergent third replicas converge on
+            # the next read instead of lingering stale.
+            repair_payload = {"vnode": vnode_id, "key": key,
+                              "elements": wire_elements(merged_elements)}
+            repair_calls = [(r, self._replica_call(r, "replica.repair",
+                                                   repair_payload))
+                            for r in stale]
+            self.read_repairs += 1
+            needed = cfg.read_quorum - agree_count()
+            if needed > 0:
+                try:
+                    yield from self._quorum_fanout(
+                        repair_calls, min(needed, len(repair_calls)),
+                        cfg.request_timeout)
+                except (RpcTimeout, RpcError) as err:
+                    raise RpcRejected(f"read-repair-failed:{err}")
+        self._post_quorum_watch(calls, vnode_id, {n for n, _v in oks})
+        if latest is not None and merged_elements:
+            # Laggards that answer *after* the quorum may still be stale
+            # (e.g. a freshly recovered replica with an empty row): check
+            # their late responses and repair fire-and-forget.
+            answered = set(responses)
+            repair_payload = {"vnode": vnode_id, "key": key,
+                              "elements": wire_elements(merged_elements)}
+
+            def late_check(done, name):
+                if not done.ok:
+                    return
+                els = unwire_elements(done.value["elements"])
+                if not any(e.source == latest.source
+                           and e.timestamp == latest.timestamp
+                           for e in els):
+                    self._replica_call(name, "replica.repair",
+                                       repair_payload)
+
+            for name, ev in calls:
+                if name in answered:
+                    continue
+                if ev.callbacks is None:
+                    late_check(ev, name)
+                else:
+                    ev.callbacks.append(
+                        lambda done, name=name: late_check(done, name))
+        if mode == "all":
+            return {"elements": wire_elements(merged_elements)}
+        if latest is None:
+            return {"found": False}
+        return {"found": True, "value": latest.value,
+                "ts": latest.timestamp, "source": latest.source}
+
+    def coordinate_delete(self, args: Any):
+        """Quorum delete (not in the paper's API; completes the CRUD)."""
+        cfg = self.config
+        key = args["key"]
+        vnode_id, replicas = yield from self._replica_set(key)
+        payload = {"vnode": vnode_id, "key": key}
+        calls = [(r, self._replica_call(r, "replica.delete", payload))
+                 for r in replicas]
+        try:
+            yield from self._quorum_fanout(calls, cfg.write_quorum,
+                                           cfg.request_timeout)
+        except (RpcTimeout, RpcError) as err:
+            raise RpcRejected(f"delete-quorum-failed:{err}")
+        return {"status": "ok"}

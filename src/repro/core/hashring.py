@@ -1,0 +1,198 @@
+"""Consistent-hash ring with virtual nodes and the imbalance table.
+
+§III.B: the ring "was equally divided into millions of slices, so every
+slice represents a sub-range of INTEGER ... each sub-range is called a
+virtual node".  A key hashes to an integer and mods into a virtual
+node; the virtual node maps to a *real node* (its primary, r1) and its
+data is replicated on the next distinct real nodes along the ring
+(r2, r3).
+
+The ring also records per-virtual-node status (capacity, read/write
+frequency) from which each real node computes an *imbalance table* row
+that is periodically pushed to ZooKeeper — "it is only necessary to
+update the imbalance table, which is quite small comparing with the
+virtual nodes number".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..storage.hashtable import fnv1a
+
+__all__ = ["VnodeStatus", "Ring", "ImbalanceTable"]
+
+
+@dataclass
+class VnodeStatus:
+    """Per-virtual-node bookkeeping (§III.B)."""
+
+    keys: int = 0
+    bytes: int = 0
+    reads: int = 0
+    writes: int = 0
+
+
+class Ring:
+    """The vnode → real-node assignment plus hashing.
+
+    The assignment is the replicated truth held in ZooKeeper; this
+    class is the in-memory working copy every node and client caches.
+    """
+
+    UNASSIGNED = ""
+
+    def __init__(self, num_vnodes: int):
+        if num_vnodes < 1:
+            raise ValueError("need at least one virtual node")
+        self.num_vnodes = num_vnodes
+        self.assignment: list[str] = [self.UNASSIGNED] * num_vnodes
+
+    # -- hashing ---------------------------------------------------------
+    def vnode_of(self, encoded_key: str) -> int:
+        """Hash a key into its virtual node (hash then mod, §III.B)."""
+        return fnv1a(encoded_key.encode("utf-8")) % self.num_vnodes
+
+    # -- assignment -------------------------------------------------------
+    def assign(self, vnode: int, owner: str) -> None:
+        """Set the primary owner of ``vnode``."""
+        self.assignment[vnode] = owner
+
+    def owner(self, vnode: int) -> str:
+        """Primary owner name ('' when unassigned)."""
+        return self.assignment[vnode]
+
+    def vnodes_of(self, owner: str) -> list[int]:
+        """All vnodes whose primary is ``owner``."""
+        return [v for v, o in enumerate(self.assignment) if o == owner]
+
+    def unassigned(self) -> list[int]:
+        """Vnodes with no primary yet."""
+        return [v for v, o in enumerate(self.assignment)
+                if o == self.UNASSIGNED]
+
+    def real_nodes(self) -> list[str]:
+        """Distinct owners in the assignment (sorted)."""
+        return sorted({o for o in self.assignment if o != self.UNASSIGNED})
+
+    def load_counts(self) -> dict[str, int]:
+        """Owner -> primary-vnode count."""
+        counts: dict[str, int] = {}
+        for o in self.assignment:
+            if o != self.UNASSIGNED:
+                counts[o] = counts.get(o, 0) + 1
+        return counts
+
+    # -- replica placement ------------------------------------------------
+    def replicas_for(self, vnode: int, n: int,
+                     exclude: Iterable[str] = ()) -> list[str]:
+        """The replica set [r1, r2, ... rn] for ``vnode``.
+
+        r1 is the vnode's primary; r2.. are the owners of the following
+        vnodes walking clockwise, skipping duplicates — the classic
+        successor-list placement of consistent hashing (§III.B, Fig. 3).
+        Fewer than ``n`` names are returned when the cluster is smaller
+        than the replication factor.
+        """
+        excluded = set(exclude)
+        out: list[str] = []
+        primary = self.assignment[vnode]
+        if primary != self.UNASSIGNED and primary not in excluded:
+            out.append(primary)
+        idx = vnode
+        for _ in range(self.num_vnodes):
+            if len(out) >= n:
+                break
+            idx = (idx + 1) % self.num_vnodes
+            candidate = self.assignment[idx]
+            if (candidate != self.UNASSIGNED and candidate not in out
+                    and candidate not in excluded):
+                out.append(candidate)
+        return out
+
+    def replicas_for_key(self, encoded_key: str, n: int) -> tuple[int, list[str]]:
+        """(vnode, replica set) for a key."""
+        vnode = self.vnode_of(encoded_key)
+        return vnode, self.replicas_for(vnode, n)
+
+    def walk_positions(self, vnode: int, n: int) -> list[tuple[int, str]]:
+        """The (vnode index, owner) pairs contributing the replica set.
+
+        First occurrence per distinct owner along the clockwise walk —
+        the assignment entries recovery must rewrite when one of those
+        owners is found dead (§III.C read recovery).
+        """
+        out: list[tuple[int, str]] = []
+        seen: set[str] = set()
+        idx = vnode
+        for step in range(self.num_vnodes):
+            candidate = self.assignment[idx]
+            if candidate != self.UNASSIGNED and candidate not in seen:
+                seen.add(candidate)
+                out.append((idx, candidate))
+                if len(out) >= n:
+                    break
+            idx = (idx + 1) % self.num_vnodes
+        return out
+
+    # -- bulk import/export -----------------------------------------------
+    def snapshot(self) -> list[str]:
+        """Copy of the assignment array."""
+        return list(self.assignment)
+
+    def load(self, assignment: list[str]) -> None:
+        """Replace the assignment array."""
+        if len(assignment) != self.num_vnodes:
+            raise ValueError("assignment length mismatch")
+        self.assignment = list(assignment)
+
+
+class ImbalanceTable:
+    """Per-real-node load rows computed from vnode statuses (§III.B).
+
+    Each Sedna service keeps vnode statistics locally and periodically
+    publishes one small row; the rebalancer and join protocol consume
+    the whole table to decide which vnodes should move.
+    """
+
+    def __init__(self):
+        self.rows: dict[str, dict] = {}
+
+    @staticmethod
+    def row_from_statuses(statuses: dict[int, VnodeStatus]) -> dict:
+        """Aggregate one node's vnode statuses into its table row."""
+        return {
+            "vnodes": len(statuses),
+            "keys": sum(s.keys for s in statuses.values()),
+            "bytes": sum(s.bytes for s in statuses.values()),
+            "reads": sum(s.reads for s in statuses.values()),
+            "writes": sum(s.writes for s in statuses.values()),
+        }
+
+    def update(self, node: str, row: dict) -> None:
+        """Install/refresh a node's row."""
+        self.rows[node] = dict(row)
+
+    def remove(self, node: str) -> None:
+        """Drop a departed node's row."""
+        self.rows.pop(node, None)
+
+    def most_loaded(self, metric: str = "vnodes") -> Optional[str]:
+        """Node with the max of ``metric`` (None when empty)."""
+        if not self.rows:
+            return None
+        return max(self.rows, key=lambda n: (self.rows[n].get(metric, 0), n))
+
+    def least_loaded(self, metric: str = "vnodes") -> Optional[str]:
+        """Node with the min of ``metric`` (None when empty)."""
+        if not self.rows:
+            return None
+        return min(self.rows, key=lambda n: (self.rows[n].get(metric, 0), n))
+
+    def spread(self, metric: str = "vnodes") -> float:
+        """max - min of ``metric`` across rows (0 when < 2 rows)."""
+        if len(self.rows) < 2:
+            return 0.0
+        values = [row.get(metric, 0) for row in self.rows.values()]
+        return float(max(values) - min(values))

@@ -1,0 +1,695 @@
+"""SednaNode — one real node of the Sedna cluster.
+
+Every server in the data center runs the same components (§III.A):
+
+* the **local memory storage** (a :class:`VersionedStore`, the
+  "modified Memcached" of §VI) holding the replicas of the virtual
+  nodes this server participates in;
+* the **Sedna service**: the RPC surface.  Any node can act as the
+  *coordinator* for a client request — the shared
+  :class:`~repro.core.coordinator.QuorumCoordinator` hashes the key to
+  a virtual node, fans the operation out to all N replicas in parallel
+  and answers once the R/W quorum is met (§III.C);
+* the **ZooKeeper client**: ephemeral registration under
+  ``/sedna/real_nodes``, the mapping cache with adaptive lease, and the
+  periodic imbalance-table push (§III.D–E);
+* **lazy recovery**: a replica that times out or refuses during a
+  read/write triggers an asynchronous investigation — if ZooKeeper
+  confirms the node is gone, the affected assignment entries are
+  rewritten and the lost replica re-duplicated from a healthy copy
+  (§III.C);
+* the configured **persistence strategy** (none / snapshot / WAL).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from ..net.latency import LOCAL_STORE_OP, REQUEST_HANDLING
+from ..net.rpc import RpcNode, RpcRejected, RpcTimeout
+from ..net.simulator import Event, Simulator
+from ..net.transport import Network
+from ..persistence.disk import SimDisk
+from ..persistence.strategy import make_strategy
+from ..storage.versioned import ValueElement, VersionedStore, WriteOutcome
+from ..zk.client import ZkClient
+from ..zk.server import ZkConfig
+from ..zk.znode import BadVersionError, NodeExistsError, NoNodeError
+from .cache import MappingCache, ZkLayout
+from .config import SednaConfig
+from .coordinator import QuorumCoordinator, unwire_elements, wire_elements
+from .hashring import ImbalanceTable, Ring, VnodeStatus
+
+__all__ = ["SednaNode"]
+
+
+class SednaNode:
+    """One Sedna real node (storage replica + request coordinator)."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str,
+                 zk_servers: list[str], config: Optional[SednaConfig] = None,
+                 zk_config: Optional[ZkConfig] = None,
+                 disk: Optional[SimDisk] = None):
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.config = config if config is not None else SednaConfig()
+        self.rpc = RpcNode(network, name, service_time=REQUEST_HANDLING)
+        self.zk = ZkClient(sim, network, f"{name}-zk", zk_servers, zk_config)
+        self.cache = MappingCache(sim, self.zk, self.config)
+        self.store = VersionedStore(clock=lambda: sim.now)
+        self.disk = disk if disk is not None else SimDisk()
+        self.persistence = make_strategy(self.config.persistence, self.disk,
+                                         name, self.config.snapshot_interval)
+        self.coordinator = QuorumCoordinator(
+            sim, self.rpc, self.cache, self.config,
+            local_name=name, local_dispatch=self._local_dispatch,
+            on_suspect=self._maybe_investigate)
+        self.running = False
+
+        # Vnode-local bookkeeping.
+        self.vnode_keys: dict[int, set[str]] = {}
+        self.vnode_status: dict[int, VnodeStatus] = {}
+
+        # Dedup of in-flight failure investigations.
+        self._investigating: set[tuple[str, int]] = set()
+
+        # Stats.
+        self.replica_writes = 0
+        self.replica_reads = 0
+        self.investigations = 0
+        self.recoveries = 0
+        self.repairs = 0
+
+        self._register_rpc()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _register_rpc(self) -> None:
+        r = self.rpc.register
+        # Client-facing coordinator API.
+        r("sedna.write", self._h_write)
+        r("sedna.read", self._h_read)
+        r("sedna.delete", self._h_delete)
+        # Replica-to-replica API.
+        r("replica.write", self._h_replica_write)
+        r("replica.read", self._h_replica_read)
+        r("replica.delete", self._h_replica_delete)
+        r("replica.transfer", self._h_replica_transfer)
+        r("replica.install", self._h_replica_install)
+        r("replica.repair", self._h_replica_repair)
+        r("replica.digest", self._h_replica_digest)
+        r("replica.fetch", self._h_replica_fetch)
+
+    # ------------------------------------------------------------------
+    # Membership (§III.D)
+    # ------------------------------------------------------------------
+    def join(self):
+        """The full join protocol; run as ``yield from node.join()``.
+
+        1. local store is already up (constructed);
+        2. connect to ZooKeeper, run the initial procedure when first;
+        3. register the ephemeral liveness znode;
+        4. load the mapping and acquire virtual nodes with
+           ``retrieval_threads`` concurrent workers;
+        5. start the lease loop, imbalance pusher and persistence.
+        """
+        yield from self.zk.connect()
+        yield from self._ensure_initialized()
+        try:
+            yield from self.zk.create(ZkLayout.real_node(self.name), b"",
+                                      ephemeral=True)
+        except NodeExistsError:
+            pass  # stale ephemeral from a fast restart; session replaces it
+        yield from self.cache.load_full()
+        yield from self._acquire_vnodes()
+        self.cache.start_lease_loop()
+        self.sim.process(self._imbalance_pusher(),
+                         name=f"{self.name}-imbalance")
+        self.persistence.start(self.sim, self._rows_for_persistence)
+        recovered = self.persistence.recover()
+        for key, elements in recovered.items():
+            self.store.merge_elements(key, elements)
+            self._index_key(key)
+        self.running = True
+        return self.name
+
+    def _rows_for_persistence(self) -> dict:
+        return {key: list(row.elements)
+                for key, row in self.store.rows.items()}
+
+    def _ensure_initialized(self):
+        """First node creates the whole /sedna namespace (§III.E: 'it
+        only happens once when the Sedna cluster firstly starts up')."""
+        try:
+            yield from self.zk.create(ZkLayout.ROOT, b"")
+            initializer = True
+        except NodeExistsError:
+            initializer = False
+        if initializer:
+            for path in (ZkLayout.REAL_NODES, ZkLayout.VNODES,
+                         ZkLayout.CHANGELOG, ZkLayout.IMBALANCE):
+                yield from self.zk.create(path, b"")
+            for vnode_id in range(self.config.num_vnodes):
+                yield from self.zk.create(ZkLayout.vnode(vnode_id), b"")
+            yield from self.zk.create(
+                ZkLayout.CONFIG,
+                str(self.config.num_vnodes).encode())
+            return
+        # Someone else is initializing: wait for the config marker.
+        while True:
+            stat = yield from self.zk.exists(ZkLayout.CONFIG)
+            if stat is not None:
+                return
+            yield self.sim.timeout(0.2)
+
+    def _acquire_vnodes(self):
+        """Claim a fair share of virtual nodes, concurrently (§III.D)."""
+        live = yield from self.zk.get_children(ZkLayout.REAL_NODES)
+        target = max(1, math.ceil(self.config.num_vnodes / max(1, len(live))))
+        counts = self.cache.ring.load_counts()
+        mine = len(self.cache.ring.vnodes_of(self.name))
+        # Work list: unassigned vnodes first, then vnodes of overloaded owners.
+        candidates = self.cache.ring.unassigned()
+        overloaded = [v for v, owner in enumerate(self.cache.ring.assignment)
+                      if owner not in (Ring.UNASSIGNED, self.name)
+                      and counts.get(owner, 0) > target]
+        candidates.extend(overloaded)
+        queue = list(reversed(candidates))
+        state = {"mine": mine}
+
+        def worker():
+            while queue and state["mine"] < target:
+                vnode_id = queue.pop()
+                claimed = yield from self._try_claim(vnode_id, target)
+                if claimed:
+                    state["mine"] += 1
+
+        workers = [self.sim.process(worker(), name=f"{self.name}-acq{i}")
+                   for i in range(self.config.retrieval_threads)]
+        for proc in workers:
+            yield proc
+
+    def _try_claim(self, vnode_id: int, target: int):
+        """Version-checked claim of one vnode; True on success."""
+        try:
+            data, stat = yield from self.zk.get(ZkLayout.vnode(vnode_id))
+        except NoNodeError:
+            return False
+        owner = data.decode()
+        if owner == self.name:
+            self.cache.ring.assign(vnode_id, owner)
+            return False
+        if owner != Ring.UNASSIGNED:
+            counts = self.cache.ring.load_counts()
+            if counts.get(owner, 0) <= target:
+                return False  # no longer overloaded
+        try:
+            yield from self.zk.set(ZkLayout.vnode(vnode_id),
+                                   self.name.encode(),
+                                   version=stat["version"])
+        except (BadVersionError, NoNodeError):
+            return False  # raced with another joiner
+        yield from self._log_change(vnode_id)
+        self.cache.ring.assign(vnode_id, self.name)
+        self.vnode_status.setdefault(vnode_id, VnodeStatus())
+        if owner != Ring.UNASSIGNED:
+            yield from self._pull_vnode(vnode_id, owner)
+        return True
+
+    def _log_change(self, vnode_id: int):
+        """Append a changelog entry so caches can refresh incrementally."""
+        yield from self.zk.create(f"{ZkLayout.CHANGELOG}/e-",
+                                  str(vnode_id).encode(), sequential=True)
+
+    def _pull_vnode(self, vnode_id: int, source: str):
+        """Copy a vnode's rows from ``source`` into the local store."""
+        try:
+            result = yield from self.rpc.call(
+                source, "replica.transfer", {"vnode": vnode_id},
+                timeout=self.config.request_timeout * 4)
+        except (RpcTimeout, RpcRejected):
+            return False
+        for key, blob in result["rows"].items():
+            self._merge_durably(key, unwire_elements(blob))
+        return True
+
+    def _merge_durably(self, key: str, elements: list[ValueElement]) -> None:
+        """Merge foreign elements and log them to persistence — migrated
+        replicas must survive a power loss just like written ones."""
+        self.store.merge_elements(key, elements)
+        self._index_key(key)
+        for element in elements:
+            self.persistence.on_write(key, element)
+
+    def _imbalance_pusher(self):
+        """Periodically publish this node's imbalance-table row (§III.B)."""
+        path = ZkLayout.imbalance(self.name)
+        while True:
+            yield self.sim.timeout(self.config.imbalance_push_interval)
+            if not (self.running and self.rpc.endpoint.up):
+                return
+            row = ImbalanceTable.row_from_statuses(self.vnode_status)
+            # Ownership comes from the (lease-synced) ring, not from the
+            # touched-vnode statuses — a node may own cold vnodes.
+            row["vnodes"] = len(self.cache.ring.vnodes_of(self.name))
+            payload = repr(row).encode()
+            try:
+                yield from self.zk.set(path, payload)
+            except NoNodeError:
+                try:
+                    yield from self.zk.create(path, payload)
+                except (NodeExistsError, NoNodeError):
+                    pass
+            except (RpcTimeout, RpcRejected):
+                pass
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Kill the node: memory gone, endpoints dark, disk survives."""
+        self.running = False
+        self.rpc.endpoint.crash()
+        self.zk.crash()
+        self.cache.stop()
+        self.persistence.stop()
+
+    def restart(self):
+        """Restart after a crash: fresh memory, recover from disk, rejoin.
+
+        Run as ``yield from node.restart()``.
+        """
+        self.rpc.endpoint.restart()
+        self.zk.rpc.endpoint.restart()
+        self.zk.session_id = None
+        self.zk.expired = False
+        self.store = VersionedStore(clock=lambda: self.sim.now)
+        self.vnode_keys = {}
+        self.vnode_status = {}
+        self.cache = MappingCache(self.sim, self.zk, self.config)
+        self.coordinator.cache = self.cache
+        self.persistence = make_strategy(self.config.persistence, self.disk,
+                                         self.name,
+                                         self.config.snapshot_interval)
+        yield from self.join()
+
+    # ------------------------------------------------------------------
+    # Local indexing helpers
+    # ------------------------------------------------------------------
+    def _index_key(self, key: str) -> None:
+        vnode_id = self.cache.ring.vnode_of(key)
+        self.vnode_keys.setdefault(vnode_id, set()).add(key)
+        status = self.vnode_status.setdefault(vnode_id, VnodeStatus())
+        status.keys = len(self.vnode_keys[vnode_id])
+
+    def _status(self, vnode_id: int) -> VnodeStatus:
+        return self.vnode_status.setdefault(vnode_id, VnodeStatus())
+
+    # ------------------------------------------------------------------
+    # Replica-side handlers (the storage plane)
+    # ------------------------------------------------------------------
+    def _owns(self, vnode_id: int) -> bool:
+        replicas = self.cache.ring.replicas_for(vnode_id,
+                                                self.config.replicas)
+        return self.name in replicas
+
+    def _h_replica_write(self, src: str, args: Any):
+        vnode_id = args["vnode"]
+        if self.cache.loaded and not self._owns(vnode_id):
+            # Our mapping may be stale too: re-read it while refusing
+            # (§III.E strategy 1 works on both sides of the RPC).
+            self.sim.process(self.cache.invalidate(vnode_id))
+            raise RpcRejected("not-owner")
+        self.replica_writes += 1
+        key = args["key"]
+        element = ValueElement(args["source"], args["ts"], args["value"])
+        if args["mode"] == "latest":
+            status = self.store.write_latest(key, element.value,
+                                             element.timestamp, element.source)
+        else:
+            status = self.store.write_all(key, element.value,
+                                          element.timestamp, element.source)
+        self._index_key(key)
+        stat = self._status(vnode_id)
+        stat.writes += 1
+        if status == WriteOutcome.OK:
+            self.persistence.on_write(key, element)
+        delay = self.persistence.write_delay()
+        if delay > 0.0:
+            ev = self.sim.event()
+            self.sim.schedule_callback(
+                delay, lambda: ev.succeed({"status": status}))
+            return ev
+        return {"status": status}
+
+    def _h_replica_read(self, src: str, args: Any):
+        vnode_id = args["vnode"]
+        if self.cache.loaded and not self._owns(vnode_id):
+            self.sim.process(self.cache.invalidate(vnode_id))
+            raise RpcRejected("not-owner")
+        self.replica_reads += 1
+        self._status(vnode_id).reads += 1
+        elements = self.store.read_all(args["key"])
+        return {"elements": wire_elements(elements)}
+
+    def _h_replica_delete(self, src: str, args: Any):
+        self.store.delete(args["key"])
+        vnode_id = args["vnode"]
+        keys = self.vnode_keys.get(vnode_id)
+        if keys is not None:
+            keys.discard(args["key"])
+        return {"status": "ok"}
+
+    def _h_replica_transfer(self, src: str, args: Any):
+        """Ship every row of one vnode (re-duplication / rebalance)."""
+        vnode_id = args["vnode"]
+        keys = self.vnode_keys.get(vnode_id, set())
+        rows = {}
+        for key in keys:
+            elements = self.store.read_all(key)
+            if elements:
+                rows[key] = wire_elements(elements)
+        return {"rows": rows}
+
+    def _h_replica_install(self, src: str, args: Any):
+        """Receive a vnode's rows (the re-duplication target side)."""
+        for key, blob in args["rows"].items():
+            self._merge_durably(key, unwire_elements(blob))
+        return {"status": "ok", "installed": len(args["rows"])}
+
+    def _h_replica_repair(self, src: str, args: Any):
+        """Read-repair: merge the coordinator's freshest elements."""
+        self.repairs += 1
+        self._merge_durably(args["key"], unwire_elements(args["elements"]))
+        return {"status": "ok"}
+
+    def vnode_digest(self, vnode_id: int) -> dict[str, list[tuple]]:
+        """Per-key version vectors of one vnode: key -> [(source, ts)].
+
+        The anti-entropy exchange compares digests instead of shipping
+        whole vnodes, so a quiet cluster syncs for metadata cost only.
+        """
+        digest: dict[str, list[tuple]] = {}
+        for key in self.vnode_keys.get(vnode_id, set()):
+            elements = self.store.read_all(key)
+            if elements:
+                digest[key] = sorted((e.source, e.timestamp)
+                                     for e in elements)
+        return digest
+
+    def _h_replica_digest(self, src: str, args: Any):
+        """Anti-entropy: report this replica's digest for a vnode."""
+        return {"digest": self.vnode_digest(args["vnode"])}
+
+    def _h_replica_fetch(self, src: str, args: Any):
+        """Anti-entropy: ship the requested keys' full rows."""
+        rows = {}
+        for key in args["keys"]:
+            elements = self.store.read_all(key)
+            if elements:
+                rows[key] = wire_elements(elements)
+        return {"rows": rows}
+
+    # ------------------------------------------------------------------
+    # Coordinator plumbing
+    # ------------------------------------------------------------------
+    def _local_dispatch(self, method: str, args: Any) -> Event:
+        """Replica op against ourselves: skip the network, still pay the
+        local store-op cost."""
+        ev = self.sim.event()
+
+        def run() -> None:
+            handler = self.rpc._handlers[method]
+            try:
+                result = handler(self.name, args)
+            except RpcRejected as rej:
+                ev.fail(rej)
+                return
+            if isinstance(result, Event):
+                def finish(inner: Event) -> None:
+                    if inner.ok:
+                        ev.succeed(inner.value)
+                    else:
+                        ev.fail(inner.value)
+                if result.callbacks is None:
+                    finish(result)
+                else:
+                    result.callbacks.append(finish)
+            else:
+                ev.succeed(result)
+
+        self.sim.schedule_callback(LOCAL_STORE_OP, run)
+        return ev
+
+    def _deferred(self, gen, label: str) -> Event:
+        """Run ``gen`` as a process whose outcome feeds a fresh event."""
+        result = self.sim.event()
+
+        def runner():
+            try:
+                value = yield from gen
+            except Exception as err:  # surfaces as 'refuse' to the caller
+                if not result.triggered:
+                    result.fail(err if isinstance(err, RpcRejected)
+                                else RpcRejected(repr(err)))
+                return
+            if not result.triggered:
+                result.succeed(value)
+
+        self.sim.process(runner(), name=f"{self.name}-{label}")
+        return result
+
+    # -- coordinator handlers (the client-facing plane) --------------------
+    def _h_write(self, src: str, args: Any) -> Event:
+        return self._deferred(self.coordinator.coordinate_write(args),
+                              "coord-write")
+
+    def _h_read(self, src: str, args: Any) -> Event:
+        return self._deferred(self.coordinator.coordinate_read(args),
+                              "coord-read")
+
+    def _h_delete(self, src: str, args: Any) -> Event:
+        return self._deferred(self.coordinator.coordinate_delete(args),
+                              "coord-delete")
+
+    # ------------------------------------------------------------------
+    # Lazy failure recovery (§III.C–D)
+    # ------------------------------------------------------------------
+    def _maybe_investigate(self, suspect: str, vnode_id: int) -> None:
+        """Schedule an asynchronous investigation of a failed replica."""
+        if suspect == self.name or not self.running:
+            return
+        token = (suspect, vnode_id)
+        if token in self._investigating:
+            return
+        self._investigating.add(token)
+        self.investigations += 1
+        self.sim.process(self._investigate(suspect, vnode_id),
+                         name=f"{self.name}-investigate-{suspect}")
+
+    def _investigate(self, suspect: str, vnode_id: int):
+        try:
+            # "check their existence by asking the ZooKeeper service"
+            try:
+                stat = yield from self.zk.exists(ZkLayout.real_node(suspect))
+            except (RpcTimeout, RpcRejected):
+                return
+            if stat is not None:
+                return  # alive: transient hiccup, nothing to do (§III.D)
+            yield from self._recover_vnode(suspect, vnode_id)
+        finally:
+            self._investigating.discard((suspect, vnode_id))
+
+    def _recover_vnode(self, dead: str, vnode_id: int):
+        """Rewrite the assignment entries that placed ``dead`` in this
+        vnode's replica set, then re-duplicate the data (§III.C)."""
+        positions = self.cache.ring.walk_positions(vnode_id,
+                                                   self.config.replicas)
+        old_members = {owner for _v, owner in positions}
+        dead_positions = [v for v, owner in positions if owner == dead]
+        if not dead_positions:
+            return
+        try:
+            live = yield from self.zk.get_children(ZkLayout.REAL_NODES)
+        except (RpcTimeout, RpcRejected, NoNodeError):
+            return
+        current_owners = {owner for _v, owner in positions if owner != dead}
+        candidates = [n for n in live
+                      if n != dead and n not in current_owners]
+        if not candidates:
+            candidates = [n for n in live if n != dead]
+        if not candidates:
+            return
+        counts = self.cache.ring.load_counts()
+        candidates.sort(key=lambda n: (counts.get(n, 0), n))
+        for position in dead_positions:
+            replacement = candidates[0]
+            moved = yield from self._reassign(position, dead, replacement)
+            if moved:
+                self.recoveries += 1
+        # Whoever newly entered *this vnode's* replica set needs this
+        # vnode's rows — not the rows of the reassigned position: when
+        # the dead node was a successor replica, the two differ.
+        new_replicas = self.cache.ring.replicas_for(vnode_id,
+                                                    self.config.replicas)
+        for member in new_replicas:
+            if member not in old_members:
+                yield from self._reduplicate(vnode_id, member)
+
+    def _reassign(self, vnode_id: int, expected_owner: str,
+                  replacement: str):
+        """Version-checked ownership rewrite in ZooKeeper + changelog."""
+        try:
+            data, stat = yield from self.zk.get(ZkLayout.vnode(vnode_id))
+        except (NoNodeError, RpcTimeout, RpcRejected):
+            return False
+        if data.decode() != expected_owner:
+            # Someone else already recovered it; adopt their choice.
+            self.cache.ring.assign(vnode_id, data.decode())
+            return False
+        try:
+            yield from self.zk.set(ZkLayout.vnode(vnode_id),
+                                   replacement.encode(),
+                                   version=stat["version"])
+        except (BadVersionError, NoNodeError, RpcTimeout, RpcRejected):
+            return False
+        yield from self._log_change(vnode_id)
+        self.cache.ring.assign(vnode_id, replacement)
+        return True
+
+    def _reduplicate(self, vnode_id: int, target: str):
+        """Copy the vnode's rows to its new owner from a healthy copy."""
+        if target == self.name:
+            # We took the vnode over ourselves: pull from any other
+            # member of the (new) replica set.
+            replicas = self.cache.ring.replicas_for(vnode_id,
+                                                    self.config.replicas)
+            for source in replicas:
+                if source == self.name:
+                    continue
+                pulled = yield from self._pull_vnode(vnode_id, source)
+                if pulled:
+                    return
+            return
+        keys = self.vnode_keys.get(vnode_id, set())
+        if keys:
+            rows = {}
+            for key in keys:
+                elements = self.store.read_all(key)
+                if elements:
+                    rows[key] = wire_elements(elements)
+            try:
+                yield from self.rpc.call(
+                    target, "replica.install",
+                    {"vnode": vnode_id, "rows": rows},
+                    timeout=self.config.request_timeout * 4)
+            except (RpcTimeout, RpcRejected):
+                pass
+            return
+        # We hold nothing for the vnode: ask another live replica to push.
+        replicas = self.cache.ring.replicas_for(vnode_id,
+                                                self.config.replicas)
+        for source in replicas:
+            if source in (target, self.name):
+                continue
+            try:
+                result = yield from self.rpc.call(
+                    source, "replica.transfer", {"vnode": vnode_id},
+                    timeout=self.config.request_timeout * 4)
+            except (RpcTimeout, RpcRejected):
+                continue
+            try:
+                yield from self.rpc.call(
+                    target, "replica.install",
+                    {"vnode": vnode_id, "rows": result["rows"]},
+                    timeout=self.config.request_timeout * 4)
+            except (RpcTimeout, RpcRejected):
+                continue
+            return
+
+    def reconcile_vnode(self, vnode_id: int):
+        """Digest-reconcile one vnode with its other replicas.
+
+        Pulls versions peers dominate us on, pushes versions we
+        dominate them on (newest-per-source merge both ways).  Shared
+        by the anti-entropy manager's periodic passes and the active
+        detector's post-recovery data repair.  Returns
+        ``(keys_pulled, keys_pushed)``.
+        """
+        from .antientropy import digest_diff  # local import: no cycle
+        replicas = self.cache.ring.replicas_for(vnode_id,
+                                                self.config.replicas)
+        peers = [r for r in replicas if r != self.name]
+        mine = self.vnode_digest(vnode_id)
+        pulled = 0
+        pushed = 0
+        for peer in peers:
+            try:
+                reply = yield from self.rpc.call(
+                    peer, "replica.digest", {"vnode": vnode_id},
+                    timeout=self.config.request_timeout)
+            except (RpcTimeout, RpcRejected):
+                continue
+            theirs = reply["digest"]
+            pull, push = digest_diff(mine, theirs)
+            if pull:
+                try:
+                    fetched = yield from self.rpc.call(
+                        peer, "replica.fetch",
+                        {"vnode": vnode_id, "keys": pull},
+                        timeout=self.config.request_timeout * 2)
+                except (RpcTimeout, RpcRejected):
+                    fetched = None
+                if fetched is not None:
+                    for key, blob in fetched["rows"].items():
+                        self._merge_durably(key, unwire_elements(blob))
+                        pulled += 1
+                    mine = self.vnode_digest(vnode_id)
+            if push:
+                rows = {}
+                for key in push:
+                    elements = self.store.read_all(key)
+                    if elements:
+                        rows[key] = wire_elements(elements)
+                if rows:
+                    try:
+                        yield from self.rpc.call(
+                            peer, "replica.install",
+                            {"vnode": vnode_id, "rows": rows},
+                            timeout=self.config.request_timeout * 2)
+                        pushed += len(rows)
+                    except (RpcTimeout, RpcRejected):
+                        continue
+        return pulled, pushed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def coordinated_writes(self) -> int:
+        """Writes this node coordinated (delegated counter)."""
+        return self.coordinator.coordinated_writes
+
+    @property
+    def coordinated_reads(self) -> int:
+        """Reads this node coordinated (delegated counter)."""
+        return self.coordinator.coordinated_reads
+
+    def stats(self) -> dict:
+        """Per-node counters for the harness."""
+        return {
+            "name": self.name,
+            "running": self.running,
+            "keys": len(self.store),
+            "vnodes": len(self.cache.ring.vnodes_of(self.name)),
+            "coordinated_writes": self.coordinated_writes,
+            "coordinated_reads": self.coordinated_reads,
+            "replica_writes": self.replica_writes,
+            "replica_reads": self.replica_reads,
+            "investigations": self.investigations,
+            "recoveries": self.recoveries,
+            "repairs": self.repairs,
+        }

@@ -1,0 +1,188 @@
+"""Data-balance manager — one of the pluggable cluster-status modules.
+
+§III.A: "the top layer cluster status manager layer ... contains
+components which are pluggable modules providing different
+functionalities, like replica management, nodes management, data
+balance, etc."  §III.B supplies its input: the per-real-node imbalance
+table computed from virtual-node statuses and pushed to ZooKeeper
+("this information is calculated and stored locally, and periodically
+updated to ZooKeeper").
+
+:class:`Rebalancer` attaches to any Sedna node and periodically:
+
+1. reads the imbalance rows from ``/sedna/imbalance`` and the live
+   membership from ``/sedna/real_nodes``;
+2. drops rows of departed nodes;
+3. when the vnode spread exceeds ``threshold``, moves vnodes from the
+   most- to the least-loaded node with version-checked assignment
+   rewrites (safe under concurrent rebalancers), changelog entries, and
+   an explicit data transfer old-owner → new-owner.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..net.rpc import RpcRejected, RpcTimeout
+from ..zk.znode import BadVersionError, NoNodeError
+from .cache import ZkLayout
+from .hashring import ImbalanceTable
+from .node import SednaNode
+
+__all__ = ["Rebalancer"]
+
+
+class Rebalancer:
+    """Periodic vnode-balance process hosted on one Sedna node.
+
+    Parameters
+    ----------
+    node:
+        Host node; its ZooKeeper client, RPC endpoint and mapping cache
+        are reused.
+    interval:
+        Seconds between balance passes.
+    threshold:
+        Minimum (max - min) vnode-count spread before moving anything.
+    max_moves_per_pass:
+        Upper bound on vnode moves per pass (gradual rebalancing keeps
+        the change-log churn within what the adaptive lease absorbs).
+    """
+
+    def __init__(self, node: SednaNode, interval: float = 5.0,
+                 threshold: int = 2, max_moves_per_pass: int = 4):
+        self.node = node
+        self.sim = node.sim
+        self.interval = interval
+        self.threshold = threshold
+        self.max_moves_per_pass = max_moves_per_pass
+        self.running = False
+        # Stats.
+        self.passes = 0
+        self.moves = 0
+        self.rows_dropped = 0
+
+    def start(self) -> None:
+        """Spawn the balance loop."""
+        if self.running:
+            return
+        self.running = True
+        self.sim.process(self._loop(), name=f"{self.node.name}-rebalance")
+
+    def stop(self) -> None:
+        """Stop at the next wakeup."""
+        self.running = False
+
+    # ------------------------------------------------------------------
+    def _loop(self):
+        while self.running and self.node.running:
+            yield self.sim.timeout(self.interval)
+            if not (self.running and self.node.running):
+                return
+            try:
+                yield from self.run_pass()
+            except (RpcTimeout, RpcRejected, NoNodeError):
+                continue
+
+    def read_table(self):
+        """Fetch the imbalance table and prune departed nodes' rows."""
+        zk = self.node.zk
+        table = ImbalanceTable()
+        live = yield from zk.get_children(ZkLayout.REAL_NODES)
+        live_set = set(live)
+        try:
+            rows = yield from zk.get_children(ZkLayout.IMBALANCE)
+        except NoNodeError:
+            return table, live_set
+        for name in rows:
+            if name not in live_set:
+                try:
+                    yield from zk.delete(f"{ZkLayout.IMBALANCE}/{name}")
+                    self.rows_dropped += 1
+                except (NoNodeError, BadVersionError):
+                    pass
+                continue
+            try:
+                data, _ = yield from zk.get(f"{ZkLayout.IMBALANCE}/{name}")
+            except NoNodeError:
+                continue
+            try:
+                table.update(name, ast.literal_eval(data.decode()))
+            except (ValueError, SyntaxError):
+                continue
+        return table, live_set
+
+    def run_pass(self):
+        """One balance pass; returns the number of vnodes moved."""
+        self.passes += 1
+        table, live = yield from self.read_table()
+        if len(table.rows) < 2:
+            return 0
+        # Ownership counts come from the host's lease-synced ring — the
+        # imbalance rows lag by up to a push interval, and acting on
+        # stale counts makes concurrent rebalancers thrash; the table
+        # still supplies the activity metrics (keys/reads/writes).
+        ring_counts = self.node.cache.ring.load_counts()
+        for name in table.rows:
+            if name in ring_counts:
+                table.rows[name]["vnodes"] = ring_counts[name]
+        moved = 0
+        for _ in range(self.max_moves_per_pass):
+            donor = table.most_loaded("vnodes")
+            receiver = table.least_loaded("vnodes")
+            if donor is None or receiver is None or donor == receiver:
+                break
+            spread = (table.rows[donor]["vnodes"]
+                      - table.rows[receiver]["vnodes"])
+            if spread <= self.threshold:
+                break
+            vnode_id = self._pick_vnode(donor)
+            if vnode_id is None:
+                break
+            ok = yield from self._move(vnode_id, donor, receiver)
+            if ok:
+                moved += 1
+                self.moves += 1
+                table.rows[donor]["vnodes"] -= 1
+                table.rows[receiver]["vnodes"] += 1
+            else:
+                break
+        return moved
+
+    def _pick_vnode(self, donor: str) -> Optional[int]:
+        """A vnode of the donor, per our cached ring (approximate)."""
+        owned = self.node.cache.ring.vnodes_of(donor)
+        return owned[0] if owned else None
+
+    def _move(self, vnode_id: int, donor: str, receiver: str):
+        """Version-checked reassignment plus data transfer."""
+        zk = self.node.zk
+        try:
+            data, stat = yield from zk.get(ZkLayout.vnode(vnode_id))
+        except NoNodeError:
+            return False
+        if data.decode() != donor:
+            self.node.cache.ring.assign(vnode_id, data.decode())
+            return False
+        try:
+            yield from zk.set(ZkLayout.vnode(vnode_id), receiver.encode(),
+                              version=stat["version"])
+        except (BadVersionError, NoNodeError):
+            return False
+        yield from zk.create(f"{ZkLayout.CHANGELOG}/e-",
+                             str(vnode_id).encode(), sequential=True)
+        self.node.cache.ring.assign(vnode_id, receiver)
+        # Ship the vnode's rows donor -> receiver.
+        rpc = self.node.rpc
+        try:
+            result = yield from rpc.call(
+                donor, "replica.transfer", {"vnode": vnode_id},
+                timeout=self.node.config.request_timeout * 4)
+            yield from rpc.call(
+                receiver, "replica.install",
+                {"vnode": vnode_id, "rows": result["rows"]},
+                timeout=self.node.config.request_timeout * 4)
+        except (RpcTimeout, RpcRejected):
+            pass  # the read path's lazy repair will finish the job
+        return True

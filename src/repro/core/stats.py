@@ -1,0 +1,73 @@
+"""Measurement helpers shared by tests and the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["summarize", "percentile", "LatencySeries"]
+
+
+def percentile(values: list[float], pct: float) -> float:
+    """The ``pct`` percentile (0-100) by linear interpolation."""
+    if not values:
+        raise ValueError("empty series")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def summarize(values: Iterable[float]) -> dict:
+    """count/mean/min/max/p50/p95/p99 of a latency series (seconds)."""
+    data = list(values)
+    if not data:
+        return {"count": 0}
+    return {
+        "count": len(data),
+        "mean": sum(data) / len(data),
+        "min": min(data),
+        "max": max(data),
+        "p50": percentile(data, 50),
+        "p95": percentile(data, 95),
+        "p99": percentile(data, 99),
+        "total": sum(data),
+    }
+
+
+class LatencySeries:
+    """Accumulates (op_index, cumulative_ms) points — the exact series
+    the paper's Fig. 7/8 plot (cumulative time spent vs. operations)."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.points: list[tuple[int, float]] = []
+        self._total = 0.0
+        self._count = 0
+
+    def record(self, latency_s: float, every: int = 1000) -> None:
+        """Add one operation; sample a plot point every ``every`` ops."""
+        self._total += latency_s
+        self._count += 1
+        if self._count % every == 0:
+            self.points.append((self._count, self._total * 1e3))
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total_ms(self) -> float:
+        """Cumulative time spent, in milliseconds (the Fig. 7 y-axis)."""
+        return self._total * 1e3
+
+    def finish(self) -> None:
+        """Force a final plot point at the true count."""
+        if not self.points or self.points[-1][0] != self._count:
+            self.points.append((self._count, self.total_ms))

@@ -1,0 +1,74 @@
+"""Key model: the hierarchical data space.
+
+"Though original key-value is a flatten database, we can add extra
+information in the 'key' part to represent hierarchical data space"
+(§II.A.1) — Sedna extends the key implicitly so the namespace is
+
+    dataset / table / key
+
+and triggers can monitor a single pair, a whole Table, or a whole
+Dataset (§IV.C).  :class:`FullKey` is the canonical encoded form used
+everywhere in the core and the trigger runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FullKey", "DEFAULT_DATASET", "DEFAULT_TABLE"]
+
+DEFAULT_DATASET = "default"
+DEFAULT_TABLE = "default"
+
+_SEP = "\x1f"  # unit separator: cannot appear in user components
+
+
+@dataclass(frozen=True, order=True)
+class FullKey:
+    """A fully qualified key in the hierarchical data space."""
+
+    dataset: str
+    table: str
+    key: str
+
+    def __post_init__(self):
+        for part, name in ((self.dataset, "dataset"), (self.table, "table"),
+                           (self.key, "key")):
+            if _SEP in part:
+                raise ValueError(f"{name} may not contain the separator byte")
+            if not part:
+                raise ValueError(f"{name} must be non-empty")
+
+    @classmethod
+    def of(cls, key: str, table: str = DEFAULT_TABLE,
+           dataset: str = DEFAULT_DATASET) -> "FullKey":
+        """Convenience constructor with defaulted table/dataset."""
+        return cls(dataset=dataset, table=table, key=key)
+
+    def encoded(self) -> str:
+        """Wire/storage form — the implicitly extended key of §II.A."""
+        return f"{self.dataset}{_SEP}{self.table}{_SEP}{self.key}"
+
+    @classmethod
+    def decode(cls, encoded: str) -> "FullKey":
+        """Inverse of :meth:`encoded`."""
+        dataset, table, key = encoded.split(_SEP, 2)
+        return cls(dataset=dataset, table=table, key=key)
+
+    def table_prefix(self) -> str:
+        """Prefix matching every key of this (dataset, table)."""
+        return f"{self.dataset}{_SEP}{self.table}{_SEP}"
+
+    def dataset_prefix(self) -> str:
+        """Prefix matching every key of this dataset."""
+        return f"{self.dataset}{_SEP}"
+
+    @staticmethod
+    def prefix_for(dataset: str, table: str | None = None) -> str:
+        """Prefix for monitoring a Table or a whole Dataset (§IV.C)."""
+        if table is None:
+            return f"{dataset}{_SEP}"
+        return f"{dataset}{_SEP}{table}{_SEP}"
+
+    def __str__(self) -> str:
+        return f"{self.dataset}/{self.table}/{self.key}"

@@ -1,0 +1,5 @@
+"""Distributed shared memory helpers over the Sedna store (§II.B)."""
+
+from .region import SharedCounter, SharedSet, SharedValue
+
+__all__ = ["SharedCounter", "SharedSet", "SharedValue"]

@@ -1,0 +1,159 @@
+"""Distributed shared memory over the Sedna KV store (§II.B).
+
+"Besides, Sedna provides distributed shared memory to help users write
+realtime applications or streaming processing applications."  The paper
+does not detail this API, so we build the natural one on top of the
+primitives it *does* define — and the interesting part is that
+``write_all``'s per-source value lists give us conflict-free
+replicated data types for free:
+
+* :class:`SharedValue` — a last-write-wins register (``write_latest``).
+* :class:`SharedCounter` — a grow-only/PN counter: each writer owns its
+  element of the value list (its local tally); the merged value is the
+  sum.  Concurrent increments from different processes never conflict,
+  exactly because ``write_all`` only compares timestamps *per source*
+  (§III.F).
+* :class:`SharedSet` — an observed-add set: each writer contributes its
+  own element set; the merged set is the union.
+
+All operations are generator helpers (``yield from``) like the rest of
+the client API.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..core.types import DEFAULT_DATASET
+
+__all__ = ["SharedValue", "SharedCounter", "SharedSet"]
+
+_TABLE = "__dsm__"
+
+
+class SharedValue:
+    """A named last-write-wins register shared by all clients.
+
+    ::
+
+        reg = SharedValue(client, "config/mode")
+        yield from reg.set("fast")
+        mode = yield from reg.get()
+    """
+
+    def __init__(self, client, name: str, dataset: str = DEFAULT_DATASET):
+        self.client = client
+        self.name = name
+        self.dataset = dataset
+
+    def set(self, value: Any):
+        """Replace the register's value (LWW across writers)."""
+        status = yield from self.client.write_latest(
+            self.name, value, table=_TABLE, dataset=self.dataset)
+        return status
+
+    def get(self, default: Any = None):
+        """The freshest value, or ``default`` when never set."""
+        value = yield from self.client.read_latest(
+            self.name, table=_TABLE, dataset=self.dataset)
+        return default if value is None else value
+
+
+class SharedCounter:
+    """A distributed counter safe under concurrent writers.
+
+    Implemented as a PN-counter over ``write_all``: this client's
+    element of the value list holds ``(increments, decrements)`` — its
+    own contribution only — so no two writers ever race.  The read path
+    sums all elements.
+    """
+
+    def __init__(self, client, name: str, dataset: str = DEFAULT_DATASET):
+        self.client = client
+        self.name = name
+        self.dataset = dataset
+        self._local = [0, 0]  # [increments, decrements] by this client
+
+    def _flush(self):
+        status = yield from self.client.write_all(
+            self.name, tuple(self._local), table=_TABLE,
+            dataset=self.dataset)
+        return status
+
+    def increment(self, amount: int = 1):
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("use decrement for negative deltas")
+        self._local[0] += amount
+        result = yield from self._flush()
+        return result
+
+    def decrement(self, amount: int = 1):
+        """Subtract ``amount`` (>= 0) from the counter."""
+        if amount < 0:
+            raise ValueError("decrement takes a non-negative amount")
+        self._local[1] += amount
+        result = yield from self._flush()
+        return result
+
+    def value(self):
+        """The merged counter value across every writer."""
+        elements = yield from self.client.read_all(
+            self.name, table=_TABLE, dataset=self.dataset)
+        total = 0
+        for el in elements:
+            inc, dec = el.value
+            total += inc - dec
+        return total
+
+
+class SharedSet:
+    """A distributed add-only set (union across writers).
+
+    Each writer's value-list element carries the members *it* added;
+    readers see the union.  Removal would need tombstones — the paper's
+    realtime use cases (seen-ids, member lists) are add-dominated, so
+    we keep the CRDT simple and document the limit.
+    """
+
+    def __init__(self, client, name: str, dataset: str = DEFAULT_DATASET):
+        self.client = client
+        self.name = name
+        self.dataset = dataset
+        self._local: list = []
+
+    def add(self, member):
+        """Insert ``member`` (idempotent for this writer)."""
+        if member not in self._local:
+            self._local.append(member)
+        status = yield from self.client.write_all(
+            self.name, list(self._local), table=_TABLE, dataset=self.dataset)
+        return status
+
+    def add_many(self, members: Iterable):
+        """Insert several members with a single replicated write."""
+        for member in members:
+            if member not in self._local:
+                self._local.append(member)
+        status = yield from self.client.write_all(
+            self.name, list(self._local), table=_TABLE, dataset=self.dataset)
+        return status
+
+    def members(self):
+        """The union of every writer's contributions."""
+        elements = yield from self.client.read_all(
+            self.name, table=_TABLE, dataset=self.dataset)
+        out: list = []
+        seen = set()
+        for el in sorted(elements, key=lambda e: e.source):
+            for member in el.value:
+                marker = repr(member)
+                if marker not in seen:
+                    seen.add(marker)
+                    out.append(member)
+        return out
+
+    def contains(self, member):
+        """Membership test against the merged set."""
+        members = yield from self.members()
+        return member in members

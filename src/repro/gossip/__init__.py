@@ -1,0 +1,6 @@
+"""Gossip membership — the alternative Sedna rejects (§VII), built to
+quantify the comparison."""
+
+from .membership import GossipCluster, GossipNode
+
+__all__ = ["GossipCluster", "GossipNode"]

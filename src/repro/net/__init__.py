@@ -1,0 +1,24 @@
+"""Simulated network substrate: DES kernel, transport, RPC, failures.
+
+This package replaces the paper's physical 9-server gigabit testbed
+with a deterministic discrete-event simulation (see DESIGN.md §2 for
+the substitution rationale).
+"""
+
+from .simulator import (AllOf, AnyOf, Event, Interrupt, Process,
+                        SimulationError, Simulator, Timeout)
+from .latency import LanGigabit, LatencyModel, NoLatency, UniformLatency
+from .transport import Endpoint, Message, Network, estimate_size
+from .rpc import RpcError, RpcNode, RpcRejected, RpcTimeout, gather_quorum
+from .failure import FailureInjector, MessageLoss, Partition
+from .tap import NetworkTap, TapRecord
+
+__all__ = [
+    "AllOf", "AnyOf", "Event", "Interrupt", "Process", "SimulationError",
+    "Simulator", "Timeout",
+    "LanGigabit", "LatencyModel", "NoLatency", "UniformLatency",
+    "Endpoint", "Message", "Network", "estimate_size",
+    "RpcError", "RpcNode", "RpcRejected", "RpcTimeout", "gather_quorum",
+    "FailureInjector", "MessageLoss", "Partition",
+    "NetworkTap", "TapRecord",
+]

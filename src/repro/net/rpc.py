@@ -1,0 +1,246 @@
+"""Request/response RPC over the simulated transport.
+
+Sedna's protocol messages (replica writes, quorum reads, ZooKeeper
+calls, heartbeats) are all request/response with timeouts.  This layer
+provides:
+
+* :class:`RpcNode` — owns an endpoint, registers named handlers, and
+  issues :meth:`call`/:meth:`call_many` with per-call timeouts.
+* :class:`RpcError` / :class:`RpcTimeout` / :class:`RpcRejected` —
+  the failure vocabulary the paper uses ("timeout", "refuse").
+
+Handlers may answer synchronously (return a value), raise
+:class:`RpcRejected` (mapped to a ``refuse`` response), or return a
+:class:`~repro.net.simulator.Event` for deferred completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from .simulator import AnyOf, Event, Simulator
+from .transport import Message, Network
+
+__all__ = ["RpcError", "RpcTimeout", "RpcRejected", "RpcNode", "gather_quorum"]
+
+
+class RpcError(Exception):
+    """Base class for RPC failures."""
+
+
+class RpcTimeout(RpcError):
+    """The call did not complete within its timeout (node dead or slow)."""
+
+
+class RpcRejected(RpcError):
+    """The remote node answered ``refuse`` (paper §III.C).
+
+    ``reason`` carries the remote's explanation, e.g. ``"not-owner"``
+    after a rebalance moved a virtual node away.
+    """
+
+    def __init__(self, reason: str = ""):
+        super().__init__(reason)
+        self.reason = reason
+
+
+_REQ = "req"
+_RESP = "resp"
+_NOTIFY = "notify"
+
+
+class RpcNode:
+    """An endpoint that speaks request/response.
+
+    Parameters
+    ----------
+    network:
+        The simulated :class:`~repro.net.transport.Network`.
+    name:
+        Endpoint name (globally unique).
+    service_time:
+        Seconds of simulated CPU charged before each handler runs,
+        modelling request decode/dispatch (paper testbed calibration).
+    """
+
+    def __init__(self, network: Network, name: str, service_time: float = 0.0):
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.name = name
+        self.endpoint = network.endpoint(name)
+        self.endpoint.on_message(self._on_message)
+        self.service_time = service_time
+        self._busy_until = 0.0
+        self._handlers: dict[str, Callable[[str, Any], Any]] = {}
+        self._notify_handler: Optional[Callable[[str, Any], None]] = None
+        self._pending: dict[int, Event] = {}
+        self._ids = itertools.count(1)
+        # Stats
+        self.calls_issued = 0
+        self.calls_timed_out = 0
+        self.requests_served = 0
+
+    # -- server side ------------------------------------------------------
+    def register(self, method: str, handler: Callable[[str, Any], Any]) -> None:
+        """Register ``handler(src_name, args)`` for ``method`` requests."""
+        self._handlers[method] = handler
+
+    def _on_message(self, msg: Message) -> None:
+        kind = msg.payload.get("kind")
+        if kind == _REQ:
+            self._serve(msg)
+        elif kind == _NOTIFY:
+            if self._notify_handler is not None:
+                self._notify_handler(msg.src, msg.payload["body"])
+        elif kind == _RESP:
+            ev = self._pending.pop(msg.payload["id"], None)
+            if ev is not None and not ev.triggered:
+                status = msg.payload["status"]
+                if status == "ok":
+                    ev.succeed(msg.payload["result"])
+                else:
+                    ev.fail(RpcRejected(msg.payload.get("result", "")))
+
+    def _serve(self, msg: Message) -> None:
+        payload = msg.payload
+        method = payload["method"]
+        handler = self._handlers.get(method)
+
+        def respond(status: str, result: Any) -> None:
+            if not self.endpoint.up:
+                return
+            self.endpoint.send(msg.src, {
+                "kind": _RESP, "id": payload["id"],
+                "status": status, "result": result,
+            })
+
+        def execute() -> None:
+            self.requests_served += 1
+            if handler is None:
+                respond("refuse", f"no-such-method:{method}")
+                return
+            try:
+                result = handler(msg.src, payload["args"])
+            except RpcRejected as rej:
+                respond("refuse", rej.reason)
+                return
+            if isinstance(result, Event):
+                def finish(ev: Event) -> None:
+                    if ev.ok:
+                        respond("ok", ev.value)
+                    else:
+                        exc = ev.value
+                        respond("refuse",
+                                exc.reason if isinstance(exc, RpcRejected) else repr(exc))
+                if result.callbacks is None:
+                    finish(result)
+                else:
+                    result.callbacks.append(finish)
+            else:
+                respond("ok", result)
+
+        if self.service_time > 0.0:
+            # Single service queue: concurrent requests line up (this is
+            # what makes the paper's Fig. 8 multi-client contention
+            # reproducible — servers have finite CPU).
+            start = max(self.sim.now, self._busy_until)
+            self._busy_until = start + self.service_time
+            self.sim.schedule_callback(self._busy_until - self.sim.now,
+                                       execute)
+        else:
+            execute()
+
+    # -- one-way notifications ---------------------------------------------
+    def on_notify(self, handler: Callable[[str, Any], None]) -> None:
+        """Install ``handler(src, body)`` for one-way notifications."""
+        self._notify_handler = handler
+
+    def notify(self, dst: str, body: Any) -> None:
+        """Fire-and-forget message (watch events, heartbeats)."""
+        if not self.endpoint.up:
+            return
+        self.endpoint.send(dst, {"kind": _NOTIFY, "body": body})
+
+    # -- client side --------------------------------------------------------
+    def call_async(self, dst: str, method: str, args: Any) -> Event:
+        """Issue a request; returns an event with the result.
+
+        The event *fails* with :class:`RpcRejected` on refuse.  It never
+        times out by itself — combine with :meth:`call` or a timeout
+        race for deadline semantics.
+        """
+        call_id = next(self._ids)
+        ev = self.sim.event()
+        # RPC outcomes are always *observable*, never mandatory-to-wait:
+        # a fire-and-forget call whose reply is a refusal must not trip
+        # the kernel's unhandled-failure alarm.
+        ev.callbacks.append(lambda _e: None)
+        self._pending[call_id] = ev
+        self.calls_issued += 1
+        self.endpoint.send(dst, {
+            "kind": _REQ, "id": call_id, "method": method, "args": args,
+        })
+        return ev
+
+    def call(self, dst: str, method: str, args: Any, timeout: float):
+        """Process helper: ``result = yield from node.call(...)``.
+
+        Raises :class:`RpcTimeout` when no response arrives in
+        ``timeout`` seconds and :class:`RpcRejected` on refuse.
+        """
+        ev = self.call_async(dst, method, args)
+        deadline = self.sim.timeout(timeout)
+        yield AnyOf(self.sim, (ev, deadline))
+        if ev.triggered:
+            if ev.ok:
+                return ev.value
+            raise ev.value
+        # Timed out: forget the pending call so a late reply is ignored.
+        self.calls_timed_out += 1
+        for cid, pend in list(self._pending.items()):
+            if pend is ev:
+                del self._pending[cid]
+        ev.callbacks = None  # defuse
+        raise RpcTimeout(f"{method} to {dst} after {timeout}s")
+
+
+def gather_quorum(sim: Simulator, events: list[Event], needed: int,
+                  timeout: float):
+    """Process helper: wait until ``needed`` of ``events`` succeed.
+
+    Returns ``(successes, failures)`` where successes is a list of
+    values (length >= needed on success) and failures a list of
+    exceptions.  Raises :class:`RpcTimeout` when the deadline passes
+    first, and :class:`RpcError` when too many events failed for the
+    quorum to ever be reached.
+
+    This is the primitive behind Sedna's R/W quorum fan-out: requests
+    are issued to all N replicas in parallel and the coordinator returns
+    as soon as the quorum is met (§III.C).
+    """
+    deadline = sim.timeout(timeout)
+    successes: list[Any] = []
+    failures: list[BaseException] = []
+    pending = set(ev for ev in events)
+    while True:
+        for ev in list(pending):
+            if ev.triggered:
+                pending.discard(ev)
+                if ev.ok:
+                    successes.append(ev.value)
+                else:
+                    failures.append(ev.value)
+        if len(successes) >= needed:
+            return successes, failures
+        if len(successes) + len(pending) < needed:
+            raise RpcError(
+                f"quorum unreachable: {len(successes)} ok, "
+                f"{len(failures)} failed, needed {needed}")
+        if deadline.processed:
+            raise RpcTimeout(f"quorum {needed}/{len(events)} not met in time")
+        try:
+            yield AnyOf(sim, tuple(pending) + (deadline,))
+        except RpcError:
+            # A replica refused; loop re-scans and counts it as a failure.
+            pass

@@ -1,0 +1,434 @@
+"""Deterministic discrete-event simulation kernel.
+
+This module is the substrate every distributed component in the
+reproduction runs on.  The paper evaluated Sedna on a 9-server gigabit
+cluster; we do not have that hardware, so nodes, clients, ZooKeeper
+ensemble members and trigger scanner threads all run as *processes* on a
+single deterministic event loop whose clock is simulated time in
+seconds.
+
+The design follows the SimPy process-interaction style (generators that
+``yield`` events), but is implemented from scratch and trimmed to what
+the reproduction needs:
+
+* :class:`Event` — a one-shot occurrence that processes can wait on.
+* :class:`Timeout` — an event that fires after a simulated delay.
+* :class:`Process` — a generator-based coroutine driven by the loop.
+* :class:`AnyOf` / :class:`AllOf` — condition events for fan-in waits
+  (quorum waits, RPC-with-timeout races).
+* :class:`Simulator` — the event loop itself.
+
+Determinism: event ordering is a strict ``(time, priority, sequence)``
+total order, so two runs with the same seed produce byte-identical
+traces.  Per the HPC guides, the hot path (the heap loop) avoids
+allocation where it can and the kernel is profiled by
+``benchmarks/test_kernel_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double-trigger, yielding foreign events...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Priorities: lower runs first at equal timestamps.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts *pending*; it is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, after which its callbacks run at
+    the current simulated time.  Waiting processes resume with the
+    event's ``value`` (or have the failure exception thrown in).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_scheduled")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._scheduled = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True/False after trigger (success/failure), None before."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or the failure exception."""
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered or self._scheduled:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes get the exception thrown into them.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self._triggered or self._scheduled:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, NORMAL, 0.0)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers itself ``delay`` seconds in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        # A Timeout's outcome is known up front, but it only counts as
+        # *triggered* when its simulated instant is reached (step()).
+        self._ok = True
+        self._value = value
+        sim._schedule(self, NORMAL, delay)
+
+
+class _Initialize(Event):
+    """Internal: kicks a new process on the next loop iteration."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A generator-based coroutine.
+
+    The process *is itself an event* that triggers when the generator
+    returns (value = the ``return`` value) or raises (failure).  Other
+    processes can therefore ``yield proc`` to join it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process blocked on an event detaches it from that event first.
+        """
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is self:
+            raise SimulationError("a process cannot interrupt itself synchronously")
+        # Detach from whatever we were waiting on.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        interrupt_ev = Event(self.sim)
+        interrupt_ev.callbacks.append(self._resume)
+        interrupt_ev.fail(Interrupt(cause))
+        # Mark so _resume throws instead of sending.
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self._target = None
+        sim = self.sim
+        sim._active_process = self
+        if event is None or event._ok:
+            deliver_exc: Optional[BaseException] = None
+            deliver_val = None if event is None else event._value
+        else:
+            deliver_exc = event._value
+            deliver_val = None
+        try:
+            while True:
+                try:
+                    if deliver_exc is None:
+                        nxt = self._generator.send(deliver_val)
+                    else:
+                        nxt = self._generator.throw(deliver_exc)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    return
+                except BaseException as err:
+                    if isinstance(err, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    self.fail(err)
+                    return
+                if not isinstance(nxt, Event) or nxt.sim is not sim:
+                    deliver_exc = SimulationError(
+                        f"process {self.name!r} yielded invalid target {nxt!r}")
+                    deliver_val = None
+                    continue
+                if nxt.callbacks is None:
+                    # Already processed: resume immediately with its outcome.
+                    if nxt._ok:
+                        deliver_exc, deliver_val = None, nxt._value
+                    else:
+                        deliver_exc, deliver_val = nxt._value, None
+                    continue
+                nxt.callbacks.append(self._resume)
+                self._target = nxt
+                return
+        finally:
+            sim._active_process = None
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf`/:class:`AllOf` fan-in events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._count = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+            if self._triggered:
+                break
+
+    def _collect(self) -> dict:
+        """Outcomes of all triggered-and-successful child events so far."""
+        return {ev: ev._value for ev in self.events
+                if ev._triggered and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one child event triggers.
+
+    A failing child fails the condition.  Value is a dict of the
+    triggered children's values (there may be more than one if several
+    trigger at the same timestamp before callbacks run).
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered.
+
+    A failing child fails the condition immediately.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The deterministic event loop.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 1.0 and proc.value == "done"
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register ``generator`` as a process starting at the current time."""
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event: first child to trigger wins."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event: triggers when all children have."""
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._queue,
+                       (self.now + delay, priority, next(self._seq), event))
+
+    def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` without spawning a process."""
+        ev = self.timeout(delay)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    # -- execution -------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event.  Raises IndexError when empty."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self.now = when
+        event._triggered = True
+        callbacks = event.callbacks
+        if callbacks is None:
+            return  # defused: a waiter explicitly abandoned this event
+        event.callbacks = None
+        for cb in callbacks:
+            cb(event)
+        if event._ok is False and not callbacks and not isinstance(event, Process):
+            # A failed event nobody waited for: surface the error loudly
+            # instead of losing it (mirrors SimPy semantics).
+            raise event._value
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the loop.
+
+        * ``until=None`` — run until the queue drains.
+        * ``until=<float>`` — run until simulated time reaches it.
+        * ``until=<Event>`` — run until that event is processed and
+          return its value (re-raising on failure).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran dry before the awaited event triggered")
+                self.step()
+            if stop._ok:
+                return stop._value
+            raise stop._value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self.now:
+                raise SimulationError("cannot run into the past")
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self.now = horizon
+            return None
+        while self._queue:
+            self.step()
+        return None

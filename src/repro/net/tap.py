@@ -1,0 +1,115 @@
+"""Network tap: record message flows for assertions and debugging.
+
+Protocol tests want claims like "one quorum write costs exactly N
+replica messages" or "the ZooKeeper changelog refresh touched only two
+znodes".  :class:`NetworkTap` observes every transmitted message (via a
+pass-through filter, so nothing is dropped) and offers counting and
+querying helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .transport import Network
+
+__all__ = ["TapRecord", "NetworkTap"]
+
+
+@dataclass(frozen=True)
+class TapRecord:
+    """One observed transmission (pre-delivery, post-filter order)."""
+
+    time: float
+    src: str
+    dst: str
+    kind: str
+    method: str
+
+
+def _classify(payload: Any) -> tuple[str, str]:
+    if isinstance(payload, dict):
+        kind = payload.get("kind", "")
+        if kind == "req":
+            return "req", str(payload.get("method", ""))
+        if kind == "resp":
+            return "resp", ""
+        if kind == "notify":
+            body = payload.get("body")
+            if isinstance(body, dict):
+                return "notify", str(body.get("zk", ""))
+            return "notify", ""
+        if "bytes" in payload:
+            return "wire", ""
+    return "raw", ""
+
+
+class NetworkTap:
+    """Attachable message recorder.
+
+    ::
+
+        tap = NetworkTap(cluster.network)
+        ... run workload ...
+        assert tap.count(method="replica.write") == 3
+        tap.detach()
+    """
+
+    def __init__(self, network: Network,
+                 predicate: Optional[Callable[[TapRecord], bool]] = None):
+        self.network = network
+        self.predicate = predicate
+        self.records: list[TapRecord] = []
+        self._attached = True
+        network.add_filter(self._observe)
+
+    def _observe(self, src: str, dst: str, payload: Any) -> bool:
+        kind, method = _classify(payload)
+        record = TapRecord(time=self.network.sim.now, src=src, dst=dst,
+                           kind=kind, method=method)
+        if self.predicate is None or self.predicate(record):
+            self.records.append(record)
+        return True  # pass-through: taps never drop traffic
+
+    def detach(self) -> None:
+        """Stop recording."""
+        if self._attached:
+            self.network.remove_filter(self._observe)
+            self._attached = False
+
+    def clear(self) -> None:
+        """Forget everything recorded so far."""
+        self.records.clear()
+
+    # -- queries ----------------------------------------------------------
+    def count(self, src: Optional[str] = None, dst: Optional[str] = None,
+              kind: Optional[str] = None,
+              method: Optional[str] = None) -> int:
+        """Records matching all given criteria."""
+        return len(self.select(src=src, dst=dst, kind=kind, method=method))
+
+    def select(self, src: Optional[str] = None, dst: Optional[str] = None,
+               kind: Optional[str] = None,
+               method: Optional[str] = None) -> list[TapRecord]:
+        """Filtered view of the recorded transmissions."""
+        out = []
+        for record in self.records:
+            if src is not None and record.src != src:
+                continue
+            if dst is not None and record.dst != dst:
+                continue
+            if kind is not None and record.kind != kind:
+                continue
+            if method is not None and record.method != method:
+                continue
+            out.append(record)
+        return out
+
+    def methods_histogram(self) -> dict[str, int]:
+        """Request count per RPC method (diagnostics)."""
+        histogram: dict[str, int] = {}
+        for record in self.records:
+            if record.kind == "req":
+                histogram[record.method] = histogram.get(record.method, 0) + 1
+        return histogram

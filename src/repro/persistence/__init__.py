@@ -1,0 +1,11 @@
+"""Persistence substrate: simulated disk + flush/WAL strategies (§III.C)."""
+
+from .disk import DiskTimings, SimDisk
+from .strategy import (NoPersistence, PersistenceStrategy,
+                       SnapshotPersistence, WalPersistence, make_strategy)
+
+__all__ = [
+    "DiskTimings", "SimDisk",
+    "NoPersistence", "PersistenceStrategy", "SnapshotPersistence",
+    "WalPersistence", "make_strategy",
+]

@@ -1,0 +1,91 @@
+"""Intrusive doubly-linked LRU list.
+
+Memcached keeps one LRU list *per slab class*; eviction under memory
+pressure removes from the tail of the class that needs a chunk.  The
+store in :mod:`repro.storage.memstore` does the same, so this list is a
+hot structure: O(1) push/unlink/touch, no allocation beyond the node.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+__all__ = ["LruNode", "LruList"]
+
+
+class LruNode:
+    """A list node carrying an arbitrary ``item`` payload."""
+
+    __slots__ = ("item", "prev", "next", "owner")
+
+    def __init__(self, item: Any):
+        self.item = item
+        self.prev: Optional["LruNode"] = None
+        self.next: Optional["LruNode"] = None
+        self.owner: Optional["LruList"] = None
+
+
+class LruList:
+    """Doubly-linked list ordered most-recent first."""
+
+    __slots__ = ("head", "tail", "size")
+
+    def __init__(self):
+        self.head: Optional[LruNode] = None
+        self.tail: Optional[LruNode] = None
+        self.size = 0
+
+    def push_front(self, node: LruNode) -> None:
+        """Insert ``node`` as the most recently used entry."""
+        if node.owner is not None:
+            raise ValueError("node already linked")
+        node.owner = self
+        node.prev = None
+        node.next = self.head
+        if self.head is not None:
+            self.head.prev = node
+        self.head = node
+        if self.tail is None:
+            self.tail = node
+        self.size += 1
+
+    def unlink(self, node: LruNode) -> None:
+        """Remove ``node`` from the list."""
+        if node.owner is not self:
+            raise ValueError("node not linked to this list")
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self.head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self.tail = node.prev
+        node.prev = node.next = None
+        node.owner = None
+        self.size -= 1
+
+    def touch(self, node: LruNode) -> None:
+        """Move ``node`` to the front (mark as just used)."""
+        if node is self.head:
+            return
+        self.unlink(node)
+        self.push_front(node)
+
+    def pop_back(self) -> Optional[LruNode]:
+        """Remove and return the least recently used node, or None."""
+        node = self.tail
+        if node is not None:
+            self.unlink(node)
+        return node
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[LruNode]:
+        """Iterate from most to least recently used."""
+        node = self.head
+        while node is not None:
+            nxt = node.next
+            yield node
+            node = nxt

@@ -1,0 +1,291 @@
+"""The memcached text protocol: incremental parser + executor.
+
+The baseline system of §VI is "a Memcached cluster"; the engine in
+:mod:`repro.storage.memstore` implements its semantics, and this module
+implements its *wire protocol* so the clone is usable the way real
+memcached is: byte streams in, byte streams out.
+
+Grammar (the classic text protocol):
+
+* storage — ``set|add|replace|append|prepend <key> <flags> <exptime>
+  <bytes> [noreply]\\r\\n<data>\\r\\n`` and ``cas ... <casid>``;
+* retrieval — ``get|gets <key>+\\r\\n`` answered by ``VALUE <key>
+  <flags> <bytes> [<cas>]\\r\\n<data>\\r\\n`` blocks and ``END``;
+* ``delete``, ``incr``/``decr``, ``touch``, ``flush_all``, ``stats``,
+  ``version``, ``verbosity``.
+
+:class:`ProtocolSession` holds per-connection buffer state, so partial
+and pipelined input behave exactly like a socket stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .memstore import MemStore, StoreResult
+
+__all__ = ["Request", "ParseError", "parse_request", "execute",
+           "ProtocolSession", "MAX_KEY_LENGTH"]
+
+MAX_KEY_LENGTH = 250
+
+_STORAGE_VERBS = {b"set", b"add", b"replace", b"append", b"prepend", b"cas"}
+_OTHER_VERBS = {b"get", b"gets", b"delete", b"incr", b"decr", b"touch",
+                b"flush_all", b"stats", b"version", b"verbosity", b"quit"}
+
+
+class ParseError(Exception):
+    """Malformed input; the session answers ``CLIENT_ERROR``."""
+
+
+@dataclass
+class Request:
+    """One parsed protocol command."""
+
+    verb: bytes
+    keys: list[bytes] = field(default_factory=list)
+    flags: int = 0
+    exptime: float = 0
+    data: bytes = b""
+    cas: int = 0
+    delta: int = 0
+    noreply: bool = False
+
+
+def _validate_key(key: bytes) -> bytes:
+    if not key or len(key) > MAX_KEY_LENGTH:
+        raise ParseError("bad key length")
+    if b" " in key or b"\r" in key or b"\n" in key:
+        raise ParseError("invalid key characters")
+    return key
+
+
+def _int_field(token: bytes, what: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise ParseError(f"bad {what}")
+
+
+def parse_request(buffer: bytes) -> tuple[Optional[Request], bytes]:
+    """Parse one complete command off ``buffer``.
+
+    Returns ``(request, remaining_bytes)``, or ``(None, buffer)`` when
+    the buffer does not yet hold a full command (caller awaits more
+    input).  Raises :class:`ParseError` on malformed complete commands
+    — the unparseable line is consumed so the stream can resync.
+    """
+    newline = buffer.find(b"\r\n")
+    if newline < 0:
+        return None, buffer
+    line = buffer[:newline]
+    rest = buffer[newline + 2:]
+    parts = line.split()
+    if not parts:
+        raise ParseError("empty command")
+    verb = parts[0].lower()
+
+    if verb in _STORAGE_VERBS:
+        want = 6 if verb == b"cas" else 5
+        has_noreply = len(parts) == want + 1 and parts[-1] == b"noreply"
+        if len(parts) != want and not has_noreply:
+            raise ParseError(f"wrong argument count for {verb.decode()}")
+        key = _validate_key(parts[1])
+        flags = _int_field(parts[2], "flags")
+        exptime = _int_field(parts[3], "exptime")
+        nbytes = _int_field(parts[4], "bytes")
+        if nbytes < 0 or nbytes > (1 << 20):
+            raise ParseError("bad data chunk size")
+        cas = _int_field(parts[5], "cas id") if verb == b"cas" else 0
+        # The data block plus its trailing CRLF must be present.
+        if len(rest) < nbytes + 2:
+            return None, buffer
+        data = rest[:nbytes]
+        if rest[nbytes:nbytes + 2] != b"\r\n":
+            raise ParseError("bad data chunk terminator")
+        return (Request(verb=verb, keys=[key], flags=flags, exptime=exptime,
+                        data=data, cas=cas, noreply=has_noreply),
+                rest[nbytes + 2:])
+
+    if verb in (b"get", b"gets"):
+        if len(parts) < 2:
+            raise ParseError("get needs at least one key")
+        keys = [_validate_key(k) for k in parts[1:]]
+        return Request(verb=verb, keys=keys), rest
+
+    if verb == b"delete":
+        if len(parts) not in (2, 3):
+            raise ParseError("wrong argument count for delete")
+        noreply = len(parts) == 3 and parts[2] == b"noreply"
+        return Request(verb=verb, keys=[_validate_key(parts[1])],
+                       noreply=noreply), rest
+
+    if verb in (b"incr", b"decr"):
+        if len(parts) not in (3, 4):
+            raise ParseError(f"wrong argument count for {verb.decode()}")
+        noreply = len(parts) == 4 and parts[3] == b"noreply"
+        return Request(verb=verb, keys=[_validate_key(parts[1])],
+                       delta=_int_field(parts[2], "delta"),
+                       noreply=noreply), rest
+
+    if verb == b"touch":
+        if len(parts) not in (3, 4):
+            raise ParseError("wrong argument count for touch")
+        noreply = len(parts) == 4 and parts[3] == b"noreply"
+        return Request(verb=verb, keys=[_validate_key(parts[1])],
+                       exptime=_int_field(parts[2], "exptime"),
+                       noreply=noreply), rest
+
+    if verb in (b"flush_all", b"stats", b"version", b"quit"):
+        return Request(verb=verb), rest
+
+    if verb == b"verbosity":
+        return Request(verb=verb), rest
+
+    raise ParseError(f"unknown command {verb.decode(errors='replace')}")
+
+
+_RESULT_BYTES = {
+    StoreResult.STORED: b"STORED\r\n",
+    StoreResult.NOT_STORED: b"NOT_STORED\r\n",
+    StoreResult.EXISTS: b"EXISTS\r\n",
+    StoreResult.NOT_FOUND: b"NOT_FOUND\r\n",
+    StoreResult.DELETED: b"DELETED\r\n",
+    StoreResult.TOO_LARGE: b"SERVER_ERROR object too large for cache\r\n",
+}
+
+
+def execute(store: MemStore, req: Request) -> bytes:
+    """Run a parsed request against the engine; returns response bytes.
+
+    ``noreply`` suppression is the caller's job (the session handles
+    it) so this function stays a pure command → response mapping.
+    """
+    verb = req.verb
+    if verb in (b"get", b"gets"):
+        out = bytearray()
+        for key in req.keys:
+            if verb == b"gets":
+                hit = store.gets(key)
+                if hit is not None:
+                    value, cas = hit
+                    item = store.table.get(key)
+                    out += (b"VALUE %s %d %d %d\r\n"
+                            % (key, item.flags, len(value), cas))
+                    out += value + b"\r\n"
+            else:
+                value = store.get(key)
+                if value is not None:
+                    item = store.table.get(key)
+                    out += (b"VALUE %s %d %d\r\n"
+                            % (key, item.flags, len(value)))
+                    out += value + b"\r\n"
+        out += b"END\r\n"
+        return bytes(out)
+
+    if verb in _STORAGE_VERBS:
+        key = req.keys[0]
+        if verb == b"set":
+            result = store.set(key, req.data, req.flags, req.exptime)
+        elif verb == b"add":
+            result = store.add(key, req.data, req.flags, req.exptime)
+        elif verb == b"replace":
+            result = store.replace(key, req.data, req.flags, req.exptime)
+        elif verb == b"append":
+            result = store.append(key, req.data)
+        elif verb == b"prepend":
+            result = store.prepend(key, req.data)
+        else:  # cas
+            result = store.cas(key, req.data, req.cas, req.flags, req.exptime)
+        return _RESULT_BYTES[result]
+
+    if verb == b"delete":
+        return _RESULT_BYTES[store.delete(req.keys[0])]
+
+    if verb in (b"incr", b"decr"):
+        if req.delta < 0:
+            return (b"CLIENT_ERROR invalid numeric delta argument\r\n")
+        try:
+            if verb == b"incr":
+                value = store.incr(req.keys[0], req.delta)
+            else:
+                value = store.decr(req.keys[0], req.delta)
+        except ValueError:
+            return (b"CLIENT_ERROR cannot increment or decrement"
+                    b" non-numeric value\r\n")
+        if value is None:
+            return b"NOT_FOUND\r\n"
+        return b"%d\r\n" % value
+
+    if verb == b"touch":
+        result = store.touch(req.keys[0], req.exptime)
+        return b"TOUCHED\r\n" if result == StoreResult.STORED \
+            else b"NOT_FOUND\r\n"
+
+    if verb == b"flush_all":
+        store.flush_all()
+        return b"OK\r\n"
+
+    if verb == b"stats":
+        out = bytearray()
+        for name, value in sorted(store.stats().items()):
+            out += b"STAT %s %s\r\n" % (name.encode(), str(value).encode())
+        out += b"END\r\n"
+        return bytes(out)
+
+    if verb == b"version":
+        return b"VERSION 1.4.2-repro\r\n"
+
+    if verb == b"verbosity":
+        return b"OK\r\n"
+
+    if verb == b"quit":
+        return b""
+
+    return b"ERROR\r\n"
+
+
+class ProtocolSession:
+    """One client connection's parser state + executor.
+
+    Feed raw bytes in any chunking; complete commands execute against
+    the store and their responses accumulate in the returned bytes.
+    """
+
+    def __init__(self, store: MemStore):
+        self.store = store
+        self._buffer = b""
+        self.closed = False
+        self.commands = 0
+        self.parse_errors = 0
+
+    def feed(self, data: bytes) -> bytes:
+        """Consume ``data``; returns response bytes (possibly empty)."""
+        if self.closed:
+            return b""
+        self._buffer += data
+        out = bytearray()
+        while True:
+            try:
+                req, remaining = parse_request(self._buffer)
+            except ParseError as err:
+                self.parse_errors += 1
+                # Resync: the offending line was consumed by the parser
+                # raising after it split off the line.
+                newline = self._buffer.find(b"\r\n")
+                self._buffer = self._buffer[newline + 2:] if newline >= 0 \
+                    else b""
+                out += b"CLIENT_ERROR %s\r\n" % str(err).encode()
+                continue
+            if req is None:
+                break
+            self._buffer = remaining
+            self.commands += 1
+            if req.verb == b"quit":
+                self.closed = True
+                break
+            response = execute(self.store, req)
+            if not req.noreply:
+                out += response
+        return bytes(out)

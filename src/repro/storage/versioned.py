@@ -1,0 +1,258 @@
+"""Sedna's local storage extensions over MemStore.
+
+The paper stores every datum with a timestamp and keeps, for
+``write_all`` keys, a *value list* with one element per source server
+(§III.F).  Each row additionally carries two extra columns, **Dirty**
+and **Monitors** (§IV.C, Fig. 5): Dirty is set automatically on every
+write; Monitors lists the trigger monitors registered on the row.
+Scanner threads sweep the Dirty flags and feed changed rows to the
+trigger runtime.
+
+:class:`VersionedStore` provides exactly those semantics:
+
+* ``write_latest(key, value, ts, source)`` — overwrite if the request's
+  timestamp is newer than the stored one, replying ``ok``; otherwise
+  reply ``outdated`` (lock-free last-write-wins).
+* ``write_all(key, value, ts, source)`` — compare only against the
+  element *from the same source* in the value list; update that element
+  if newer.
+* ``read_latest`` / ``read_all`` — freshest element vs. the whole list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["ValueElement", "Row", "WriteOutcome", "VersionedStore"]
+
+
+class WriteOutcome:
+    """Reply vocabulary of the write APIs (§III.F)."""
+
+    OK = "ok"
+    OUTDATED = "outdated"
+    FAILURE = "failure"
+
+
+@dataclass(frozen=True)
+class ValueElement:
+    """One element of a value list: (source server, timestamp, value)."""
+
+    source: str
+    timestamp: float
+    value: Any
+
+
+@dataclass
+class Row:
+    """A stored row: value list plus the Dirty/Monitors columns."""
+
+    elements: list[ValueElement] = field(default_factory=list)
+    dirty: bool = False
+    dirty_seq: int = 0
+    monitors: set[str] = field(default_factory=set)
+
+    def latest(self) -> Optional[ValueElement]:
+        """The element with the newest timestamp (ties: lexicographically
+        greatest source, so replicas resolve ties identically)."""
+        if not self.elements:
+            return None
+        return max(self.elements, key=lambda e: (e.timestamp, e.source))
+
+    def element_from(self, source: str) -> Optional[ValueElement]:
+        """The element written by ``source``, if any."""
+        for el in self.elements:
+            if el.source == source:
+                return el
+        return None
+
+
+class VersionedStore:
+    """Timestamped multi-version row store with dirty tracking.
+
+    Rows are held in a plain dict keyed by the (string) full key; the
+    memory accounting of the byte-level engine is exercised separately
+    by :class:`~repro.storage.memstore.MemStore` — Sedna's node embeds
+    both: MemStore for raw cache traffic, VersionedStore for the
+    replicated, trigger-visible dataset.
+
+    Parameters
+    ----------
+    clock:
+        Simulated-time source used for bookkeeping (not for versioning
+        — versions come from client-supplied timestamps, as the paper
+        specifies writes carry their own timestamps).
+    """
+
+    def __init__(self, clock: Callable[[], float] = None):
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.rows: dict[str, Row] = {}
+        self._dirty_seq = 0
+        self._dirty_keys: dict[str, int] = {}
+        # Observers called as fn(key, old_latest, new_latest) on change;
+        # the trigger scanner hooks here *in addition to* polling the
+        # Dirty column, mirroring the paper's scan threads without
+        # forcing benchmarks to pay a scan on every write.
+        self.writes_ok = 0
+        self.writes_outdated = 0
+        self.reads = 0
+
+    # -- write paths -------------------------------------------------------
+    def _mark_dirty(self, key: str, row: Row) -> None:
+        self._dirty_seq += 1
+        row.dirty = True
+        row.dirty_seq = self._dirty_seq
+        self._dirty_keys[key] = self._dirty_seq
+
+    def write_latest(self, key: str, value: Any, timestamp: float,
+                     source: str) -> str:
+        """Overwrite the whole row iff ``timestamp`` is newest.
+
+        Returns ``"ok"`` or ``"outdated"`` (§III.F: "writes with newer
+        timestamp will successfully overwrite data with older
+        timestamp").
+        """
+        row = self.rows.get(key)
+        if row is None:
+            row = Row()
+            self.rows[key] = row
+        current = row.latest()
+        if current is not None and (timestamp, source) <= (
+                current.timestamp, current.source):
+            self.writes_outdated += 1
+            return WriteOutcome.OUTDATED
+        row.elements = [ValueElement(source, timestamp, value)]
+        self._mark_dirty(key, row)
+        self.writes_ok += 1
+        return WriteOutcome.OK
+
+    def write_all(self, key: str, value: Any, timestamp: float,
+                  source: str) -> str:
+        """Update only this source's element iff ``timestamp`` is newer.
+
+        §III.F: "it will only compare the request's timestamp with the
+        element that came from the same source server in value list."
+        """
+        row = self.rows.get(key)
+        if row is None:
+            row = Row()
+            self.rows[key] = row
+        existing = row.element_from(source)
+        if existing is not None and timestamp <= existing.timestamp:
+            self.writes_outdated += 1
+            return WriteOutcome.OUTDATED
+        if existing is not None:
+            row.elements.remove(existing)
+        row.elements.append(ValueElement(source, timestamp, value))
+        self._mark_dirty(key, row)
+        self.writes_ok += 1
+        return WriteOutcome.OK
+
+    def delete(self, key: str) -> bool:
+        """Remove a row entirely; True when it existed."""
+        existed = self.rows.pop(key, None) is not None
+        self._dirty_keys.pop(key, None)
+        return existed
+
+    # -- read paths -----------------------------------------------------------
+    def read_latest(self, key: str) -> Optional[ValueElement]:
+        """The freshest element regardless of which node wrote it."""
+        self.reads += 1
+        row = self.rows.get(key)
+        return row.latest() if row is not None else None
+
+    def read_all(self, key: str) -> list[ValueElement]:
+        """Every element of the value list (empty when absent)."""
+        self.reads += 1
+        row = self.rows.get(key)
+        return list(row.elements) if row is not None else []
+
+    def row(self, key: str) -> Optional[Row]:
+        """The raw row (monitors/dirty included); None when absent."""
+        return self.rows.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def keys(self) -> Iterator[str]:
+        """All stored keys."""
+        return iter(self.rows)
+
+    # -- dirty / monitor support (trigger substrate) -----------------------
+    def register_monitor(self, key: str, monitor_id: str) -> None:
+        """Add ``monitor_id`` to the row's Monitors column.
+
+        Registering on a missing key creates an empty row, so triggers
+        can watch keys that do not exist yet (the realtime-search use
+        case watches the crawl output table before the first tweet).
+        """
+        row = self.rows.get(key)
+        if row is None:
+            row = Row()
+            self.rows[key] = row
+        row.monitors.add(monitor_id)
+
+    def unregister_monitor(self, key: str, monitor_id: str) -> None:
+        """Remove a monitor registration (no-op when absent)."""
+        row = self.rows.get(key)
+        if row is not None:
+            row.monitors.discard(monitor_id)
+
+    def drain_dirty(self, limit: int = 0) -> list[tuple[str, Row]]:
+        """Take up to ``limit`` dirty rows (0 = all), clearing their flags.
+
+        Rows are returned in dirty order (oldest first), which is what
+        the sequential scanner threads of §IV.C observe.
+        """
+        keys = sorted(self._dirty_keys, key=self._dirty_keys.__getitem__)
+        if limit > 0:
+            keys = keys[:limit]
+        out: list[tuple[str, Row]] = []
+        for key in keys:
+            del self._dirty_keys[key]
+            row = self.rows.get(key)
+            if row is None:
+                continue
+            row.dirty = False
+            out.append((key, row))
+        return out
+
+    @property
+    def dirty_count(self) -> int:
+        """Rows currently flagged dirty."""
+        return len(self._dirty_keys)
+
+    # -- replication support -------------------------------------------------
+    def snapshot_range(self, predicate: Callable[[str], bool]) -> dict[str, list[ValueElement]]:
+        """Dump rows whose key satisfies ``predicate``.
+
+        Used by replica re-duplication (§III.C) and rebalancing to copy
+        a virtual node's contents to a new owner.
+        """
+        return {key: list(row.elements)
+                for key, row in self.rows.items() if predicate(key)}
+
+    def merge_elements(self, key: str, elements: list[ValueElement]) -> None:
+        """Merge foreign elements into a row (idempotent, newest wins).
+
+        The receiving side of re-duplication and anti-entropy: for each
+        source keep the newer of (local, incoming).
+        """
+        row = self.rows.get(key)
+        if row is None:
+            row = Row()
+            self.rows[key] = row
+        changed = False
+        for el in elements:
+            mine = row.element_from(el.source)
+            if mine is None or el.timestamp > mine.timestamp:
+                if mine is not None:
+                    row.elements.remove(mine)
+                row.elements.append(el)
+                changed = True
+        if changed:
+            self._mark_dirty(key, row)

@@ -1,0 +1,7 @@
+"""Operator tooling: cluster inspection reports."""
+
+from .inspect import (describe_cluster, node_summary, replication_health,
+                      ring_summary, zk_summary)
+
+__all__ = ["describe_cluster", "node_summary", "replication_health",
+           "ring_summary", "zk_summary"]

@@ -1,0 +1,18 @@
+"""Trigger subsystem: Sedna's realtime programming model (§IV).
+
+Monitors on keys/tables/datasets, filters with old/new semantics,
+actions composed into jobs, the Dirty-column scanners, and the
+ripple-suppressing flow control.
+"""
+
+from .api import (Action, DataHooks, Filter, Job, Result, TriggerInput,
+                  TriggerOutput)
+from .flow import FlowControl
+from .runtime import TriggerRuntime
+
+__all__ = [
+    "Action", "DataHooks", "Filter", "Job", "Result", "TriggerInput",
+    "TriggerOutput",
+    "FlowControl",
+    "TriggerRuntime",
+]

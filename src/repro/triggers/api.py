@@ -1,0 +1,239 @@
+"""The trigger programming API of §IV (the Java Listing 1, in Python).
+
+The nouns match the paper one-to-one:
+
+* :class:`Action` — user code run when a trigger fires; override
+  :meth:`Action.action`, which receives the key, an iterator over the
+  values sharing that key, and a :class:`Result` to write outputs
+  through ("Result provides a safe way for programmers to write
+  processing results into distributed storage system paralleled").
+* :class:`Filter` — the assert function with four arguments, "two for
+  the new data, other two for the old data", used e.g. for the stop
+  condition of iterative tasks.
+* :class:`DataHooks` — what to monitor: a single key-value pair, a
+  Table, or a whole Dataset (§IV.C).
+* :class:`TriggerInput` / :class:`TriggerOutput` — hooks+filter, and
+  the destination table.
+* :class:`Job` — glues an Action class with input and output
+  (``set_action_class``), then ``schedule(timeout)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Optional, Type
+
+from ..core.types import DEFAULT_DATASET, DEFAULT_TABLE, FullKey
+
+__all__ = ["Action", "Filter", "DataHooks", "TriggerInput", "TriggerOutput",
+           "Result", "Job"]
+
+
+class Action:
+    """Base class for trigger actions (paper: ``extends Action<...>``).
+
+    Subclasses override :meth:`action`; it runs on the storage node
+    whose scanner detected the change and must be quick and idempotent
+    — the flow-control layer may coalesce several updates into one
+    activation, delivering only the freshest value (§IV.B).
+    """
+
+    def action(self, key: FullKey, values: Iterator[Any],
+               result: "Result") -> None:
+        """Process one fired key.
+
+        Parameters
+        ----------
+        key:
+            The key whose data changed.
+        values:
+            Iterator over the values currently sharing that key (the
+            whole value list for ``write_all`` data, a single element
+            for ``write_latest`` data).
+        result:
+            Sink for output writes.
+        """
+        raise NotImplementedError
+
+
+class Filter:
+    """Base class for trigger filters (paper: ``extends Filter<...>``).
+
+    "the assert function will be called on each key-value pairs where
+    programmers set hooks on ... so the assert function should be as
+    simple as possible" (§IV.D).
+    """
+
+    def check(self, old_key: Optional[FullKey], old_value: Any,
+              new_key: FullKey, new_value: Any) -> bool:
+        """Return True to run the action, False to drop the event.
+
+        ``old_key``/``old_value`` are None on the first observation of
+        a key — the paper passes old and new precisely so iterative
+        tasks can implement their stop condition by comparing them.
+        """
+        return True
+
+    # The paper names this method `assert`; that is reserved in Python.
+    assert_ = check
+
+
+class PassFilter(Filter):
+    """The implicit always-true filter."""
+
+
+class DataHooks:
+    """What a trigger monitors: a pair, a Table, or a Dataset (§IV.C)."""
+
+    def __init__(self, dataset: str = DEFAULT_DATASET,
+                 table: Optional[str] = None, key: Optional[str] = None):
+        if key is not None and table is None:
+            table = DEFAULT_TABLE
+        self.dataset = dataset
+        self.table = table
+        self.key = key
+
+    @property
+    def granularity(self) -> str:
+        """'key', 'table' or 'dataset'."""
+        if self.key is not None:
+            return "key"
+        if self.table is not None:
+            return "table"
+        return "dataset"
+
+    def matches(self, fk: FullKey) -> bool:
+        """Does a changed key fall under this hook?"""
+        if fk.dataset != self.dataset:
+            return False
+        if self.table is not None and fk.table != self.table:
+            return False
+        if self.key is not None and fk.key != self.key:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (f"DataHooks(dataset={self.dataset!r}, table={self.table!r}, "
+                f"key={self.key!r})")
+
+
+class TriggerInput:
+    """Hooks plus filter — the ``i1 = TriggerInput(h1, f1)`` of Listing 1."""
+
+    def __init__(self, hooks: DataHooks, filter: Optional[Filter] = None):
+        self.hooks = hooks
+        self.filter = filter if filter is not None else PassFilter()
+
+
+class TriggerOutput:
+    """Destination table for a job's results."""
+
+    def __init__(self, dataset: str = DEFAULT_DATASET,
+                 table: str = "output"):
+        self.dataset = dataset
+        self.table = table
+
+
+class Result:
+    """Write sink handed to actions.
+
+    Writes are buffered and flushed by the runtime through the normal
+    replicated write path once the action returns — failures never
+    leave a half-applied batch visible mid-action.
+    """
+
+    def __init__(self, output: TriggerOutput):
+        self.output = output
+        self.writes: list[tuple[str, str, str, Any, str]] = []
+
+    def emit(self, key: str, value: Any) -> None:
+        """Write ``value`` under ``key`` in the job's output table."""
+        self.writes.append((self.output.dataset, self.output.table, key,
+                            value, "latest"))
+
+    def write(self, key: str, value: Any, table: Optional[str] = None,
+              dataset: Optional[str] = None, mode: str = "latest") -> None:
+        """Write to an arbitrary table (chained trigger pipelines)."""
+        self.writes.append((dataset or self.output.dataset,
+                            table or self.output.table, key, value, mode))
+
+
+_job_ids = itertools.count(1)
+
+
+class Job:
+    """A trigger job: action + input + output + schedule state."""
+
+    def __init__(self, name: Optional[str] = None):
+        self.job_id = f"job-{next(_job_ids)}"
+        self.name = name or self.job_id
+        self.action: Optional[Action] = None
+        self.input: Optional[TriggerInput] = None
+        self.output: Optional[TriggerOutput] = None
+        self.trigger_interval: Optional[float] = None  # None = config default
+        self.deadline: Optional[float] = None
+        self.runtime = None  # set by TriggerRuntime.submit
+        # Stats.
+        self.activations = 0
+        self.filtered = 0
+        self.suppressed = 0
+        self.errors = 0
+
+    # -- Listing-1 style configuration -------------------------------------
+    def set_action_class(self, action_cls: Type[Action],
+                         trigger_input: TriggerInput,
+                         trigger_output: TriggerOutput) -> "Job":
+        """``job.setActionClass(MyAction.class, i1, o1)`` equivalent."""
+        self.action = action_cls()
+        self.input = trigger_input
+        self.output = trigger_output
+        return self
+
+    # -- fluent style ------------------------------------------------------
+    def with_action(self, action: Action) -> "Job":
+        """Attach an action instance."""
+        self.action = action
+        return self
+
+    def monitor(self, hooks: DataHooks,
+                filter: Optional[Filter] = None) -> "Job":
+        """Attach hooks (and optionally a filter)."""
+        self.input = TriggerInput(hooks, filter)
+        return self
+
+    def output_to(self, output: TriggerOutput) -> "Job":
+        """Attach the output table."""
+        self.output = output
+        return self
+
+    def every(self, interval: float) -> "Job":
+        """Override the default trigger interval (flow control, §IV.B)."""
+        self.trigger_interval = interval
+        return self
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, timeout: Optional[float] = None) -> "Job":
+        """Start the job on its runtime.
+
+        "Programmers should give a job a timeout measurement to avoid
+        infinite execution" (§IV.D) — after ``timeout`` simulated
+        seconds the job stops firing.
+        """
+        if self.runtime is None:
+            raise RuntimeError(
+                "job not submitted to a TriggerRuntime; call runtime.submit")
+        self.runtime._schedule_job(self, timeout)
+        return self
+
+    def expired(self, now: float) -> bool:
+        """Whether the job's timeout has passed."""
+        return self.deadline is not None and now >= self.deadline
+
+    def validate(self) -> None:
+        """Raise unless action/input/output are all configured."""
+        if self.action is None:
+            raise ValueError(f"{self.name}: no action configured")
+        if self.input is None:
+            raise ValueError(f"{self.name}: no input configured")
+        if self.output is None:
+            raise ValueError(f"{self.name}: no output configured")

@@ -1,0 +1,89 @@
+"""Flow control: suppressing the ripple effect (§IV.B).
+
+Circular trigger topologies (Fig. 4 right: A → C → A/D → C → ...)
+would double the activation frequency each round and "finally flood the
+whole cluster".  Sedna suppresses this with a default *trigger
+interval* per application: within the interval, further changes to the
+same (job, key) are coalesced — "it would be safe to discard them as
+the most fresh data matters most".
+
+:class:`FlowControl` implements exactly that token-per-(job, key)
+rate limit: the first event fires immediately; events arriving during
+the cool-down replace the pending payload (freshest wins) and fire once
+at the window boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..net.simulator import Simulator
+
+__all__ = ["FlowControl"]
+
+
+class FlowControl:
+    """Per-(job, key) trigger-interval coalescing."""
+
+    def __init__(self, sim: Simulator, default_interval: float):
+        self.sim = sim
+        self.default_interval = default_interval
+        # (job_id, key) -> last fire time
+        self._last_fire: dict[tuple[str, str], float] = {}
+        # (job_id, key) -> freshest pending payload
+        self._pending: dict[tuple[str, str], Any] = {}
+        # (job_id, key) -> a deferred flush is scheduled
+        self._scheduled: set[tuple[str, str]] = set()
+        self.fired_immediately = 0
+        self.coalesced = 0
+
+    def interval_for(self, job) -> float:
+        """The job's interval, falling back to the application default."""
+        if getattr(job, "trigger_interval", None) is not None:
+            return job.trigger_interval
+        return self.default_interval
+
+    def offer(self, job, key: str, payload: Any,
+              fire: Callable[[str, Any], None]) -> None:
+        """Submit one change event.
+
+        ``fire(key, payload)`` runs now when the (job, key) token is
+        available, otherwise once at the end of the cool-down with the
+        freshest payload seen meanwhile.
+        """
+        token = (job.job_id, key)
+        interval = self.interval_for(job)
+        now = self.sim.now
+        last = self._last_fire.get(token)
+        if last is None or now - last >= interval:
+            if token not in self._scheduled:
+                self._last_fire[token] = now
+                self.fired_immediately += 1
+                fire(key, payload)
+                return
+        # Cool-down (or a flush already queued): coalesce.
+        self.coalesced += 1
+        job.suppressed += 1
+        self._pending[token] = payload
+        if token in self._scheduled:
+            return
+        self._scheduled.add(token)
+        base = self._last_fire.get(token, now)
+        delay = max(0.0, base + interval - now)
+
+        def flush() -> None:
+            self._scheduled.discard(token)
+            pending = self._pending.pop(token, None)
+            if pending is None:
+                return
+            self._last_fire[token] = self.sim.now
+            fire(key, pending)
+
+        self.sim.schedule_callback(delay, flush)
+
+    def forget_job(self, job_id: str) -> None:
+        """Drop all state for a finished job."""
+        for table in (self._last_fire, self._pending):
+            for token in [t for t in table if t[0] == job_id]:
+                del table[token]
+        self._scheduled = {t for t in self._scheduled if t[0] != job_id}

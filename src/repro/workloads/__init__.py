@@ -1,0 +1,12 @@
+"""Workload generators: the paper's KV microbenchmark shapes and the
+synthetic micro-blogging stream for the §V use case."""
+
+from .kv import (PAPER_VALUE, ZipfGenerator, paper_keys, uniform_keys,
+                 zipfian_keys)
+from .microblog import FollowEdge, MicroblogGenerator, Tweet
+
+__all__ = [
+    "PAPER_VALUE", "ZipfGenerator", "paper_keys", "uniform_keys",
+    "zipfian_keys",
+    "FollowEdge", "MicroblogGenerator", "Tweet",
+]

@@ -1,0 +1,113 @@
+"""Synthetic micro-blogging stream (the §V use-case workload).
+
+Substitute for the Sina Weibo / Twitter crawl the paper's search engine
+consumed: Zipf-distributed authors, <=140-byte messages, follow edges,
+retweets and comments — the stream shape (small records, high write
+rate, skewed authorship) is what the storage layer and triggers see.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .kv import ZipfGenerator
+
+__all__ = ["Tweet", "FollowEdge", "MicroblogGenerator"]
+
+_WORDS = (
+    "cloud realtime storage memory cluster zookeeper trigger index search "
+    "latency replica quorum vnode gossip stream tweet data node scale fast "
+    "cache write read key value hash ring lease dirty monitor filter job "
+    "shard lockfree commit snapshot recover balance push fresh rank graph"
+).split()
+
+
+@dataclass(frozen=True)
+class Tweet:
+    """One message: id, author, text, optional retweet target."""
+
+    tweet_id: str
+    author: str
+    text: str
+    timestamp: float
+    retweet_of: Optional[str] = None
+
+    def encoded(self) -> str:
+        """Compact storable form."""
+        rt = self.retweet_of or ""
+        return f"{self.author}|{self.timestamp}|{rt}|{self.text}"
+
+    @classmethod
+    def decode(cls, tweet_id: str, blob: str) -> "Tweet":
+        author, ts, rt, text = blob.split("|", 3)
+        return cls(tweet_id=tweet_id, author=author, text=text,
+                   timestamp=float(ts), retweet_of=rt or None)
+
+
+@dataclass(frozen=True)
+class FollowEdge:
+    """A social edge: ``follower`` follows ``followee``."""
+
+    follower: str
+    followee: str
+
+
+class MicroblogGenerator:
+    """Deterministic stream of tweets and follow events.
+
+    Parameters
+    ----------
+    n_users:
+        User population; authorship is Zipf(theta) over it.
+    theta:
+        Zipf skew (0.99 ~ real social traffic).
+    retweet_prob:
+        Probability a message retweets an earlier one.
+    seed:
+        Stream seed.
+    """
+
+    def __init__(self, n_users: int = 200, theta: float = 0.99,
+                 retweet_prob: float = 0.2, seed: int = 7):
+        self.n_users = n_users
+        self.retweet_prob = retweet_prob
+        self._rng = random.Random(seed)
+        self._zipf = ZipfGenerator(n_users, theta, seed + 1)
+        self._counter = 0
+        self._recent: list[str] = []
+
+    def user(self, rank: int) -> str:
+        """Stable user name for a popularity rank."""
+        return f"user{rank:05d}"
+
+    def tweets(self, n: int, now: float = 0.0,
+               dt: float = 0.01) -> Iterator[Tweet]:
+        """``n`` tweets with timestamps advancing by ``dt``."""
+        ts = now
+        for _ in range(n):
+            self._counter += 1
+            tweet_id = f"tw{self._counter:09d}"
+            author = self.user(self._zipf.sample())
+            n_words = self._rng.randint(3, 18)
+            text = " ".join(self._rng.choice(_WORDS)
+                            for _ in range(n_words))[:140]
+            retweet_of = None
+            if self._recent and self._rng.random() < self.retweet_prob:
+                retweet_of = self._rng.choice(self._recent)
+            self._recent.append(tweet_id)
+            if len(self._recent) > 500:
+                self._recent.pop(0)
+            yield Tweet(tweet_id=tweet_id, author=author, text=text,
+                        timestamp=ts, retweet_of=retweet_of)
+            ts += dt
+
+    def follow_edges(self, n: int) -> Iterator[FollowEdge]:
+        """``n`` follow events; popular users gain followers faster."""
+        for _ in range(n):
+            follower = self.user(self._rng.randrange(self.n_users))
+            followee = self.user(self._zipf.sample())
+            if follower == followee:
+                followee = self.user((self._zipf.sample() + 1) % self.n_users)
+            yield FollowEdge(follower=follower, followee=followee)

@@ -1,0 +1,29 @@
+"""ZooKeeper substrate: znode tree, sessions, watches, ZAB-lite ensemble.
+
+Built from scratch so Sedna's node management (§III.D–E) runs on the
+same coordination semantics the paper assumed: ephemeral liveness
+znodes, ordered quorum writes, cheap local reads on any member.
+"""
+
+from .znode import (BadVersionError, NodeExistsError, NoNodeError,
+                    NotEmptyError, Stat, ZkError, Znode, ZnodeTree,
+                    validate_path)
+from .session import Session, SessionTable
+from .watches import (EVENT_CHANGED, EVENT_CHILD, EVENT_CREATED,
+                      EVENT_DELETED, WatchEvent, WatchRegistry)
+from .server import ZkConfig, ZkServer
+from .client import SessionExpired, ZkClient
+from .ensemble import ZkEnsemble
+from .recipes import Barrier, DistributedLock, DistributedQueue, LeaderElection
+
+__all__ = [
+    "BadVersionError", "NodeExistsError", "NoNodeError", "NotEmptyError",
+    "Stat", "ZkError", "Znode", "ZnodeTree", "validate_path",
+    "Session", "SessionTable",
+    "EVENT_CHANGED", "EVENT_CHILD", "EVENT_CREATED", "EVENT_DELETED",
+    "WatchEvent", "WatchRegistry",
+    "ZkConfig", "ZkServer",
+    "SessionExpired", "ZkClient",
+    "ZkEnsemble",
+    "Barrier", "DistributedLock", "DistributedQueue", "LeaderElection",
+]

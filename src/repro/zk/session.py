@@ -1,0 +1,78 @@
+"""Replicated session table for the ZooKeeper ensemble.
+
+Sessions are what make ephemeral znodes work: a client owns a session,
+keeps it alive with pings, and when the leader stops hearing pings for
+longer than the session timeout it commits a ``session_close``
+transaction that removes the session's ephemerals (this is how a dead
+Sedna real node disappears from ``/sedna/real_nodes``, §III.D).
+
+The table itself (ids, timeouts) is replicated through the ordered
+transaction stream so a newly elected leader knows every live session;
+the *liveness clock* (last-ping times) is leader-local soft state and is
+reset with a grace period after failover, like real ZooKeeper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Session", "SessionTable"]
+
+
+@dataclass
+class Session:
+    """One client session."""
+
+    session_id: int
+    timeout: float
+    last_ping: float = 0.0  # leader-local soft state
+
+
+class SessionTable:
+    """Sessions keyed by id, with expiry scanning."""
+
+    def __init__(self):
+        self.sessions: dict[int, Session] = {}
+
+    def open(self, session_id: int, timeout: float, now: float) -> Session:
+        """Register a session (replicated op apply path)."""
+        sess = Session(session_id, timeout, last_ping=now)
+        self.sessions[session_id] = sess
+        return sess
+
+    def close(self, session_id: int) -> bool:
+        """Drop a session; True when it existed."""
+        return self.sessions.pop(session_id, None) is not None
+
+    def ping(self, session_id: int, now: float) -> bool:
+        """Record a ping; False when the session is unknown (expired)."""
+        sess = self.sessions.get(session_id)
+        if sess is None:
+            return False
+        sess.last_ping = now
+        return True
+
+    def expired(self, now: float) -> list[int]:
+        """Session ids whose timeout has elapsed since the last ping."""
+        return [sid for sid, sess in self.sessions.items()
+                if now - sess.last_ping > sess.timeout]
+
+    def reset_clocks(self, now: float) -> None:
+        """Grace period after leader failover: forgive all sessions."""
+        for sess in self.sessions.values():
+            sess.last_ping = now
+
+    def __contains__(self, session_id: int) -> bool:
+        return session_id in self.sessions
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    def dump(self) -> dict:
+        """Serializable state for follower sync."""
+        return {sid: sess.timeout for sid, sess in self.sessions.items()}
+
+    def load(self, blob: dict, now: float) -> None:
+        """Rebuild from :meth:`dump` output."""
+        self.sessions = {int(sid): Session(int(sid), timeout, last_ping=now)
+                         for sid, timeout in blob.items()}

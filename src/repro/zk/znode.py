@@ -1,0 +1,253 @@
+"""The znode tree — ZooKeeper's replicated data model.
+
+A pure, deterministic state machine: every ensemble member applies the
+same committed transactions in zxid order and therefore holds an
+identical tree.  Keeping it pure (no network, no clocks) is what lets
+the ensemble replicate it and lets tests drive it directly.
+
+Supported znode species, matching ZooKeeper:
+
+* persistent — survives its creator.
+* ephemeral — deleted automatically when the owning session dies
+  (Sedna real nodes register themselves this way, §III.D).
+* sequential — a monotonically increasing 10-digit counter is appended
+  to the requested name.
+
+Every znode carries a ``Stat`` (creation/modify transaction ids and
+version counter) used for conditional set/delete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["Stat", "Znode", "ZnodeTree", "ZkError", "NoNodeError",
+           "NodeExistsError", "NotEmptyError", "BadVersionError",
+           "validate_path"]
+
+
+class ZkError(Exception):
+    """Base class for ZooKeeper data-model errors."""
+
+
+class NoNodeError(ZkError):
+    """Path does not exist."""
+
+
+class NodeExistsError(ZkError):
+    """Create on an existing path."""
+
+
+class NotEmptyError(ZkError):
+    """Delete on a znode that still has children."""
+
+
+class BadVersionError(ZkError):
+    """Conditional set/delete with a stale version."""
+
+
+def validate_path(path: str) -> None:
+    """Reject malformed paths (must be absolute, no trailing slash)."""
+    if not path.startswith("/"):
+        raise ZkError(f"path must start with '/': {path!r}")
+    if path != "/" and path.endswith("/"):
+        raise ZkError(f"path must not end with '/': {path!r}")
+    if "//" in path:
+        raise ZkError(f"empty path component: {path!r}")
+
+
+def parent_of(path: str) -> str:
+    """Parent path of ``path`` ('/a/b' -> '/a', '/a' -> '/')."""
+    idx = path.rfind("/")
+    return path[:idx] if idx > 0 else "/"
+
+
+@dataclass
+class Stat:
+    """Znode metadata, the subset of ZooKeeper's Stat that matters here."""
+
+    czxid: int = 0           # zxid of the create
+    mzxid: int = 0           # zxid of the last set
+    version: int = 0         # data version, bumped by each set
+    cversion: int = 0        # child-list version
+    ephemeral_owner: int = 0  # session id, 0 for persistent nodes
+    num_children: int = 0
+
+
+@dataclass
+class Znode:
+    """One tree node: payload bytes, stat, children by name."""
+
+    data: bytes = b""
+    stat: Stat = field(default_factory=Stat)
+    children: dict[str, "Znode"] = field(default_factory=dict)
+    seq_counter: int = 0  # for sequential children
+
+
+class ZnodeTree:
+    """The hierarchical namespace, applied-transaction side.
+
+    All mutating methods take the ``zxid`` of the committed transaction
+    so stats stay identical across replicas.
+    """
+
+    def __init__(self):
+        self.root = Znode()
+        self._ephemerals: dict[int, set[str]] = {}  # session -> paths
+
+    # -- traversal ------------------------------------------------------
+    def _walk(self, path: str) -> Optional[Znode]:
+        if path == "/":
+            return self.root
+        node = self.root
+        for part in path.strip("/").split("/"):
+            node = node.children.get(part)
+            if node is None:
+                return None
+        return node
+
+    def _require(self, path: str) -> Znode:
+        node = self._walk(path)
+        if node is None:
+            raise NoNodeError(path)
+        return node
+
+    # -- operations -----------------------------------------------------
+    def create(self, path: str, data: bytes, zxid: int,
+               ephemeral_owner: int = 0, sequential: bool = False) -> str:
+        """Create a znode; returns the actual path (sequence applied)."""
+        validate_path(path)
+        if path == "/":
+            raise NodeExistsError("/")
+        parent_path = parent_of(path)
+        parent = self._walk(parent_path)
+        if parent is None:
+            raise NoNodeError(f"parent of {path}: {parent_path}")
+        if parent.stat.ephemeral_owner:
+            raise ZkError("ephemeral znodes cannot have children")
+        name = path[path.rfind("/") + 1:]
+        if sequential:
+            name = f"{name}{parent.seq_counter:010d}"
+            parent.seq_counter += 1
+            path = (parent_path if parent_path != "/" else "") + "/" + name
+        if name in parent.children:
+            raise NodeExistsError(path)
+        node = Znode(data=bytes(data))
+        node.stat.czxid = zxid
+        node.stat.mzxid = zxid
+        node.stat.ephemeral_owner = ephemeral_owner
+        parent.children[name] = node
+        parent.stat.cversion += 1
+        parent.stat.num_children = len(parent.children)
+        if ephemeral_owner:
+            self._ephemerals.setdefault(ephemeral_owner, set()).add(path)
+        return path
+
+    def get(self, path: str) -> tuple[bytes, Stat]:
+        """(data, stat) of ``path``; raises :class:`NoNodeError`."""
+        validate_path(path)
+        node = self._require(path)
+        return node.data, node.stat
+
+    def set(self, path: str, data: bytes, zxid: int,
+            expected_version: int = -1) -> Stat:
+        """Replace data; ``expected_version`` -1 skips the version check."""
+        validate_path(path)
+        node = self._require(path)
+        if expected_version != -1 and node.stat.version != expected_version:
+            raise BadVersionError(
+                f"{path}: have {node.stat.version}, expected {expected_version}")
+        node.data = bytes(data)
+        node.stat.version += 1
+        node.stat.mzxid = zxid
+        return node.stat
+
+    def delete(self, path: str, zxid: int, expected_version: int = -1) -> None:
+        """Remove a childless znode, optionally version-checked."""
+        validate_path(path)
+        if path == "/":
+            raise ZkError("cannot delete the root")
+        node = self._require(path)
+        if node.children:
+            raise NotEmptyError(path)
+        if expected_version != -1 and node.stat.version != expected_version:
+            raise BadVersionError(
+                f"{path}: have {node.stat.version}, expected {expected_version}")
+        parent = self._require(parent_of(path))
+        name = path[path.rfind("/") + 1:]
+        del parent.children[name]
+        parent.stat.cversion += 1
+        parent.stat.num_children = len(parent.children)
+        if node.stat.ephemeral_owner:
+            owned = self._ephemerals.get(node.stat.ephemeral_owner)
+            if owned is not None:
+                owned.discard(path)
+
+    def exists(self, path: str) -> Optional[Stat]:
+        """Stat when present, None otherwise."""
+        validate_path(path)
+        node = self._walk(path)
+        return node.stat if node is not None else None
+
+    def get_children(self, path: str) -> list[str]:
+        """Sorted child names; raises :class:`NoNodeError`."""
+        validate_path(path)
+        return sorted(self._require(path).children)
+
+    def ephemerals_of(self, session_id: int) -> list[str]:
+        """Paths owned by ``session_id`` (deepest first, safe to delete)."""
+        paths = self._ephemerals.get(session_id, set())
+        return sorted(paths, key=lambda p: -p.count("/"))
+
+    def remove_session(self, session_id: int, zxid: int) -> list[str]:
+        """Delete every ephemeral of a dead session; returns the paths."""
+        removed = []
+        for path in self.ephemerals_of(session_id):
+            try:
+                self.delete(path, zxid)
+                removed.append(path)
+            except (NoNodeError, NotEmptyError):
+                continue
+        self._ephemerals.pop(session_id, None)
+        return removed
+
+    # -- replication helpers -------------------------------------------------
+    def dump(self) -> dict:
+        """Serializable full snapshot (leader -> lagging follower sync)."""
+        def encode(node: Znode) -> dict:
+            return {
+                "data": node.data,
+                "stat": vars(node.stat).copy(),
+                "seq": node.seq_counter,
+                "children": {name: encode(child)
+                             for name, child in node.children.items()},
+            }
+        return {"root": encode(self.root),
+                "ephemerals": {sid: sorted(paths)
+                               for sid, paths in self._ephemerals.items()}}
+
+    @classmethod
+    def load(cls, snapshot: dict) -> "ZnodeTree":
+        """Rebuild a tree from :meth:`dump` output."""
+        def decode(blob: dict) -> Znode:
+            node = Znode(data=blob["data"])
+            node.stat = Stat(**blob["stat"])
+            node.seq_counter = blob["seq"]
+            node.children = {name: decode(child)
+                             for name, child in blob["children"].items()}
+            return node
+        tree = cls()
+        tree.root = decode(snapshot["root"])
+        tree._ephemerals = {sid: set(paths)
+                            for sid, paths in snapshot["ephemerals"].items()}
+        return tree
+
+    def walk_paths(self) -> Iterator[str]:
+        """Every path in the tree, depth-first (diagnostics/tests)."""
+        def rec(prefix: str, node: Znode) -> Iterator[str]:
+            for name, child in sorted(node.children.items()):
+                path = f"{prefix}/{name}" if prefix != "/" else f"/{name}"
+                yield path
+                yield from rec(path, child)
+        yield from rec("/", self.root)

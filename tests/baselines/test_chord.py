@@ -1,0 +1,108 @@
+"""Tests for the Chord-style multi-hop routing baseline."""
+
+import pytest
+
+from repro.baselines.chord import (ChordClient, ChordNode, ChordRing,
+                                   chord_id)
+from repro.net.latency import LanGigabit, NoLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+
+
+def build(n=8, latency=None):
+    sim = Simulator()
+    net = Network(sim, latency=latency or NoLatency())
+    names = [f"ch{i}" for i in range(n)]
+    ring = ChordRing(names)
+    nodes = {name: ChordNode(sim, net, name, ring) for name in names}
+    return sim, net, ring, nodes
+
+
+class TestRingMath:
+    def test_successor_wraps(self):
+        ring = ChordRing(["a", "b", "c"])
+        max_id = ring.ids[-1][0]
+        assert ring.successor_of((max_id + 1) % (1 << 32)) == ring.ids[0][1]
+
+    def test_owner_is_first_clockwise(self):
+        ring = ChordRing(["a", "b", "c", "d"])
+        for key in (b"k1", b"k2", b"k3"):
+            owner = ring.owner_of_key(key)
+            kid = chord_id(key)
+            # No other node lies strictly between the key and its owner.
+            oid = chord_id(owner.encode())
+            for node_id, name in ring.ids:
+                if name == owner:
+                    continue
+                if oid >= kid:
+                    assert not (kid <= node_id < oid)
+
+    def test_finger_table_length(self):
+        ring = ChordRing(["a", "b", "c"])
+        assert len(ring.finger_table("a")) == 32
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            ChordRing([])
+
+
+class TestLookup:
+    def test_lookup_finds_owner_from_any_entry(self):
+        sim, net, ring, nodes = build(n=8)
+        key = b"lookup-key"
+        expected = ring.owner_of_key(key)
+        for entry in list(nodes)[:4]:
+            client = ChordClient(sim, net, f"cli-{entry}", entry)
+
+            def go(client=client):
+                owner = yield from client._resolve(key)
+                return owner
+
+            proc = sim.process(go())
+            assert sim.run(until=proc) == expected
+
+    def test_set_get_roundtrip(self):
+        sim, net, ring, nodes = build(n=6)
+        client = ChordClient(sim, net, "cli", "ch0")
+
+        def go():
+            yield from client.set(b"k", b"v")
+            return (yield from client.get(b"k"))
+
+        proc = sim.process(go())
+        assert sim.run(until=proc) == b"v"
+        owner = ring.owner_of_key(b"k")
+        assert nodes[owner].store.get(b"k") == b"v"
+
+    def test_hops_logarithmic(self):
+        sim, net, ring, nodes = build(n=32)
+        client = ChordClient(sim, net, "cli", "ch0")
+
+        def go():
+            for i in range(60):
+                yield from client._resolve(f"key-{i}".encode())
+            return True
+
+        proc = sim.process(go())
+        sim.run(until=proc)
+        mean_hops = sum(client.lookup_hops) / len(client.lookup_hops)
+        # log2(32) = 5; fingers give ~log n / 2 expected hops.
+        assert mean_hops <= 6.0, f"mean hops {mean_hops}"
+        assert max(client.lookup_hops) <= 10
+
+    def test_multi_hop_pays_latency(self):
+        """Each hop is a real network round trip — the §VII cost."""
+        sim, net, ring, nodes = build(n=16, latency=LanGigabit(seed=2))
+        client = ChordClient(sim, net, "cli", "ch0")
+
+        def go():
+            for i in range(30):
+                yield from client.get(f"key-{i}".encode())
+            return True
+
+        proc = sim.process(go())
+        sim.run(until=proc)
+        mean_latency = sum(client.op_latencies) / len(client.op_latencies)
+        mean_hops = sum(client.lookup_hops) / len(client.lookup_hops)
+        # latency must grow with the hop count (>= hops * one-way).
+        assert mean_latency > mean_hops * 120e-6

@@ -1,0 +1,166 @@
+"""Tests for the wire-level memcached server/client."""
+
+import pytest
+
+from repro.baselines.wire import WireMemcachedClient, WireMemcachedServer
+from repro.net.latency import LanGigabit
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    net = Network(sim, latency=LanGigabit(seed=4))
+    server = WireMemcachedServer(sim, net, "mc-wire")
+    client = WireMemcachedClient(sim, net, "cli", "mc-wire")
+    return sim, server, client
+
+
+def run(sim, gen):
+    proc = sim.process(gen)
+    return sim.run(until=proc)
+
+
+class TestWireRoundtrips:
+    def test_set_get(self, world):
+        sim, _server, client = world
+
+        def script():
+            reply = yield from client.set(b"k", b"hello")
+            value = yield from client.get(b"k")
+            return reply, value
+
+        assert run(sim, script()) == (b"STORED", b"hello")
+
+    def test_get_miss(self, world):
+        sim, _server, client = world
+
+        def script():
+            return (yield from client.get(b"missing"))
+
+        assert run(sim, script()) is None
+
+    def test_delete(self, world):
+        sim, _server, client = world
+
+        def script():
+            yield from client.set(b"k", b"v")
+            first = yield from client.delete(b"k")
+            second = yield from client.delete(b"k")
+            return first, second
+
+        assert run(sim, script()) == (b"DELETED", b"NOT_FOUND")
+
+    def test_incr(self, world):
+        sim, _server, client = world
+
+        def script():
+            yield from client.set(b"n", b"41")
+            return (yield from client.incr(b"n", 1))
+
+        assert run(sim, script()) == 42
+
+    def test_incr_missing(self, world):
+        sim, _server, client = world
+
+        def script():
+            return (yield from client.incr(b"nope"))
+
+        assert run(sim, script()) is None
+
+    def test_stats(self, world):
+        sim, _server, client = world
+
+        def script():
+            yield from client.set(b"k", b"v")
+            yield from client.get(b"k")
+            return (yield from client.stats())
+
+        stats = run(sim, script())
+        assert stats["get_hits"] == "1"
+        assert stats["curr_items"] == "1"
+
+    def test_binary_value(self, world):
+        sim, _server, client = world
+        payload = bytes(range(256)).replace(b"\r\n", b"..")
+
+        def script():
+            yield from client.set(b"blob", payload)
+            return (yield from client.get(b"blob"))
+
+        assert run(sim, script()) == payload
+
+    def test_pipelined_raw_commands(self, world):
+        sim, _server, client = world
+
+        def script():
+            reply = yield from client.raw(
+                b"set a 0 0 1\r\nx\r\nset b 0 0 1\r\ny\r\nget a b\r\n",
+                terminators=(b"END\r\n",))
+            return reply
+
+        reply = run(sim, script())
+        assert reply.count(b"STORED") == 2
+        assert b"VALUE a" in reply and b"VALUE b" in reply
+
+    def test_protocol_error_reported(self, world):
+        sim, _server, client = world
+
+        def script():
+            return (yield from client.raw(b"nonsense command\r\n",
+                                          terminators=(b"\r\n",)))
+
+        assert run(sim, script()).startswith(b"CLIENT_ERROR")
+
+    def test_crashed_server_times_out(self, world):
+        sim, server, client = world
+        client.timeout = 0.5
+        server.crash()
+
+        def script():
+            try:
+                yield from client.get(b"k")
+            except TimeoutError:
+                return "timed out"
+            return "answered?!"
+
+        assert run(sim, script()) == "timed out"
+
+    def test_sessions_isolated_per_client(self, world):
+        sim, server, client = world
+        net = client.endpoint.network
+        other = WireMemcachedClient(sim, net, "cli2", "mc-wire")
+
+        def script():
+            # Interleave partial writes from two clients; sessions must
+            # not mix their parse buffers.
+            client._send(b"set k 0 0 5\r\nhel")
+            yield from other.set(b"j", b"ok")
+            client._send(b"lo\r\n")
+            reply = yield from client._read_until((b"STORED\r\n",))
+            value = yield from client.get(b"k")
+            return reply.strip(), value
+
+        reply, value = run(sim, script())
+        assert reply == b"STORED" and value == b"hello"
+
+    def test_server_equivalent_to_direct_engine(self, world):
+        """The wire path must agree with direct MemStore calls."""
+        sim, server, client = world
+        from repro.storage.memstore import MemStore
+        direct = MemStore(memory_limit=4 << 20)
+        ops = [(b"k%d" % (i % 5), b"v%d" % i) for i in range(20)]
+
+        def script():
+            for key, value in ops:
+                yield from client.set(key, value)
+                direct.set(key, value)
+            mismatches = []
+            for key, _v in ops:
+                wire_value = yield from client.get(key)
+                if wire_value != direct.get(key):
+                    mismatches.append(key)
+            return mismatches
+
+        assert run(sim, script()) == []

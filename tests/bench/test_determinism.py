@@ -1,0 +1,23 @@
+"""The reproduction's headline promise: figures replay bit-identically."""
+
+from repro.bench.figures import memcached_write_read, sedna_write_read
+
+
+def test_sedna_series_deterministic():
+    a = sedna_write_read(200, seed=7, n_nodes=3)
+    b = sedna_write_read(200, seed=7, n_nodes=3)
+    assert a["write_total_ms"] == b["write_total_ms"]
+    assert a["read_points"] == b["read_points"]
+
+
+def test_sedna_series_seed_sensitive():
+    a = sedna_write_read(200, seed=7, n_nodes=3)
+    b = sedna_write_read(200, seed=8, n_nodes=3)
+    assert a["write_total_ms"] != b["write_total_ms"]
+
+
+def test_memcached_series_deterministic():
+    a = memcached_write_read(200, copies=3, seed=7, n_servers=3)
+    b = memcached_write_read(200, copies=3, seed=7, n_servers=3)
+    assert a["write_total_ms"] == b["write_total_ms"]
+    assert a["write_points"] == b["write_points"]

@@ -1,0 +1,162 @@
+"""Tests for the anti-entropy replica reconciliation."""
+
+import pytest
+
+from repro.core.antientropy import AntiEntropyManager, digest_diff
+from repro.core.cluster import SednaCluster
+from repro.core.config import SednaConfig
+from repro.core.types import FullKey
+from repro.storage.versioned import ValueElement
+
+
+class TestDigestDiff:
+    def test_identical_digests(self):
+        d = {"k": [("s", 1.0)]}
+        assert digest_diff(d, dict(d)) == ([], [])
+
+    def test_peer_has_extra_key(self):
+        pull, push = digest_diff({}, {"k": [("s", 1.0)]})
+        assert pull == ["k"] and push == []
+
+    def test_we_have_extra_key(self):
+        pull, push = digest_diff({"k": [("s", 1.0)]}, {})
+        assert pull == [] and push == ["k"]
+
+    def test_peer_newer_same_source(self):
+        pull, push = digest_diff({"k": [("s", 1.0)]}, {"k": [("s", 2.0)]})
+        assert pull == ["k"] and push == []
+
+    def test_divergent_sources_sync_both_ways(self):
+        pull, push = digest_diff({"k": [("a", 1.0)]}, {"k": [("b", 1.0)]})
+        assert pull == ["k"] and push == ["k"]
+
+    def test_multiple_keys_sorted(self):
+        pull, push = digest_diff({}, {"b": [("s", 1.0)], "a": [("s", 1.0)]})
+        assert pull == ["a", "b"]
+
+
+def build():
+    cluster = SednaCluster(n_nodes=3, zk_size=3,
+                           config=SednaConfig(num_vnodes=24))
+    cluster.start()
+    return cluster
+
+
+def holders_of(cluster, encoded):
+    return [node for node in cluster.nodes.values()
+            if node.running and encoded in node.store]
+
+
+class TestAntiEntropyManager:
+    def _seed(self, cluster, n=15):
+        client = cluster.client()
+
+        def seed():
+            for i in range(n):
+                yield from client.write_latest(f"ae{i}", f"v{i}")
+            return True
+
+        cluster.run(seed())
+        cluster.settle(0.2)
+
+    def test_repairs_silently_diverged_replica(self):
+        """A replica mutilated behind the cluster's back converges with
+        no reads at all — pure background reconciliation."""
+        cluster = build()
+        self._seed(cluster)
+        encoded = FullKey.of("ae3").encoded()
+        victim = holders_of(cluster, encoded)[0]
+        victim.store.delete(encoded)
+        assert len(holders_of(cluster, encoded)) == 2
+
+        managers = [AntiEntropyManager(node, interval=0.5, vnodes_per_pass=24)
+                    for node in cluster.nodes.values()]
+        for m in managers:
+            m.start()
+        cluster.settle(3.0)
+        for m in managers:
+            m.stop()
+        assert len(holders_of(cluster, encoded)) == 3
+        restored = victim.store.read_latest(encoded)
+        assert restored is not None and restored.value == "v3"
+
+    def test_pulls_newer_version_from_peer(self):
+        cluster = build()
+        self._seed(cluster)
+        encoded = FullKey.of("ae5").encoded()
+        fresh, stale = holders_of(cluster, encoded)[:2]
+        # Plant a newer version only on one replica.
+        fresh.store.merge_elements(
+            encoded, [ValueElement("oracle", 1e9, "future-value")])
+
+        manager = AntiEntropyManager(stale, interval=0.5, vnodes_per_pass=24)
+        manager.start()
+        cluster.settle(3.0)
+        manager.stop()
+        assert stale.store.read_latest(encoded).value == "future-value"
+        assert manager.keys_pulled >= 1
+
+    def test_pushes_our_newer_version_to_peer(self):
+        cluster = build()
+        self._seed(cluster)
+        encoded = FullKey.of("ae7").encoded()
+        fresh, stale = holders_of(cluster, encoded)[:2]
+        fresh.store.merge_elements(
+            encoded, [ValueElement("oracle", 1e9, "pushed-value")])
+
+        manager = AntiEntropyManager(fresh, interval=0.5, vnodes_per_pass=24)
+        manager.start()
+        cluster.settle(3.0)
+        manager.stop()
+        assert stale.store.read_latest(encoded).value == "pushed-value"
+        assert manager.keys_pushed >= 1
+
+    def test_quiet_cluster_moves_nothing(self):
+        cluster = build()
+        self._seed(cluster)
+        cluster.settle(1.0)
+        managers = [AntiEntropyManager(node, interval=0.5, vnodes_per_pass=24)
+                    for node in cluster.nodes.values()]
+        for m in managers:
+            m.start()
+        cluster.settle(3.0)
+        for m in managers:
+            m.stop()
+        assert all(m.keys_pulled == 0 and m.keys_pushed == 0
+                   for m in managers), "converged replicas must not churn"
+        assert all(m.passes > 0 for m in managers)
+
+    def test_full_convergence_property(self):
+        """After enough passes every replica of every key has identical
+        element sets (the eventual-consistency invariant)."""
+        cluster = build()
+        self._seed(cluster, n=20)
+        # Randomly mutilate several replicas.
+        import random
+        rng = random.Random(5)
+        for i in range(0, 20, 3):
+            encoded = FullKey.of(f"ae{i}").encoded()
+            holders = holders_of(cluster, encoded)
+            victim = rng.choice(holders)
+            victim.store.delete(encoded)
+
+        managers = [AntiEntropyManager(node, interval=0.4, vnodes_per_pass=24)
+                    for node in cluster.nodes.values()]
+        for m in managers:
+            m.start()
+        cluster.settle(4.0)
+        for m in managers:
+            m.stop()
+
+        ring = cluster.nodes["node0"].cache.ring
+        for i in range(20):
+            encoded = FullKey.of(f"ae{i}").encoded()
+            replicas = ring.replicas_for(ring.vnode_of(encoded), 3)
+            element_sets = []
+            for name in replicas:
+                elements = cluster.nodes[name].store.read_all(encoded)
+                element_sets.append(
+                    sorted((e.source, e.timestamp, e.value)
+                           for e in elements))
+            assert element_sets[0] == element_sets[1] == element_sets[2], \
+                f"ae{i} diverged: {element_sets}"

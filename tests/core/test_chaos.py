@@ -1,0 +1,272 @@
+"""Chaos tests: consistency invariants under network failure injection.
+
+The paper's §III.C consistency argument (R + W > N quorum overlap plus
+eventual convergence) is exercised here under adverse conditions the
+evaluation never ran: message loss, partitions, and crash/restart
+churn.  The invariants checked:
+
+* **acknowledged durability** — every write acknowledged ``ok`` is
+  readable afterwards (quorum overlap guarantees at least one fresh
+  replica serves any R-quorum);
+* **no resurrection** — a value overwritten by an acknowledged newer
+  write never reappears;
+* **convergence** — once the network heals and anti-entropy runs,
+  every replica of every key holds identical element sets.
+"""
+
+import pytest
+
+from repro.core.antientropy import AntiEntropyManager
+from repro.core.cluster import SednaCluster
+from repro.core.config import SednaConfig
+from repro.core.types import FullKey
+from repro.storage.versioned import WriteOutcome
+from repro.zk.server import ZkConfig
+
+
+def build(seed=42, **cfg):
+    cfg.setdefault("num_vnodes", 32)
+    cluster = SednaCluster(n_nodes=5, zk_size=3, seed=seed,
+                           config=SednaConfig(**cfg),
+                           zk_config=ZkConfig(session_timeout=1.0))
+    cluster.start()
+    return cluster
+
+
+class TestMessageLoss:
+    def test_acknowledged_writes_survive_loss(self):
+        cluster = build()
+        # 10% loss on the whole fabric (ZooKeeper included).
+        loss = cluster.failures.message_loss(0.10, seed=7)
+        client = cluster.client()
+        acked = []
+
+        def write_phase():
+            for i in range(60):
+                status = yield from client.write_latest(f"c{i}", f"v{i}")
+                if status == WriteOutcome.OK:
+                    acked.append(i)
+            return True
+
+        cluster.run(write_phase())
+        loss.stop()
+        cluster.settle(2.0)
+        assert len(acked) > 30, "10% loss should not fail most writes"
+
+        def read_phase():
+            wrong = []
+            for i in acked:
+                value = yield from client.read_latest(f"c{i}")
+                if value != f"v{i}":
+                    wrong.append((i, value))
+            return wrong
+
+        wrong = cluster.run(read_phase())
+        assert wrong == [], f"acknowledged writes lost: {wrong}"
+
+    def test_heavy_loss_degrades_but_stays_safe(self):
+        cluster = build()
+        loss = cluster.failures.message_loss(0.35, seed=3)
+        client = cluster.client()
+        outcomes = {"ok": [], "failed": []}
+
+        def write_phase():
+            for i in range(40):
+                status = yield from client.write_latest(f"h{i}", f"v{i}")
+                (outcomes["ok"] if status == WriteOutcome.OK
+                 else outcomes["failed"]).append(i)
+            return True
+
+        cluster.run(write_phase())
+        loss.stop()
+        cluster.settle(2.0)
+
+        def read_phase():
+            wrong = []
+            for i in outcomes["ok"]:
+                value = yield from client.read_latest(f"h{i}")
+                if value != f"v{i}":
+                    wrong.append(i)
+            return wrong
+
+        assert cluster.run(read_phase()) == []
+
+
+class TestPartition:
+    def test_minority_partition_rejects_then_heals(self):
+        cluster = build()
+        client = cluster.client(pinned="node0")
+
+        def seed():
+            status = yield from client.write_latest("island", "before")
+            return status
+
+        assert cluster.run(seed()) == WriteOutcome.OK
+
+        # Cut node0 (our coordinator) plus node1 off from everything,
+        # including the ZooKeeper ensemble.
+        minority = ["node0", "node0-zk", "node1", "node1-zk"]
+        everyone = ([f"node{i}" for i in range(2, 5)]
+                    + [f"node{i}-zk" for i in range(2, 5)]
+                    + ["zk0", "zk1", "zk2"]
+                    + [client.name])
+        part = cluster.failures.partition(minority, everyone)
+        cluster.settle(1.0)
+
+        majority_client = cluster.client(pinned="node3")
+
+        def majority_write():
+            return (yield from majority_client.write_latest("island",
+                                                            "after"))
+
+        # Majority side keeps accepting writes (quorum reachable among
+        # the surviving replicas after lazy recovery).
+        cluster.settle(4.0)
+
+        def touch():
+            return (yield from majority_client.read_latest("island"))
+
+        cluster.run(touch())
+        cluster.settle(3.0)
+        status = cluster.run(majority_write())
+        assert status == WriteOutcome.OK
+
+        part.heal()
+        cluster.settle(2.0)
+
+        def read_after_heal():
+            return (yield from majority_client.read_latest("island"))
+
+        assert cluster.run(read_after_heal()) == "after"
+
+    def test_no_resurrection_after_heal_with_antientropy(self):
+        cluster = build()
+        client = cluster.client(pinned="node2")
+
+        def seed():
+            yield from client.write_latest("zombie", "v1")
+            return True
+
+        cluster.run(seed())
+
+        # Partition one replica holder away, then overwrite the key.
+        encoded = FullKey.of("zombie").encoded()
+        holder = next(n for n in cluster.nodes.values()
+                      if encoded in n.store and n.name != "node2")
+        island = [holder.name, f"{holder.name}-zk"]
+        mainland = [n for n in cluster.network.endpoints
+                    if n not in island]
+        part = cluster.failures.partition(island, mainland)
+        cluster.settle(4.0)
+
+        def overwrite():
+            return (yield from client.write_latest("zombie", "v2"))
+
+        # May need lazy recovery of the partitioned replica first.
+        cluster.run(overwrite())
+        cluster.settle(3.0)
+
+        part.heal()
+        managers = [AntiEntropyManager(node, interval=0.5,
+                                       vnodes_per_pass=32)
+                    for node in cluster.nodes.values() if node.running]
+        for m in managers:
+            m.start()
+        cluster.settle(4.0)
+        for m in managers:
+            m.stop()
+
+        def read_everywhere():
+            values = []
+            for name in cluster.node_names:
+                reader = cluster.client(pinned=name)
+                values.append((yield from reader.read_latest("zombie")))
+            return values
+
+        values = cluster.run(read_everywhere())
+        assert all(v == "v2" for v in values), (
+            f"stale v1 resurrected: {values}")
+
+
+class TestCrashChurn:
+    def test_rolling_crashes_keep_data(self):
+        cluster = build(persistence="wal")
+        client = cluster.client()
+
+        def seed():
+            for i in range(30):
+                yield from client.write_latest(f"r{i}", f"v{i}")
+            return True
+
+        cluster.run(seed())
+
+        def touch_all():
+            for i in range(30):
+                yield from client.read_latest(f"r{i}")
+            return True
+
+        # Roll a crash through three different nodes.
+        for victim in ("node1", "node3", "node0"):
+            cluster.crash_node(victim)
+            cluster.settle(4.0)       # session expiry
+            cluster.run(touch_all())  # lazy recovery
+            cluster.settle(3.0)
+            cluster.restart_node(victim)
+            cluster.settle(1.0)
+
+        def verify():
+            wrong = []
+            for i in range(30):
+                value = yield from client.read_latest(f"r{i}")
+                if value != f"v{i}":
+                    wrong.append((i, value))
+            return wrong
+
+        assert cluster.run(verify()) == []
+
+    def test_replica_sets_converge_after_churn(self):
+        cluster = build()
+        client = cluster.client()
+
+        def seed():
+            for i in range(20):
+                yield from client.write_latest(f"s{i}", i)
+            return True
+
+        cluster.run(seed())
+        cluster.crash_node("node4")
+        cluster.settle(4.0)
+
+        def touch():
+            for i in range(20):
+                yield from client.read_latest(f"s{i}")
+            return True
+
+        cluster.run(touch())
+        cluster.settle(3.0)
+        cluster.run(touch())
+        cluster.settle(3.0)
+
+        managers = [AntiEntropyManager(node, interval=0.5,
+                                       vnodes_per_pass=32)
+                    for node in cluster.nodes.values() if node.running]
+        for m in managers:
+            m.start()
+        cluster.settle(3.0)
+        for m in managers:
+            m.stop()
+
+        ring = cluster.nodes["node0"].cache.ring
+        for i in range(20):
+            encoded = FullKey.of(f"s{i}").encoded()
+            replicas = ring.replicas_for(ring.vnode_of(encoded), 3)
+            sets = []
+            for name in replicas:
+                node = cluster.nodes[name]
+                if not node.running:
+                    continue
+                sets.append(sorted(
+                    (e.source, e.timestamp, e.value)
+                    for e in node.store.read_all(encoded)))
+            assert sets and all(s == sets[0] for s in sets), \
+                f"s{i} diverged across {replicas}"

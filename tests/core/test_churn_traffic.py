@@ -1,0 +1,133 @@
+"""Membership churn while client traffic is live.
+
+The join protocol moves vnodes (with data) while the cluster serves;
+recovery rewrites mappings while coordinators race it.  These tests
+interleave all of it and check nothing acknowledged is ever lost.
+"""
+
+import pytest
+
+from repro.core.cluster import SednaCluster
+from repro.core.config import SednaConfig
+from repro.core.node import SednaNode
+from repro.persistence.disk import SimDisk
+from repro.storage.versioned import WriteOutcome
+from repro.zk.server import ZkConfig
+
+
+def build(n_nodes=4):
+    cluster = SednaCluster(n_nodes=n_nodes, zk_size=3,
+                           config=SednaConfig(num_vnodes=32,
+                                              lease_base=0.3),
+                           zk_config=ZkConfig(session_timeout=1.0))
+    cluster.start()
+    return cluster
+
+
+class TestJoinDuringTraffic:
+    def test_writes_continue_while_node_joins(self):
+        cluster = build()
+        client = cluster.client()
+        acked = []
+        join_done = {}
+
+        def writer():
+            for i in range(80):
+                status = yield from client.write_latest(f"jt{i}", f"v{i}")
+                if status == WriteOutcome.OK:
+                    acked.append(i)
+                yield cluster.sim.timeout(0.05)
+            return True
+
+        def joiner():
+            yield cluster.sim.timeout(1.0)  # join mid-stream
+            disk = SimDisk()
+            newcomer = SednaNode(cluster.sim, cluster.network, "node4",
+                                 cluster.ensemble.names, cluster.config,
+                                 cluster.zk_config, disk=disk)
+            cluster.nodes["node4"] = newcomer
+            cluster.node_names.append("node4")
+            yield from newcomer.join()
+            join_done["at"] = cluster.sim.now
+            return True
+
+        cluster.run_all([writer(), joiner()])
+        cluster.settle(3.0)
+        assert "at" in join_done
+        assert len(acked) >= 75, f"only {len(acked)} of 80 acked"
+
+        def verify():
+            wrong = []
+            for i in acked:
+                value = yield from client.read_latest(f"jt{i}")
+                if value != f"v{i}":
+                    wrong.append(i)
+            return wrong
+
+        assert cluster.run(verify()) == []
+
+    def test_crash_during_traffic_no_acked_loss(self):
+        cluster = build(n_nodes=5)
+        client = cluster.client()
+        acked = []
+
+        def writer():
+            for i in range(100):
+                status = yield from client.write_latest(f"ct{i}", f"v{i}")
+                if status == WriteOutcome.OK:
+                    acked.append(i)
+                yield cluster.sim.timeout(0.04)
+            return True
+
+        def crasher():
+            yield cluster.sim.timeout(1.5)
+            cluster.crash_node("node2")
+            return True
+
+        cluster.run_all([writer(), crasher()])
+        cluster.settle(4.0)
+
+        def verify():
+            wrong = []
+            for i in acked:
+                value = yield from client.read_latest(f"ct{i}")
+                if value != f"v{i}":
+                    wrong.append((i, value))
+            return wrong
+
+        wrong = cluster.run(verify())
+        assert wrong == [], f"acked writes lost across crash: {wrong}"
+
+    def test_crash_and_rejoin_during_traffic(self):
+        cluster = build(n_nodes=5)
+        client = cluster.client()
+        acked = []
+
+        def writer():
+            for i in range(120):
+                status = yield from client.write_latest(f"rr{i}", f"v{i}")
+                if status == WriteOutcome.OK:
+                    acked.append(i)
+                yield cluster.sim.timeout(0.05)
+            return True
+
+        def churner():
+            yield cluster.sim.timeout(1.0)
+            cluster.crash_node("node1")
+            yield cluster.sim.timeout(3.0)  # past session expiry
+            yield from cluster.nodes["node1"].restart()
+            return True
+
+        cluster.run_all([writer(), churner()])
+        cluster.settle(4.0)
+        assert cluster.nodes["node1"].running
+
+        def verify():
+            wrong = []
+            for i in acked:
+                value = yield from client.read_latest(f"rr{i}")
+                if value != f"v{i}":
+                    wrong.append(i)
+            return wrong
+
+        assert cluster.run(verify()) == []

@@ -1,0 +1,194 @@
+"""Integration tests: node failure, lazy recovery, read repair (§III.C-D)."""
+
+import pytest
+
+from repro.core.cluster import SednaCluster
+from repro.core.config import SednaConfig
+from repro.core.types import FullKey
+from repro.storage.versioned import WriteOutcome
+from repro.zk.server import ZkConfig
+
+
+def build(n_nodes=5, **cfg_kwargs):
+    cfg_kwargs.setdefault("num_vnodes", 32)
+    cluster = SednaCluster(n_nodes=n_nodes, zk_size=3,
+                           config=SednaConfig(**cfg_kwargs),
+                           zk_config=ZkConfig(session_timeout=1.0))
+    cluster.start()
+    return cluster
+
+
+class TestNodeCrash:
+    def test_reads_survive_single_crash(self):
+        cluster = build()
+        client = cluster.client()
+
+        def seed():
+            for i in range(15):
+                yield from client.write_latest(f"k{i}", f"v{i}")
+            return True
+
+        cluster.run(seed())
+        cluster.crash_node("node2")
+
+        def read_back():
+            values = []
+            for i in range(15):
+                values.append((yield from client.read_latest(f"k{i}")))
+            return values
+
+        values = cluster.run(read_back())
+        assert values == [f"v{i}" for i in range(15)]
+
+    def test_writes_survive_single_crash(self):
+        cluster = build()
+        client = cluster.client()
+        cluster.crash_node("node1")
+
+        def write():
+            statuses = []
+            for i in range(15):
+                statuses.append((yield from client.write_latest(f"w{i}", i)))
+            return statuses
+
+        statuses = cluster.run(write())
+        assert all(s == WriteOutcome.OK for s in statuses)
+
+    def test_ephemeral_znode_disappears_after_expiry(self):
+        cluster = build()
+        cluster.crash_node("node3")
+        cluster.settle(5.0)
+        leader = cluster.ensemble.leader()
+        children = leader.tree.get_children("/sedna/real_nodes")
+        assert "node3" not in children
+
+    def test_lazy_recovery_restores_replication_factor(self):
+        cluster = build()
+        client = cluster.client()
+
+        def seed():
+            for i in range(10):
+                yield from client.write_latest(f"r{i}", i)
+            return True
+
+        cluster.run(seed())
+        cluster.crash_node("node2")
+        cluster.settle(5.0)  # let the ZK session expire
+
+        # Touch every key: reads trigger investigation + re-duplication.
+        def touch():
+            for i in range(10):
+                yield from client.read_latest(f"r{i}")
+            return True
+
+        cluster.run(touch())
+        cluster.settle(3.0)  # async duplication tasks finish
+
+        def touch_again():
+            for i in range(10):
+                yield from client.read_latest(f"r{i}")
+            return True
+
+        cluster.run(touch_again())
+        cluster.settle(3.0)
+
+        missing = []
+        for i in range(10):
+            encoded = FullKey.of(f"r{i}").encoded()
+            live = cluster.total_replicas_of(encoded)
+            if live < 3:
+                missing.append((f"r{i}", live))
+        assert not missing, f"keys below replication factor: {missing}"
+
+    def test_recovery_updates_zookeeper_mapping(self):
+        cluster = build()
+        client = cluster.client()
+
+        def seed():
+            for i in range(10):
+                yield from client.write_latest(f"m{i}", i)
+            return True
+
+        cluster.run(seed())
+        cluster.crash_node("node4")
+        cluster.settle(5.0)
+
+        def touch():
+            for i in range(10):
+                yield from client.read_latest(f"m{i}")
+            return True
+
+        cluster.run(touch())
+        cluster.settle(3.0)
+
+        # The dead node must no longer own the vnodes of the touched keys.
+        leader = cluster.ensemble.leader()
+        ring = cluster.nodes["node0"].cache.ring
+        for i in range(10):
+            vnode = ring.vnode_of(FullKey.of(f"m{i}").encoded())
+            data, _ = leader.tree.get(f"/sedna/vnodes/{vnode}")
+            assert data.decode() != "node4"
+
+    def test_restart_rejoins_and_serves(self):
+        cluster = build()
+        client = cluster.client()
+
+        def seed():
+            yield from client.write_latest("before", "x")
+            return True
+
+        cluster.run(seed())
+        cluster.crash_node("node1")
+        cluster.settle(5.0)
+        cluster.restart_node("node1")
+        cluster.settle(1.0)
+        assert cluster.nodes["node1"].running
+
+        pinned = cluster.client(pinned="node1")
+
+        def through_restarted():
+            yield from pinned.write_latest("after", "y")
+            return (yield from pinned.read_latest("after"))
+
+        assert cluster.run(through_restarted()) == "y"
+
+
+class TestReadRepair:
+    def test_stale_replica_repaired_on_read(self):
+        cluster = build()
+        client = cluster.client()
+
+        def seed():
+            yield from client.write_latest("repair-me", "v1")
+            return True
+
+        cluster.run(seed())
+        cluster.settle(0.2)
+
+        encoded = FullKey.of("repair-me").encoded()
+        holders = [n for n in cluster.nodes.values() if encoded in n.store]
+        assert len(holders) == 3
+        # Manually mutilate one replica to an older version.
+        victim = holders[0]
+        victim.store.delete(encoded)
+
+        def read():
+            return (yield from client.read_latest("repair-me"))
+
+        assert cluster.run(read()) == "v1"
+        cluster.settle(0.5)
+        assert encoded in victim.store, "read repair must restore the copy"
+        assert victim.store.read_latest(encoded).value == "v1"
+
+    def test_quorum_fails_when_too_many_replicas_down(self):
+        # 3 nodes, N=3: crashing two leaves only one live replica < W.
+        cluster = build(n_nodes=3)
+        client = cluster.client(pinned="node0")
+        cluster.crash_node("node1")
+        cluster.crash_node("node2")
+
+        def write():
+            return (yield from client.write_latest("doomed", "x"))
+
+        status = cluster.run(write())
+        assert status == WriteOutcome.FAILURE

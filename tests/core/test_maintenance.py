@@ -1,0 +1,83 @@
+"""The full production posture: all background services on at once."""
+
+import pytest
+
+from repro.core.cluster import SednaCluster
+from repro.core.config import SednaConfig
+from repro.core.types import FullKey
+from repro.storage.versioned import WriteOutcome
+from repro.zk.server import ZkConfig
+
+
+class TestMaintenanceMode:
+    def test_services_start_and_stop(self):
+        cluster = SednaCluster(n_nodes=3, zk_size=3,
+                               config=SednaConfig(num_vnodes=16))
+        cluster.start()
+        services = cluster.enable_maintenance()
+        assert len(services["anti_entropy"]) == 3
+        assert len(services["gc"]) == 3
+        assert len(services["detector"]) == 3
+        assert len(services["rebalance"]) == 1
+        cluster.settle(3.0)
+        cluster.disable_maintenance()
+        assert all(not s.running
+                   for group in services.values() for s in group)
+
+    def test_maintenance_does_not_disturb_steady_state(self):
+        cluster = SednaCluster(n_nodes=4, zk_size=3,
+                               config=SednaConfig(num_vnodes=32))
+        cluster.start()
+        client = cluster.client()
+
+        def seed():
+            for i in range(25):
+                yield from client.write_latest(f"mm{i}", f"v{i}")
+            return True
+
+        cluster.run(seed())
+        services = cluster.enable_maintenance()
+        cluster.settle(20.0)
+        cluster.disable_maintenance()
+        # Quiet cluster: nothing moved, nothing dropped, nobody repaired.
+        assert all(m.keys_pulled == 0 and m.keys_pushed == 0
+                   for m in services["anti_entropy"])
+        assert all(g.rows_dropped == 0 for g in services["gc"])
+        assert all(d.deaths_confirmed == 0 for d in services["detector"])
+        assert services["rebalance"][0].moves == 0
+
+        def verify():
+            wrong = 0
+            for i in range(25):
+                if (yield from client.read_latest(f"mm{i}")) != f"v{i}":
+                    wrong += 1
+            return wrong
+
+        assert cluster.run(verify()) == 0
+
+    def test_crash_heals_hands_free(self):
+        """The whole §III story end to end, untouched by any client:
+        crash -> heartbeat expiry -> active detection -> recovery ->
+        anti-entropy convergence, with zero reads."""
+        cluster = SednaCluster(n_nodes=5, zk_size=3,
+                               config=SednaConfig(num_vnodes=24,
+                                                  lease_base=0.3),
+                               zk_config=ZkConfig(session_timeout=1.0))
+        cluster.start()
+        client = cluster.client()
+
+        def seed():
+            for i in range(20):
+                yield from client.write_latest(f"hf{i}", f"v{i}")
+            return True
+
+        cluster.run(seed())
+        cluster.enable_maintenance()
+        cluster.crash_node("node1")
+        cluster.settle(30.0)  # no traffic at all
+        cluster.disable_maintenance()
+
+        under = [i for i in range(20)
+                 if cluster.total_replicas_of(
+                     FullKey.of(f"hf{i}").encoded()) < 3]
+        assert under == [], f"hands-free healing left {under} degraded"

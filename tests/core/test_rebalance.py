@@ -1,0 +1,150 @@
+"""Integration tests for the data-balance manager (§III.A/B)."""
+
+import pytest
+
+from repro.core.cache import ZkLayout
+from repro.core.cluster import SednaCluster
+from repro.core.config import SednaConfig
+from repro.core.rebalance import Rebalancer
+from repro.zk.server import ZkConfig
+
+
+def build_skewed(num_vnodes=24, n_nodes=3):
+    """A cluster whose mapping is deliberately piled onto node0."""
+    cluster = SednaCluster(n_nodes=n_nodes, zk_size=3,
+                           config=SednaConfig(
+                               num_vnodes=num_vnodes,
+                               imbalance_push_interval=0.5,
+                               lease_base=0.5),
+                           zk_config=ZkConfig(session_timeout=1.0))
+    cluster.start()
+
+    def skew():
+        zk = cluster.ensemble.client("admin")
+        yield from zk.connect()
+        for v in range(num_vnodes):
+            data, stat = yield from zk.get(ZkLayout.vnode(v))
+            # Pile node1's share onto node0; node2 keeps its third.
+            if data.decode() == "node1":
+                yield from zk.set(ZkLayout.vnode(v), b"node0",
+                                  version=stat["version"])
+                yield from zk.create(f"{ZkLayout.CHANGELOG}/e-",
+                                     str(v).encode(), sequential=True)
+        return True
+
+    cluster.run(skew())
+    cluster.settle(3.0)  # caches pick up the skew; imbalance rows pushed
+    return cluster
+
+
+def authoritative_counts(cluster):
+    leader = cluster.ensemble.leader()
+    counts = {name: 0 for name, node in cluster.nodes.items()
+              if node.running}
+    for v in range(cluster.config.num_vnodes):
+        data, _ = leader.tree.get(ZkLayout.vnode(v))
+        owner = data.decode()
+        counts[owner] = counts.get(owner, 0) + 1
+    return counts
+
+
+class TestRebalancer:
+    def test_reduces_spread(self):
+        cluster = build_skewed()
+        before = authoritative_counts(cluster)
+        assert max(before.values()) - min(before.values()) > 4, \
+            "test setup must be skewed"
+        rebalancer = Rebalancer(cluster.nodes["node1"], interval=1.0,
+                                threshold=1, max_moves_per_pass=4)
+        rebalancer.start()
+        cluster.settle(30.0)
+        rebalancer.stop()
+        after = authoritative_counts(cluster)
+        spread = max(after.values()) - min(after.values())
+        assert spread <= 3, f"spread still {spread}: {after}"
+        assert rebalancer.moves > 0
+
+    def test_moves_are_changelogged(self):
+        cluster = build_skewed()
+        leader = cluster.ensemble.leader()
+        entries_before = len(leader.tree.get_children(ZkLayout.CHANGELOG))
+        rebalancer = Rebalancer(cluster.nodes["node2"], interval=1.0,
+                                threshold=1)
+        rebalancer.start()
+        cluster.settle(15.0)
+        rebalancer.stop()
+        entries_after = len(leader.tree.get_children(ZkLayout.CHANGELOG))
+        assert entries_after - entries_before >= rebalancer.moves
+
+    def test_data_still_readable_after_rebalance(self):
+        cluster = build_skewed()
+        client = cluster.client()
+
+        def seed():
+            for i in range(30):
+                yield from client.write_latest(f"rb{i}", i)
+            return True
+
+        cluster.run(seed())
+        rebalancer = Rebalancer(cluster.nodes["node1"], interval=1.0,
+                                threshold=1)
+        rebalancer.start()
+        cluster.settle(25.0)
+        rebalancer.stop()
+
+        def read_back():
+            values = []
+            for i in range(30):
+                values.append((yield from client.read_latest(f"rb{i}")))
+            return values
+
+        assert cluster.run(read_back()) == list(range(30))
+
+    def test_balanced_cluster_untouched(self):
+        cluster = SednaCluster(n_nodes=3, zk_size=3,
+                               config=SednaConfig(
+                                   num_vnodes=24,
+                                   imbalance_push_interval=0.5))
+        cluster.start()
+        cluster.settle(2.0)
+        rebalancer = Rebalancer(cluster.nodes["node0"], interval=1.0,
+                                threshold=1)
+        rebalancer.start()
+        cluster.settle(10.0)
+        rebalancer.stop()
+        assert rebalancer.moves == 0
+        assert rebalancer.passes > 0
+
+    def test_dead_node_rows_pruned(self):
+        cluster = SednaCluster(n_nodes=3, zk_size=3,
+                               config=SednaConfig(
+                                   num_vnodes=24,
+                                   imbalance_push_interval=0.5),
+                               zk_config=ZkConfig(session_timeout=1.0))
+        cluster.start()
+        cluster.settle(2.0)  # imbalance rows exist for everyone
+        cluster.crash_node("node2")
+        cluster.settle(4.0)  # ZK session expires
+        rebalancer = Rebalancer(cluster.nodes["node0"], interval=1.0,
+                                threshold=1)
+        rebalancer.start()
+        cluster.settle(5.0)
+        rebalancer.stop()
+        assert rebalancer.rows_dropped >= 1
+        leader = cluster.ensemble.leader()
+        rows = leader.tree.get_children(ZkLayout.IMBALANCE)
+        assert "node2" not in rows
+
+    def test_concurrent_rebalancers_are_safe(self):
+        cluster = build_skewed()
+        r1 = Rebalancer(cluster.nodes["node1"], interval=1.0, threshold=1)
+        r2 = Rebalancer(cluster.nodes["node2"], interval=1.1, threshold=1)
+        r1.start()
+        r2.start()
+        cluster.settle(30.0)
+        r1.stop()
+        r2.stop()
+        after = authoritative_counts(cluster)
+        # Version-checked moves: no vnode lost, no duplicate ownership.
+        assert sum(after.values()) == cluster.config.num_vnodes
+        assert max(after.values()) - min(after.values()) <= 3

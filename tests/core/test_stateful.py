@@ -1,0 +1,95 @@
+"""Model-based stateful test: the cluster vs a dict, under crash churn.
+
+Hypothesis drives random interleavings of writes, reads, node crashes
+and restarts against a live cluster, checking after every step that the
+system agrees with a trivial sequential model.  The disciplines:
+
+* at most one node is down at a time (so every quorum stays reachable
+  and the model is exact — acknowledged writes must always read back);
+* after a crash the machine settles past the ZooKeeper session timeout,
+  mirroring the §III.D detection path.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (Bundle, RuleBasedStateMachine, initialize,
+                                 invariant, precondition, rule)
+from hypothesis import strategies as st
+
+from repro.core.cluster import SednaCluster
+from repro.core.config import SednaConfig
+from repro.storage.versioned import WriteOutcome
+from repro.zk.server import ZkConfig
+
+KEYS = [f"sm{i}" for i in range(8)]
+
+
+class ClusterMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cluster = SednaCluster(
+            n_nodes=5, zk_size=3,
+            config=SednaConfig(num_vnodes=24),
+            zk_config=ZkConfig(session_timeout=1.0))
+        self.cluster.start()
+        self.client = self.cluster.client("model-client")
+        self.model: dict[str, str] = {}
+        self.down: str | None = None
+        self.counter = 0
+
+    # -- operations -----------------------------------------------------
+    @rule(key=st.sampled_from(KEYS))
+    def write(self, key):
+        self.counter += 1
+        value = f"val-{self.counter}"
+
+        def go():
+            return (yield from self.client.write_latest(key, value))
+
+        status = self.cluster.run(go())
+        assert status == WriteOutcome.OK, \
+            f"write must succeed with >= 4 live nodes, got {status}"
+        self.model[key] = value
+
+    @rule(key=st.sampled_from(KEYS))
+    def read(self, key):
+        def go():
+            return (yield from self.client.read_latest(key))
+
+        value = self.cluster.run(go())
+        assert value == self.model.get(key), \
+            f"{key}: cluster={value!r} model={self.model.get(key)!r}"
+
+    @precondition(lambda self: self.down is None)
+    @rule(victim=st.sampled_from([f"node{i}" for i in range(5)]))
+    def crash(self, victim):
+        self.cluster.crash_node(victim)
+        self.down = victim
+        # Let the ZooKeeper session expire so recovery can proceed.
+        self.cluster.settle(3.0)
+
+    @precondition(lambda self: self.down is not None)
+    @rule()
+    def restart(self):
+        self.cluster.restart_node(self.down)
+        self.down = None
+        self.cluster.settle(0.5)
+
+    @rule(duration=st.sampled_from([0.2, 1.0]))
+    def let_time_pass(self, duration):
+        self.cluster.settle(duration)
+
+    # -- invariants -------------------------------------------------------
+    @invariant()
+    def zookeeper_has_a_leader(self):
+        assert self.cluster.ensemble.leader() is not None
+
+    @invariant()
+    def live_nodes_stay_up(self):
+        for name, node in self.cluster.nodes.items():
+            if name != self.down:
+                assert node.running, f"{name} died unexpectedly"
+
+
+ClusterMachine.TestCase.settings = settings(
+    max_examples=8, stateful_step_count=15, deadline=None)
+TestClusterModel = ClusterMachine.TestCase

@@ -1,0 +1,64 @@
+"""Unit tests for the measurement helpers."""
+
+import pytest
+
+from repro.core.stats import LatencySeries, percentile, summarize
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 99) == 5.0
+
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_interpolated(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_order_independent(self):
+        assert percentile([3, 1, 2], 50) == percentile([1, 2, 3], 50)
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert summarize([]) == {"count": 0}
+
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["count"] == 3
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["min"] == 1.0 and s["max"] == 3.0
+        assert s["total"] == pytest.approx(6.0)
+
+
+class TestLatencySeries:
+    def test_accumulates_ms(self):
+        series = LatencySeries("w")
+        for _ in range(10):
+            series.record(0.001)
+        assert series.total_ms == pytest.approx(10.0)
+        assert series.count == 10
+
+    def test_sampling_every(self):
+        series = LatencySeries("w")
+        for _ in range(2500):
+            series.record(0.001, every=1000)
+        assert [n for n, _ in series.points] == [1000, 2000]
+        series.finish()
+        assert series.points[-1][0] == 2500
+
+    def test_finish_idempotent_at_boundary(self):
+        series = LatencySeries("w")
+        for _ in range(1000):
+            series.record(0.001, every=1000)
+        series.finish()
+        assert [n for n, _ in series.points] == [1000]

@@ -1,0 +1,144 @@
+"""Tests for the distributed shared memory helpers."""
+
+import pytest
+
+from repro.core.cluster import SednaCluster
+from repro.core.config import SednaConfig
+from repro.dsm import SharedCounter, SharedSet, SharedValue
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    c = SednaCluster(n_nodes=3, zk_size=3,
+                     config=SednaConfig(num_vnodes=32))
+    c.start()
+    return c
+
+
+class TestSharedValue:
+    def test_set_get(self, cluster):
+        reg = SharedValue(cluster.client("sv1"), "mode")
+
+        def script():
+            yield from reg.set("fast")
+            return (yield from reg.get())
+
+        assert cluster.run(script()) == "fast"
+
+    def test_default_when_unset(self, cluster):
+        reg = SharedValue(cluster.client("sv2"), "never-set")
+
+        def script():
+            return (yield from reg.get(default="fallback"))
+
+        assert cluster.run(script()) == "fallback"
+
+    def test_last_writer_wins_across_clients(self, cluster):
+        a = SharedValue(cluster.client("sv3a"), "lww")
+        b = SharedValue(cluster.client("sv3b"), "lww")
+
+        def script():
+            yield from a.set("first")
+            yield from b.set("second")
+            return (yield from a.get())
+
+        assert cluster.run(script()) == "second"
+
+    def test_namespaced_per_name(self, cluster):
+        c = cluster.client("sv4")
+        r1 = SharedValue(c, "name-a")
+        r2 = SharedValue(c, "name-b")
+
+        def script():
+            yield from r1.set(1)
+            yield from r2.set(2)
+            return (yield from r1.get()), (yield from r2.get())
+
+        assert cluster.run(script()) == (1, 2)
+
+
+class TestSharedCounter:
+    def test_increment_decrement(self, cluster):
+        counter = SharedCounter(cluster.client("sc1"), "hits")
+
+        def script():
+            yield from counter.increment(5)
+            yield from counter.decrement(2)
+            return (yield from counter.value())
+
+        assert cluster.run(script()) == 3
+
+    def test_concurrent_writers_never_lose_updates(self, cluster):
+        """The CRDT property write_all provides: increments from
+        different clients merge, they do not overwrite."""
+        counters = [SharedCounter(cluster.client(f"sc2-{i}"), "shared-hits")
+                    for i in range(4)]
+
+        def writer(counter, n):
+            for _ in range(n):
+                yield from counter.increment()
+            return True
+
+        cluster.run_all([writer(c, 10) for c in counters])
+
+        def read():
+            return (yield from counters[0].value())
+
+        assert cluster.run(read()) == 40
+
+    def test_negative_amounts_rejected(self, cluster):
+        counter = SharedCounter(cluster.client("sc3"), "x")
+        with pytest.raises(ValueError):
+            next(counter.increment(-1))
+        with pytest.raises(ValueError):
+            next(counter.decrement(-1))
+
+    def test_zero_when_untouched(self, cluster):
+        counter = SharedCounter(cluster.client("sc4"), "fresh-counter")
+
+        def script():
+            return (yield from counter.value())
+
+        assert cluster.run(script()) == 0
+
+
+class TestSharedSet:
+    def test_add_and_members(self, cluster):
+        shared = SharedSet(cluster.client("ss1"), "tags")
+
+        def script():
+            yield from shared.add("alpha")
+            yield from shared.add("beta")
+            yield from shared.add("alpha")  # idempotent
+            return (yield from shared.members())
+
+        assert sorted(cluster.run(script())) == ["alpha", "beta"]
+
+    def test_union_across_writers(self, cluster):
+        a = SharedSet(cluster.client("ss2a"), "union")
+        b = SharedSet(cluster.client("ss2b"), "union")
+
+        def script():
+            yield from a.add_many(["x", "y"])
+            yield from b.add_many(["y", "z"])
+            return (yield from a.members())
+
+        assert sorted(cluster.run(script())) == ["x", "y", "z"]
+
+    def test_contains(self, cluster):
+        shared = SharedSet(cluster.client("ss3"), "membership")
+
+        def script():
+            yield from shared.add(42)
+            return ((yield from shared.contains(42)),
+                    (yield from shared.contains(7)))
+
+        assert cluster.run(script()) == (True, False)
+
+    def test_empty_set(self, cluster):
+        shared = SharedSet(cluster.client("ss4"), "empty")
+
+        def script():
+            return (yield from shared.members())
+
+        assert cluster.run(script()) == []

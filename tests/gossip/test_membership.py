@@ -1,0 +1,74 @@
+"""Tests for the gossip membership substrate."""
+
+import pytest
+
+from repro.gossip.membership import GossipCluster
+from repro.net.latency import LanGigabit
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+
+
+def build(size=8, **kwargs):
+    sim = Simulator()
+    net = Network(sim, latency=LanGigabit(seed=9))
+    cluster = GossipCluster(sim, net, size=size, **kwargs)
+    cluster.start()
+    return sim, cluster
+
+
+class TestConvergence:
+    def test_full_membership_converges(self):
+        sim, cluster = build(size=8)
+        sim.run(until=10.0)
+        assert cluster.converged()
+        any_node = next(iter(cluster.nodes.values()))
+        assert any_node.alive_members() == set(cluster.names)
+
+    def test_join_propagates_to_everyone(self):
+        sim, cluster = build(size=6)
+        sim.run(until=5.0)
+        cluster.add_node("newbie", interval=0.5, fanout=2)
+        sim.run(until=sim.now + 6.0)
+        for node in cluster.nodes.values():
+            assert "newbie" in node.alive_members(), node.name
+
+    def test_death_detected_everywhere(self):
+        sim, cluster = build(size=6, fail_after=2.0)
+        sim.run(until=5.0)
+        cluster.nodes["g3"].stop()
+        sim.run(until=sim.now + 8.0)
+        for name, node in cluster.nodes.items():
+            if node.running:
+                assert "g3" not in node.alive_members(), name
+
+    def test_deterministic(self):
+        def run_once():
+            sim, cluster = build(size=5, rng_seed=77)
+            sim.run(until=6.0)
+            return sorted((n.name, n.messages_sent)
+                          for n in cluster.nodes.values())
+
+        assert run_once() == run_once()
+
+
+class TestMessageCost:
+    def test_steady_state_rate_is_n_times_fanout(self):
+        sim, cluster = build(size=10, interval=0.5, fanout=2)
+        sim.run(until=5.0)
+        before = cluster.total_messages()
+        sim.run(until=10.0)
+        sent = cluster.total_messages() - before
+        rounds = 5.0 / 0.5
+        expected = 10 * 2 * rounds
+        assert expected * 0.8 <= sent <= expected * 1.2
+
+    def test_view_payload_grows_with_cluster(self):
+        """The §VII overhead argument: each gossip message carries the
+        whole view, so bytes scale with membership size."""
+        from repro.net.transport import estimate_size
+        sim, cluster = build(size=12)
+        sim.run(until=5.0)
+        node = cluster.nodes["g0"]
+        payload = {"gossip": {name: [e[0], e[2]]
+                              for name, e in node.view.items()}}
+        assert estimate_size(payload) > 12 * 8

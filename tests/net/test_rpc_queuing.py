@@ -1,0 +1,108 @@
+"""Tests for the RPC server's single service queue (Fig. 8 substrate)."""
+
+import pytest
+
+from repro.net.latency import NoLatency
+from repro.net.rpc import RpcNode
+from repro.net.simulator import AllOf, Simulator
+from repro.net.transport import Network
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    net = Network(sim, latency=NoLatency())
+    return sim, net
+
+
+class TestServiceQueue:
+    def test_sequential_requests_pay_service_each(self, world):
+        sim, net = world
+        client = RpcNode(net, "c")
+        server = RpcNode(net, "s", service_time=0.01)
+        server.register("op", lambda src, args: "ok")
+
+        def caller():
+            for _ in range(5):
+                yield from client.call("s", "op", None, timeout=1.0)
+            return sim.now
+
+        proc = sim.process(caller())
+        assert sim.run(until=proc) == pytest.approx(0.05)
+
+    def test_concurrent_requests_queue(self, world):
+        """Ten simultaneous requests: completions spaced by the service
+        time, total = 10 * service (an M/D/1 busy period)."""
+        sim, net = world
+        server = RpcNode(net, "s", service_time=0.01)
+        server.register("op", lambda src, args: "ok")
+        completions = []
+
+        def one_client(i):
+            client = RpcNode(net, f"c{i}")
+            yield from client.call("s", "op", None, timeout=5.0)
+            completions.append(sim.now)
+
+        procs = [sim.process(one_client(i)) for i in range(10)]
+        sim.run(until=AllOf(sim, procs))
+        assert completions[-1] == pytest.approx(0.10)
+        gaps = [b - a for a, b in zip(completions, completions[1:])]
+        assert all(g == pytest.approx(0.01) for g in gaps)
+
+    def test_queue_drains_then_idles(self, world):
+        """After a burst the queue empties; later requests start fresh
+        (no phantom backlog)."""
+        sim, net = world
+        client = RpcNode(net, "c")
+        server = RpcNode(net, "s", service_time=0.01)
+        server.register("op", lambda src, args: "ok")
+
+        def caller():
+            yield from client.call("s", "op", None, timeout=1.0)
+            yield sim.timeout(1.0)  # long idle gap
+            t0 = sim.now
+            yield from client.call("s", "op", None, timeout=1.0)
+            return sim.now - t0
+
+        proc = sim.process(caller())
+        assert sim.run(until=proc) == pytest.approx(0.01)
+
+    def test_zero_service_time_is_instant(self, world):
+        sim, net = world
+        client = RpcNode(net, "c")
+        server = RpcNode(net, "s", service_time=0.0)
+        server.register("op", lambda src, args: "ok")
+
+        def caller():
+            yield from client.call("s", "op", None, timeout=1.0)
+            return sim.now
+
+        proc = sim.process(caller())
+        assert sim.run(until=proc) == 0.0
+
+    def test_utilization_slowdown_shape(self, world):
+        """The Fig. 8 mechanism in miniature: per-client latency rises
+        as offered load approaches the server's capacity."""
+        sim, net = world
+        server = RpcNode(net, "s", service_time=0.01)
+        server.register("op", lambda src, args: "ok")
+
+        def measure(n_clients, label):
+            latencies = []
+
+            def client_loop(i):
+                client = RpcNode(net, f"{label}{i}")
+                for _ in range(20):
+                    t0 = sim.now
+                    yield from client.call("s", "op", None, timeout=10.0)
+                    latencies.append(sim.now - t0)
+                    yield sim.timeout(0.02)  # think time
+
+            procs = [sim.process(client_loop(i)) for i in range(n_clients)]
+            sim.run(until=AllOf(sim, procs))
+            return sum(latencies) / len(latencies)
+
+        solo = measure(1, "solo")
+        crowd = measure(4, "crowd")
+        assert crowd > solo, (
+            f"contention must raise latency: {crowd} vs {solo}")

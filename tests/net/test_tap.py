@@ -1,0 +1,133 @@
+"""Tests for the network tap, plus protocol-cost assertions built on it."""
+
+import pytest
+
+from repro.core.cluster import SednaCluster
+from repro.core.config import SednaConfig
+from repro.net.latency import NoLatency
+from repro.net.rpc import RpcNode
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.net.tap import NetworkTap
+
+
+class TestTapBasics:
+    def test_records_requests_and_responses(self):
+        sim = Simulator()
+        net = Network(sim, latency=NoLatency())
+        tap = NetworkTap(net)
+        client = RpcNode(net, "c")
+        server = RpcNode(net, "s")
+        server.register("echo", lambda src, args: args)
+
+        def go():
+            yield from client.call("s", "echo", 1, timeout=1.0)
+
+        sim.process(go())
+        sim.run()
+        assert tap.count(kind="req", method="echo") == 1
+        assert tap.count(kind="resp") == 1
+
+    def test_pass_through_never_drops(self):
+        sim = Simulator()
+        net = Network(sim, latency=NoLatency())
+        NetworkTap(net)
+        a, b = net.endpoint("a"), net.endpoint("b")
+        got = []
+        b.on_message(lambda m: got.append(m.payload))
+        a.send("b", "x")
+        sim.run()
+        assert got == ["x"] and net.dropped == 0
+
+    def test_detach_and_clear(self):
+        sim = Simulator()
+        net = Network(sim, latency=NoLatency())
+        tap = NetworkTap(net)
+        a = net.endpoint("a")
+        net.endpoint("b")
+        a.send("b", {"kind": "req", "id": 1, "method": "m", "args": None})
+        tap.clear()
+        tap.detach()
+        a.send("b", {"kind": "req", "id": 2, "method": "m", "args": None})
+        sim.run()
+        assert tap.records == []
+
+    def test_predicate_filters(self):
+        sim = Simulator()
+        net = Network(sim, latency=NoLatency())
+        tap = NetworkTap(net, predicate=lambda r: r.dst == "b")
+        a = net.endpoint("a")
+        net.endpoint("b")
+        net.endpoint("c")
+        a.send("b", "to-b")
+        a.send("c", "to-c")
+        sim.run()
+        assert {r.dst for r in tap.records} == {"b"}
+
+
+class TestProtocolCosts:
+    """The tap proves the paper's message-economy claims."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        cluster = SednaCluster(n_nodes=4, zk_size=3,
+                               config=SednaConfig(num_vnodes=32))
+        cluster.start()
+        client = cluster.smart_client("cost")
+
+        def connect():
+            yield from client.connect()
+            return True
+
+        cluster.run(connect())
+        return cluster, client
+
+    def test_one_write_costs_exactly_n_replica_messages(self, world):
+        cluster, client = world
+        tap = NetworkTap(cluster.network)
+
+        def one_write():
+            yield from client.write_latest("cost-key", "v")
+            return True
+
+        cluster.run(one_write())
+        tap.detach()
+        writes = tap.count(kind="req", method="replica.write")
+        assert writes == 3, (
+            "a zero-hop quorum write is exactly N=3 replica requests, "
+            f"saw {writes}")
+
+    def test_one_read_costs_exactly_n_replica_messages(self, world):
+        cluster, client = world
+        tap = NetworkTap(cluster.network)
+
+        def one_read():
+            yield from client.read_latest("cost-key")
+            return True
+
+        cluster.run(one_read())
+        tap.detach()
+        assert tap.count(kind="req", method="replica.read") == 3
+
+    def test_steady_state_ops_never_touch_zookeeper(self, world):
+        """§III.E: 'mostly Sedna read the information from ZooKeeper
+        service instead of writing' — and with a warm cache, reads and
+        writes touch ZooKeeper not at all."""
+        cluster, client = world
+        tap = NetworkTap(cluster.network,
+                         predicate=lambda r: r.dst.startswith("zk")
+                         and r.kind == "req"
+                         and r.src.startswith("cost"))
+
+        def workload():
+            for i in range(20):
+                yield from client.write_latest(f"ss{i}", i)
+                yield from client.read_latest(f"ss{i}")
+            return True
+
+        cluster.run(workload())
+        tap.detach()
+        zk_data_ops = [r for r in tap.records
+                       if r.method in ("zk.read", "zk.write")]
+        assert zk_data_ops == [], (
+            f"steady-state KV traffic leaked to ZooKeeper: {zk_data_ops}")

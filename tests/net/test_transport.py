@@ -1,0 +1,195 @@
+"""Unit tests for the simulated transport and latency models."""
+
+import pytest
+
+from repro.net.latency import LanGigabit, NoLatency, UniformLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network, estimate_size
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, latency=NoLatency())
+
+
+class TestEstimateSize:
+    def test_primitives(self):
+        assert estimate_size(None) == 1
+        assert estimate_size(True) == 1
+        assert estimate_size(3) == 8
+        assert estimate_size(2.5) == 8
+        assert estimate_size("abcd") == 4
+        assert estimate_size(b"abcd") == 4
+
+    def test_containers_recurse(self):
+        assert estimate_size(["ab", "cd"]) == 8 + 2 + 2
+        assert estimate_size({"k": "vv"}) == 8 + 1 + 2
+
+    def test_deep_nesting_bounded(self):
+        deep = "x"
+        for _ in range(20):
+            deep = [deep]
+        assert estimate_size(deep) < 1000
+
+
+class TestLatencyModels:
+    def test_no_latency(self):
+        assert NoLatency().delay(10_000) == 0.0
+
+    def test_lan_gigabit_sub_millisecond_for_small_messages(self):
+        model = LanGigabit(seed=1)
+        delays = [model.delay(100) for _ in range(100)]
+        assert all(0.0 < d < 0.001 for d in delays), "paper: sub-ms RTT"
+
+    def test_bandwidth_term_grows_with_size(self):
+        model = LanGigabit(jitter=0.0)
+        assert model.delay(1_000_000) > model.delay(100) + 0.005
+
+    def test_jitter_deterministic_per_seed(self):
+        a = [LanGigabit(seed=5).delay(10) for _ in range(10)]
+        b = [LanGigabit(seed=5).delay(10) for _ in range(10)]
+        assert a == b
+
+    def test_uniform_latency_range(self):
+        model = UniformLatency(propagation=0.01, jitter=0.005, seed=3)
+        for _ in range(50):
+            d = model.delay(10**9)  # size irrelevant
+            assert 0.01 <= d <= 0.015
+
+
+class TestEndpointMessaging:
+    def test_send_and_pull_receive(self, sim, net):
+        a, b = net.endpoint("a"), net.endpoint("b")
+
+        def receiver():
+            msg = yield b.recv()
+            return (msg.src, msg.payload)
+
+        proc = sim.process(receiver())
+        a.send("b", {"hello": 1})
+        assert sim.run(until=proc) == ("a", {"hello": 1})
+
+    def test_push_handler(self, sim, net):
+        got = []
+        a, b = net.endpoint("a"), net.endpoint("b")
+        b.on_message(lambda m: got.append(m.payload))
+        a.send("b", "one")
+        a.send("b", "two")
+        sim.run()
+        assert got == ["one", "two"]
+
+    def test_backlog_drained_when_handler_installed(self, sim, net):
+        a, b = net.endpoint("a"), net.endpoint("b")
+        a.send("b", "early")
+        sim.run()
+        got = []
+        b.on_message(lambda m: got.append(m.payload))
+        assert got == ["early"]
+
+    def test_latency_applied(self, sim):
+        net = Network(sim, latency=UniformLatency(propagation=0.25, jitter=0.0))
+        a, b = net.endpoint("a"), net.endpoint("b")
+
+        def receiver():
+            msg = yield b.recv()
+            return sim.now, msg.delivered_at
+
+        proc = sim.process(receiver())
+        a.send("b", "x")
+        now, delivered = sim.run(until=proc)
+        assert now == pytest.approx(0.25)
+        assert delivered == pytest.approx(0.25)
+
+    def test_message_ordering_preserved_fixed_latency(self, sim):
+        net = Network(sim, latency=UniformLatency(propagation=0.1, jitter=0.0))
+        a, b = net.endpoint("a"), net.endpoint("b")
+        got = []
+        b.on_message(lambda m: got.append(m.payload))
+        for i in range(10):
+            a.send("b", i)
+        sim.run()
+        assert got == list(range(10))
+
+    def test_send_to_unknown_endpoint_drops(self, sim, net):
+        a = net.endpoint("a")
+        a.send("ghost", "x")
+        sim.run()
+        assert net.dropped == 1
+
+    def test_counters(self, sim, net):
+        a, b = net.endpoint("a"), net.endpoint("b")
+        b.on_message(lambda m: None)
+        a.send("b", "xyz")
+        sim.run()
+        assert a.sent_count == 1 and b.recv_count == 1
+        assert a.sent_bytes == 3 and b.recv_bytes == 3
+
+
+class TestCrash:
+    def test_crashed_endpoint_drops_incoming(self, sim, net):
+        a, b = net.endpoint("a"), net.endpoint("b")
+        got = []
+        b.on_message(lambda m: got.append(m.payload))
+        b.crash()
+        a.send("b", "lost")
+        sim.run()
+        assert got == [] and net.dropped == 1
+
+    def test_crashed_endpoint_cannot_send(self, sim, net):
+        a = net.endpoint("a")
+        net.endpoint("b")
+        a.crash()
+        with pytest.raises(RuntimeError):
+            a.send("b", "x")
+
+    def test_restart_resumes_delivery(self, sim, net):
+        a, b = net.endpoint("a"), net.endpoint("b")
+        got = []
+        b.on_message(lambda m: got.append(m.payload))
+        b.crash()
+        a.send("b", "lost")
+        sim.run()
+        b.restart()
+        a.send("b", "found")
+        sim.run()
+        assert got == ["found"]
+
+    def test_message_in_flight_to_crashing_node_lost(self, sim):
+        net = Network(sim, latency=UniformLatency(propagation=1.0, jitter=0.0))
+        a, b = net.endpoint("a"), net.endpoint("b")
+        got = []
+        b.on_message(lambda m: got.append(m.payload))
+        a.send("b", "inflight")
+        sim.schedule_callback(0.5, b.crash)
+        sim.run()
+        assert got == []
+
+
+class TestFilters:
+    def test_filter_drops(self, sim, net):
+        a, b = net.endpoint("a"), net.endpoint("b")
+        got = []
+        b.on_message(lambda m: got.append(m.payload))
+        net.add_filter(lambda src, dst, payload: payload != "bad")
+        a.send("b", "bad")
+        a.send("b", "good")
+        sim.run()
+        assert got == ["good"]
+        assert net.dropped == 1
+
+    def test_filter_removal(self, sim, net):
+        a, b = net.endpoint("a"), net.endpoint("b")
+        got = []
+        b.on_message(lambda m: got.append(m.payload))
+        flt = lambda src, dst, payload: False
+        net.add_filter(flt)
+        a.send("b", "x")
+        net.remove_filter(flt)
+        a.send("b", "y")
+        sim.run()
+        assert got == ["y"]

@@ -1,0 +1,82 @@
+"""Tests for the expiry crawler."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+from repro.storage.crawler import ExpiryCrawler, reclaim_expired
+from repro.storage.memstore import MemStore
+
+
+class Clock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestReclaimExpired:
+    def test_reclaims_only_expired(self):
+        clock = Clock()
+        store = MemStore(memory_limit=4 << 20, clock=clock)
+        store.set(b"stays", b"v")
+        store.set(b"goes", b"v", ttl=1.0)
+        clock.t = 2.0
+        assert reclaim_expired(store) == 1
+        assert b"stays" in store and b"goes" not in store
+
+    def test_bounded_sweep(self):
+        clock = Clock()
+        store = MemStore(memory_limit=4 << 20, clock=clock)
+        for i in range(10):
+            store.set(f"k{i}".encode(), b"v", ttl=1.0)
+        clock.t = 2.0
+        assert reclaim_expired(store, max_items=3) == 3
+        assert len(store) == 7
+
+    def test_frees_chunks_for_reuse(self):
+        clock = Clock()
+        store = MemStore(memory_limit=1 << 20, clock=clock)
+        value = b"x" * 900
+        cls = store.slabs.class_for(5 + len(value) + 48)
+        for i in range(cls.chunks_per_page):
+            store.set(f"k{i:04d}".encode(), value, ttl=1.0)
+        clock.t = 2.0
+        reclaim_expired(store)
+        # The page's chunks are free again: new sets evict nothing.
+        for i in range(cls.chunks_per_page):
+            store.set(f"new{i:04d}".encode(), value)
+        assert store.evictions == 0
+
+    def test_nothing_to_do(self):
+        store = MemStore(memory_limit=4 << 20)
+        store.set(b"k", b"v")
+        assert reclaim_expired(store) == 0
+
+
+class TestExpiryCrawler:
+    def test_background_sweeps_on_sim_clock(self):
+        sim = Simulator()
+        store = MemStore(memory_limit=4 << 20, clock=lambda: sim.now)
+        for i in range(5):
+            store.set(f"k{i}".encode(), b"v", ttl=1.0)
+        crawler = ExpiryCrawler(sim, store, interval=0.5)
+        crawler.start()
+        sim.run(until=3.0)
+        crawler.stop()
+        assert len(store) == 0
+        assert crawler.total_reclaimed == 5
+        assert crawler.passes >= 4
+
+    def test_stop(self):
+        sim = Simulator()
+        store = MemStore(memory_limit=4 << 20, clock=lambda: sim.now)
+        crawler = ExpiryCrawler(sim, store, interval=0.5)
+        crawler.start()
+        sim.run(until=1.0)
+        crawler.stop()
+        passes = crawler.passes
+        store.set(b"late", b"v", ttl=0.1)
+        sim.run(until=5.0)
+        assert crawler.passes == passes
+        assert b"late" in store.table  # lazily expired only

@@ -1,0 +1,85 @@
+"""Unit tests for the intrusive LRU list."""
+
+import pytest
+
+from repro.storage.lru import LruList, LruNode
+
+
+def fill(lru, items):
+    nodes = [LruNode(i) for i in items]
+    for n in nodes:
+        lru.push_front(n)
+    return nodes
+
+
+class TestLruList:
+    def test_push_front_order(self):
+        lru = LruList()
+        fill(lru, [1, 2, 3])
+        assert [n.item for n in lru] == [3, 2, 1]
+        assert len(lru) == 3
+
+    def test_pop_back_returns_lru(self):
+        lru = LruList()
+        fill(lru, [1, 2, 3])
+        assert lru.pop_back().item == 1
+        assert lru.pop_back().item == 2
+        assert len(lru) == 1
+
+    def test_pop_back_empty_returns_none(self):
+        assert LruList().pop_back() is None
+
+    def test_touch_moves_to_front(self):
+        lru = LruList()
+        nodes = fill(lru, [1, 2, 3])
+        lru.touch(nodes[0])  # item 1 was the tail
+        assert [n.item for n in lru] == [1, 3, 2]
+
+    def test_touch_head_is_noop(self):
+        lru = LruList()
+        nodes = fill(lru, [1, 2])
+        lru.touch(nodes[1])
+        assert [n.item for n in lru] == [2, 1]
+
+    def test_unlink_middle(self):
+        lru = LruList()
+        nodes = fill(lru, [1, 2, 3])
+        lru.unlink(nodes[1])
+        assert [n.item for n in lru] == [3, 1]
+        assert nodes[1].owner is None
+
+    def test_unlink_only_element(self):
+        lru = LruList()
+        nodes = fill(lru, [1])
+        lru.unlink(nodes[0])
+        assert lru.head is None and lru.tail is None and len(lru) == 0
+
+    def test_double_push_rejected(self):
+        lru = LruList()
+        node = LruNode(1)
+        lru.push_front(node)
+        with pytest.raises(ValueError):
+            lru.push_front(node)
+
+    def test_unlink_foreign_node_rejected(self):
+        lru, other = LruList(), LruList()
+        node = LruNode(1)
+        other.push_front(node)
+        with pytest.raises(ValueError):
+            lru.unlink(node)
+
+    def test_reinsert_after_unlink(self):
+        lru = LruList()
+        node = LruNode("x")
+        lru.push_front(node)
+        lru.unlink(node)
+        lru.push_front(node)
+        assert [n.item for n in lru] == ["x"]
+
+    def test_many_operations_consistent(self):
+        lru = LruList()
+        nodes = fill(lru, range(100))
+        for n in nodes[::2]:
+            lru.unlink(n)
+        assert len(lru) == 50
+        assert [n.item for n in lru] == list(range(99, 0, -2))

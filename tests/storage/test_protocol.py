@@ -1,0 +1,220 @@
+"""Tests for the memcached text protocol codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.memstore import MemStore
+from repro.storage.protocol import (ParseError, ProtocolSession, Request,
+                                    execute, parse_request)
+
+
+@pytest.fixture
+def store():
+    return MemStore(memory_limit=4 << 20)
+
+
+@pytest.fixture
+def session(store):
+    return ProtocolSession(store)
+
+
+class TestParser:
+    def test_set_roundtrip(self):
+        req, rest = parse_request(b"set k 7 0 5\r\nhello\r\n")
+        assert req.verb == b"set"
+        assert req.keys == [b"k"] and req.flags == 7
+        assert req.data == b"hello" and rest == b""
+
+    def test_incomplete_line_waits(self):
+        req, rest = parse_request(b"set k 0 0 5")
+        assert req is None and rest == b"set k 0 0 5"
+
+    def test_incomplete_data_block_waits(self):
+        buffer = b"set k 0 0 10\r\nhell"
+        req, rest = parse_request(buffer)
+        assert req is None and rest == buffer
+
+    def test_data_block_missing_terminator(self):
+        with pytest.raises(ParseError):
+            parse_request(b"set k 0 0 5\r\nhelloXX\r\n")
+
+    def test_cas_has_extra_field(self):
+        req, _ = parse_request(b"cas k 0 0 3 42\r\nabc\r\n")
+        assert req.cas == 42
+
+    def test_noreply_flag(self):
+        req, _ = parse_request(b"set k 0 0 1 noreply\r\nx\r\n")
+        assert req.noreply
+
+    def test_multi_key_get(self):
+        req, _ = parse_request(b"get a b c\r\n")
+        assert req.keys == [b"a", b"b", b"c"]
+
+    def test_unknown_verb(self):
+        with pytest.raises(ParseError):
+            parse_request(b"frobnicate k\r\n")
+
+    def test_bad_numeric_field(self):
+        with pytest.raises(ParseError):
+            parse_request(b"set k zero 0 1\r\nx\r\n")
+
+    def test_key_too_long(self):
+        key = b"k" * 251
+        with pytest.raises(ParseError):
+            parse_request(b"get " + key + b"\r\n")
+
+    def test_incr_parse(self):
+        req, _ = parse_request(b"incr n 5\r\n")
+        assert req.verb == b"incr" and req.delta == 5
+
+    def test_delete_parse(self):
+        req, _ = parse_request(b"delete k noreply\r\n")
+        assert req.noreply
+
+    def test_pipelined_commands_split(self):
+        buffer = b"get a\r\nget b\r\n"
+        req1, rest = parse_request(buffer)
+        assert req1.keys == [b"a"]
+        req2, rest = parse_request(rest)
+        assert req2.keys == [b"b"] and rest == b""
+
+
+class TestExecute:
+    def test_set_then_get(self, store):
+        resp = execute(store, Request(verb=b"set", keys=[b"k"], flags=3,
+                                      data=b"hello"))
+        assert resp == b"STORED\r\n"
+        resp = execute(store, Request(verb=b"get", keys=[b"k"]))
+        assert resp == b"VALUE k 3 5\r\nhello\r\nEND\r\n"
+
+    def test_get_miss(self, store):
+        assert execute(store, Request(verb=b"get", keys=[b"nope"])) \
+            == b"END\r\n"
+
+    def test_gets_includes_cas(self, store):
+        execute(store, Request(verb=b"set", keys=[b"k"], data=b"v"))
+        resp = execute(store, Request(verb=b"gets", keys=[b"k"]))
+        assert resp.startswith(b"VALUE k 0 1 ")
+        cas = int(resp.split(b"\r\n")[0].rsplit(b" ", 1)[1])
+        assert cas > 0
+
+    def test_cas_flow(self, store):
+        execute(store, Request(verb=b"set", keys=[b"k"], data=b"v1"))
+        resp = execute(store, Request(verb=b"gets", keys=[b"k"]))
+        cas = int(resp.split(b"\r\n")[0].rsplit(b" ", 1)[1])
+        ok = execute(store, Request(verb=b"cas", keys=[b"k"], data=b"v2",
+                                    cas=cas))
+        assert ok == b"STORED\r\n"
+        stale = execute(store, Request(verb=b"cas", keys=[b"k"], data=b"v3",
+                                       cas=cas))
+        assert stale == b"EXISTS\r\n"
+
+    def test_add_replace(self, store):
+        assert execute(store, Request(verb=b"add", keys=[b"k"], data=b"a")) \
+            == b"STORED\r\n"
+        assert execute(store, Request(verb=b"add", keys=[b"k"], data=b"b")) \
+            == b"NOT_STORED\r\n"
+        assert execute(store, Request(verb=b"replace", keys=[b"k"],
+                                      data=b"c")) == b"STORED\r\n"
+
+    def test_incr_decr(self, store):
+        execute(store, Request(verb=b"set", keys=[b"n"], data=b"10"))
+        assert execute(store, Request(verb=b"incr", keys=[b"n"], delta=5)) \
+            == b"15\r\n"
+        assert execute(store, Request(verb=b"decr", keys=[b"n"], delta=20)) \
+            == b"0\r\n"
+
+    def test_incr_missing(self, store):
+        assert execute(store, Request(verb=b"incr", keys=[b"n"], delta=1)) \
+            == b"NOT_FOUND\r\n"
+
+    def test_incr_non_numeric(self, store):
+        execute(store, Request(verb=b"set", keys=[b"n"], data=b"abc"))
+        resp = execute(store, Request(verb=b"incr", keys=[b"n"], delta=1))
+        assert resp.startswith(b"CLIENT_ERROR")
+
+    def test_delete(self, store):
+        execute(store, Request(verb=b"set", keys=[b"k"], data=b"v"))
+        assert execute(store, Request(verb=b"delete", keys=[b"k"])) \
+            == b"DELETED\r\n"
+        assert execute(store, Request(verb=b"delete", keys=[b"k"])) \
+            == b"NOT_FOUND\r\n"
+
+    def test_stats_and_version(self, store):
+        resp = execute(store, Request(verb=b"stats"))
+        assert resp.startswith(b"STAT ") and resp.endswith(b"END\r\n")
+        assert execute(store, Request(verb=b"version")).startswith(b"VERSION")
+
+    def test_flush_all(self, store):
+        execute(store, Request(verb=b"set", keys=[b"k"], data=b"v"))
+        assert execute(store, Request(verb=b"flush_all")) == b"OK\r\n"
+        assert execute(store, Request(verb=b"get", keys=[b"k"])) == b"END\r\n"
+
+
+class TestSession:
+    def test_full_conversation(self, session):
+        out = session.feed(b"set greeting 0 0 5\r\nhello\r\nget greeting\r\n")
+        assert out == (b"STORED\r\nVALUE greeting 0 5\r\nhello\r\nEND\r\n")
+
+    def test_byte_at_a_time(self, session):
+        stream = b"set k 0 0 2\r\nhi\r\nget k\r\n"
+        out = b""
+        for i in range(len(stream)):
+            out += session.feed(stream[i:i + 1])
+        assert out == b"STORED\r\nVALUE k 0 2\r\nhi\r\nEND\r\n"
+
+    def test_noreply_suppresses_response(self, session):
+        out = session.feed(b"set k 0 0 1 noreply\r\nx\r\nget k\r\n")
+        assert out == b"VALUE k 0 1\r\nx\r\nEND\r\n"
+
+    def test_client_error_resyncs(self, session):
+        out = session.feed(b"bogus nonsense\r\nget missing\r\n")
+        assert out.startswith(b"CLIENT_ERROR")
+        assert out.endswith(b"END\r\n")
+
+    def test_quit_closes(self, session):
+        session.feed(b"quit\r\n")
+        assert session.closed
+        assert session.feed(b"get k\r\n") == b""
+
+    def test_binary_safe_values(self, session):
+        payload = bytes(range(256)).replace(b"\r\n", b"..")
+        out = session.feed(b"set blob 0 0 %d\r\n" % len(payload)
+                           + payload + b"\r\n" + b"get blob\r\n")
+        assert payload in out
+
+    def test_command_counter(self, session):
+        session.feed(b"get a\r\nget b\r\nversion\r\n")
+        assert session.commands == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(
+    st.sampled_from(["set", "get", "delete"]),
+    st.sampled_from(["alpha", "beta", "gamma"]),
+    st.binary(min_size=0, max_size=20).filter(lambda b: b"\r\n" not in b)),
+    max_size=30),
+    st.integers(min_value=1, max_value=7))
+def test_session_matches_direct_store(ops, chunk):
+    """Property: driving the store through the wire protocol (with any
+    chunking) yields the same final state as calling it directly."""
+    wire_store = MemStore(memory_limit=4 << 20)
+    direct = MemStore(memory_limit=4 << 20)
+    session = ProtocolSession(wire_store)
+    stream = bytearray()
+    for verb, key, value in ops:
+        kb = key.encode()
+        if verb == "set":
+            stream += b"set %s 0 0 %d\r\n%s\r\n" % (kb, len(value), value)
+            direct.set(kb, value)
+        elif verb == "get":
+            stream += b"get %s\r\n" % kb
+            direct.get(kb)
+        else:
+            stream += b"delete %s\r\n" % kb
+            direct.delete(kb)
+    for i in range(0, len(stream), chunk):
+        session.feed(bytes(stream[i:i + chunk]))
+    assert {k: wire_store.get(k) for k in (b"alpha", b"beta", b"gamma")} \
+        == {k: direct.get(k) for k in (b"alpha", b"beta", b"gamma")}

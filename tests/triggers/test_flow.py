@@ -1,0 +1,130 @@
+"""Unit tests for trigger flow control (§IV.B ripple suppression)."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+from repro.triggers.api import Job
+from repro.triggers.flow import FlowControl
+
+
+class FakeJob:
+    """Minimal stand-in carrying what FlowControl reads."""
+
+    def __init__(self, job_id="j1", interval=None):
+        self.job_id = job_id
+        self.trigger_interval = interval
+        self.suppressed = 0
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestFlowControl:
+    def test_first_event_fires_immediately(self, sim):
+        flow = FlowControl(sim, default_interval=1.0)
+        fired = []
+        flow.offer(FakeJob(), "k", "v1", lambda k, p: fired.append((sim.now, p)))
+        assert fired == [(0.0, "v1")]
+
+    def test_burst_coalesces_to_one_deferred_fire(self, sim):
+        flow = FlowControl(sim, default_interval=1.0)
+        job = FakeJob()
+        fired = []
+        fire = lambda k, p: fired.append((sim.now, p))
+        flow.offer(job, "k", "v1", fire)
+        for i in range(2, 6):
+            flow.offer(job, "k", f"v{i}", fire)
+        sim.run()
+        assert fired[0] == (0.0, "v1")
+        assert len(fired) == 2, "burst collapses into one deferred fire"
+        assert fired[1] == (1.0, "v5"), "freshest payload wins"
+        assert job.suppressed == 4
+
+    def test_events_after_interval_fire_immediately(self, sim):
+        flow = FlowControl(sim, default_interval=1.0)
+        job = FakeJob()
+        fired = []
+        fire = lambda k, p: fired.append(sim.now)
+
+        def driver():
+            flow.offer(job, "k", 1, fire)
+            yield sim.timeout(1.5)
+            flow.offer(job, "k", 2, fire)
+
+        sim.process(driver())
+        sim.run()
+        assert fired == [0.0, 1.5]
+
+    def test_distinct_keys_independent(self, sim):
+        flow = FlowControl(sim, default_interval=1.0)
+        job = FakeJob()
+        fired = []
+        fire = lambda k, p: fired.append(p)
+        flow.offer(job, "a", "pa", fire)
+        flow.offer(job, "b", "pb", fire)
+        assert fired == ["pa", "pb"]
+
+    def test_distinct_jobs_independent(self, sim):
+        flow = FlowControl(sim, default_interval=1.0)
+        fired = []
+        fire = lambda k, p: fired.append(p)
+        flow.offer(FakeJob("j1"), "k", 1, fire)
+        flow.offer(FakeJob("j2"), "k", 2, fire)
+        assert fired == [1, 2]
+
+    def test_job_interval_overrides_default(self, sim):
+        flow = FlowControl(sim, default_interval=10.0)
+        job = FakeJob(interval=0.5)
+        fired = []
+        fire = lambda k, p: fired.append(sim.now)
+
+        def driver():
+            flow.offer(job, "k", 1, fire)
+            yield sim.timeout(0.6)
+            flow.offer(job, "k", 2, fire)
+
+        sim.process(driver())
+        sim.run()
+        assert fired == [0.0, 0.6]
+
+    def test_sustained_storm_rate_limited(self, sim):
+        """A circular-trigger storm (Fig. 4 right) fires at most once
+        per interval per key, however many events arrive."""
+        flow = FlowControl(sim, default_interval=1.0)
+        job = FakeJob()
+        fired = []
+        fire = lambda k, p: fired.append(sim.now)
+
+        def storm():
+            for _ in range(100):
+                flow.offer(job, "k", "x", fire)
+                yield sim.timeout(0.05)  # 20 events/s against 1/s budget
+
+        sim.process(storm())
+        sim.run()
+        # 5 seconds of storm at 1 fire/second -> about 6 firings.
+        assert len(fired) <= 7
+        for a, b in zip(fired, fired[1:]):
+            assert b - a >= 0.999
+
+    def test_forget_job(self, sim):
+        flow = FlowControl(sim, default_interval=1.0)
+        job = FakeJob()
+        fired = []
+        fire = lambda k, p: fired.append(p)
+        flow.offer(job, "k", 1, fire)
+        flow.offer(job, "k", 2, fire)  # pending
+        flow.forget_job(job.job_id)
+        sim.run()
+        assert fired == [1], "pending flush dropped with the job"
+
+    def test_counters(self, sim):
+        flow = FlowControl(sim, default_interval=1.0)
+        job = FakeJob()
+        fire = lambda k, p: None
+        flow.offer(job, "k", 1, fire)
+        flow.offer(job, "k", 2, fire)
+        assert flow.fired_immediately == 1
+        assert flow.coalesced == 1

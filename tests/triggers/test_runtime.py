@@ -1,0 +1,334 @@
+"""Integration tests for the trigger runtime over a live cluster."""
+
+import pytest
+
+from repro.core.cluster import SednaCluster
+from repro.core.config import SednaConfig
+from repro.core.types import FullKey
+from repro.triggers.api import (Action, DataHooks, Filter, Job, Result,
+                                TriggerInput, TriggerOutput)
+from repro.triggers.runtime import TriggerRuntime
+
+
+def build(**cfg_kwargs):
+    cfg_kwargs.setdefault("num_vnodes", 32)
+    cfg_kwargs.setdefault("trigger_interval", 0.2)
+    cfg_kwargs.setdefault("scan_interval", 0.05)
+    cluster = SednaCluster(n_nodes=3, zk_size=3,
+                           config=SednaConfig(**cfg_kwargs))
+    cluster.start()
+    runtime = TriggerRuntime(cluster)
+    runtime.start()
+    return cluster, runtime
+
+
+class Recorder(Action):
+    """Records every activation it sees."""
+
+    def __init__(self):
+        self.calls: list[tuple[FullKey, list]] = []
+
+    def action(self, key, values, result):
+        self.calls.append((key, list(values)))
+
+
+class Uppercase(Action):
+    """Transforms input values into the output table."""
+
+    def action(self, key, values, result):
+        for value in values:
+            result.emit(key.key, str(value).upper())
+
+
+class TestBasicTriggers:
+    def test_key_hook_fires_on_write(self):
+        cluster, runtime = build()
+        recorder = Recorder()
+        job = runtime.submit(
+            Job("watch-one").with_action(recorder)
+            .monitor(DataHooks(dataset="d", table="t", key="hot"))
+            .output_to(TriggerOutput("d", "out")))
+        client = cluster.client()
+
+        def script():
+            yield from client.write_latest("hot", "v1", table="t", dataset="d")
+            yield from client.write_latest("cold", "x", table="t", dataset="d")
+            return True
+
+        cluster.run(script())
+        cluster.settle(1.0)
+        assert len(recorder.calls) == 1
+        key, values = recorder.calls[0]
+        assert key.key == "hot" and values == ["v1"]
+
+    def test_table_hook_fires_for_all_keys_in_table(self):
+        cluster, runtime = build()
+        recorder = Recorder()
+        runtime.submit(
+            Job("watch-table").with_action(recorder)
+            .monitor(DataHooks(dataset="d", table="tweets"))
+            .output_to(TriggerOutput("d", "out")))
+        client = cluster.client()
+
+        def script():
+            for i in range(5):
+                yield from client.write_latest(f"t{i}", i, table="tweets",
+                                               dataset="d")
+            yield from client.write_latest("other", 9, table="users",
+                                           dataset="d")
+            return True
+
+        cluster.run(script())
+        cluster.settle(1.0)
+        fired_keys = {key.key for key, _ in recorder.calls}
+        assert fired_keys == {f"t{i}" for i in range(5)}
+
+    def test_dataset_hook_spans_tables(self):
+        cluster, runtime = build()
+        recorder = Recorder()
+        runtime.submit(
+            Job("watch-ds").with_action(recorder)
+            .monitor(DataHooks(dataset="web"))
+            .output_to(TriggerOutput("web", "out")))
+        client = cluster.client()
+
+        def script():
+            yield from client.write_latest("a", 1, table="t1", dataset="web")
+            yield from client.write_latest("b", 2, table="t2", dataset="web")
+            yield from client.write_latest("c", 3, table="t1", dataset="other")
+            return True
+
+        cluster.run(script())
+        cluster.settle(1.0)
+        assert {key.key for key, _ in recorder.calls} == {"a", "b"}
+
+    def test_one_logical_write_fires_once_despite_replicas(self):
+        cluster, runtime = build()
+        recorder = Recorder()
+        runtime.submit(
+            Job("dedup").with_action(recorder)
+            .monitor(DataHooks(dataset="d", table="t"))
+            .output_to(TriggerOutput("d", "out")))
+        client = cluster.client()
+
+        def script():
+            yield from client.write_latest("once", "v", table="t", dataset="d")
+            return True
+
+        cluster.run(script())
+        cluster.settle(1.0)
+        assert len(recorder.calls) == 1, (
+            "N=3 replicas must not produce 3 activations")
+
+    def test_action_output_written_to_cluster(self):
+        cluster, runtime = build()
+        runtime.submit(
+            Job("upper").with_action(Uppercase())
+            .monitor(DataHooks(dataset="d", table="in"))
+            .output_to(TriggerOutput("d", "out")))
+        client = cluster.client()
+
+        def script():
+            yield from client.write_latest("k", "hello", table="in",
+                                           dataset="d")
+            return True
+
+        cluster.run(script())
+        cluster.settle(1.0)
+
+        def read():
+            return (yield from client.read_latest("k", table="out",
+                                                  dataset="d"))
+
+        assert cluster.run(read()) == "HELLO"
+
+    def test_listing1_configuration_style(self):
+        """The Java Listing-1 shape: setActionClass(cls, input, output)."""
+        cluster, runtime = build()
+
+        class MyAction(Action):
+            seen = []
+
+            def action(self, key, values, result):
+                MyAction.seen.append(key.key)
+
+        class MyFilter(Filter):
+            def check(self, old_key, old_value, new_key, new_value):
+                return new_value != "skip"
+
+        h1 = DataHooks(dataset="d", table="t")
+        f1 = MyFilter()
+        i1 = TriggerInput(h1, f1)
+        o1 = TriggerOutput("d", "out")
+        job = Job("listing1")
+        job.set_action_class(MyAction, i1, o1)
+        runtime.submit(job)
+        job.schedule(timeout=100.0)
+
+        client = cluster.client()
+
+        def script():
+            yield from client.write_latest("ok", "fine", table="t", dataset="d")
+            yield from client.write_latest("no", "skip", table="t", dataset="d")
+            return True
+
+        cluster.run(script())
+        cluster.settle(1.0)
+        assert MyAction.seen == ["ok"]
+        assert job.filtered == 1
+
+
+class TestFiltersAndTimeouts:
+    def test_filter_receives_old_and_new(self):
+        cluster, runtime = build()
+        observed = []
+
+        class DiffFilter(Filter):
+            def check(self, old_key, old_value, new_key, new_value):
+                observed.append((old_value, new_value))
+                return True
+
+        recorder = Recorder()
+        runtime.submit(
+            Job("diff").with_action(recorder)
+            .monitor(DataHooks(dataset="d", table="t"), DiffFilter())
+            .output_to(TriggerOutput("d", "out")))
+        client = cluster.client()
+
+        def script():
+            yield from client.write_latest("k", "v1", table="t", dataset="d")
+            yield cluster.sim.timeout(0.5)
+            yield from client.write_latest("k", "v2", table="t", dataset="d")
+            return True
+
+        cluster.run(script())
+        cluster.settle(1.0)
+        assert observed[0] == (None, "v1")
+        assert observed[1] == ("v1", "v2")
+
+    def test_stop_condition_filter(self):
+        """Iterative-task stop condition: halt when value stops changing."""
+        cluster, runtime = build()
+
+        class ConvergenceFilter(Filter):
+            def check(self, old_key, old_value, new_key, new_value):
+                return old_value != new_value
+
+        recorder = Recorder()
+        job = runtime.submit(
+            Job("converge").with_action(recorder)
+            .monitor(DataHooks(dataset="d", table="t"), ConvergenceFilter())
+            .output_to(TriggerOutput("d", "out")))
+        client = cluster.client()
+
+        def script():
+            yield from client.write_latest("x", 1, table="t", dataset="d")
+            yield cluster.sim.timeout(0.5)
+            yield from client.write_latest("x", 1, table="t", dataset="d")
+            yield cluster.sim.timeout(0.5)
+            yield from client.write_latest("x", 2, table="t", dataset="d")
+            return True
+
+        cluster.run(script())
+        cluster.settle(1.0)
+        values = [vals for _k, vals in recorder.calls]
+        assert len(recorder.calls) == 2, "identical rewrite must not fire"
+
+    def test_job_timeout_stops_firing(self):
+        cluster, runtime = build()
+        recorder = Recorder()
+        job = runtime.submit(
+            Job("short").with_action(recorder)
+            .monitor(DataHooks(dataset="d", table="t"))
+            .output_to(TriggerOutput("d", "out")))
+        job.schedule(timeout=1.0)
+        client = cluster.client()
+
+        def script():
+            yield from client.write_latest("k1", 1, table="t", dataset="d")
+            yield cluster.sim.timeout(3.0)  # past the deadline
+            yield from client.write_latest("k2", 2, table="t", dataset="d")
+            return True
+
+        cluster.run(script())
+        cluster.settle(1.0)
+        assert {key.key for key, _ in recorder.calls} == {"k1"}
+
+    def test_unscheduled_job_requires_runtime(self):
+        job = Job("orphan")
+        with pytest.raises(RuntimeError):
+            job.schedule(1.0)
+
+    def test_submit_validates_configuration(self):
+        cluster, runtime = build()
+        with pytest.raises(ValueError):
+            runtime.submit(Job("incomplete"))
+
+
+class TestChaining:
+    def test_two_stage_pipeline(self):
+        """Fig. 4 left: trigger A's output push-forwards trigger C."""
+        cluster, runtime = build()
+
+        class StageA(Action):
+            def action(self, key, values, result):
+                for value in values:
+                    result.write(key.key, value * 2, table="mid")
+
+        class StageC(Action):
+            def action(self, key, values, result):
+                for value in values:
+                    result.write(key.key, value + 1, table="final")
+
+        runtime.submit(Job("A").with_action(StageA())
+                       .monitor(DataHooks(dataset="d", table="raw"))
+                       .output_to(TriggerOutput("d", "mid")))
+        runtime.submit(Job("C").with_action(StageC())
+                       .monitor(DataHooks(dataset="d", table="mid"))
+                       .output_to(TriggerOutput("d", "final")))
+        client = cluster.client()
+
+        def script():
+            yield from client.write_latest("n", 10, table="raw", dataset="d")
+            return True
+
+        cluster.run(script())
+        cluster.settle(2.0)
+
+        def read():
+            return (yield from client.read_latest("n", table="final",
+                                                  dataset="d"))
+
+        assert cluster.run(read()) == 21
+
+    def test_circular_triggers_do_not_flood(self):
+        """Fig. 4 right: A -> C -> A cycles stay rate-limited."""
+        cluster, runtime = build(trigger_interval=0.5)
+
+        class Bouncer(Action):
+            def __init__(self, target_table):
+                self.target = target_table
+
+            def action(self, key, values, result):
+                for value in values:
+                    result.write(key.key, value + 1, table=self.target)
+
+        job_a = runtime.submit(Job("A").with_action(Bouncer("tb"))
+                               .monitor(DataHooks(dataset="d", table="ta"))
+                               .output_to(TriggerOutput("d", "tb")))
+        job_c = runtime.submit(Job("C").with_action(Bouncer("ta"))
+                               .monitor(DataHooks(dataset="d", table="tb"))
+                               .output_to(TriggerOutput("d", "ta")))
+        client = cluster.client()
+
+        def script():
+            yield from client.write_latest("ball", 0, table="ta", dataset="d")
+            return True
+
+        cluster.run(script())
+        cluster.settle(10.0)
+        # 10 seconds / 0.5 s interval => each job can fire at most ~21
+        # times; without suppression the count would explode.
+        assert job_a.activations <= 25
+        assert job_c.activations <= 25
+        assert job_a.activations >= 3, "the loop must keep making progress"

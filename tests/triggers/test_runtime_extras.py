@@ -1,0 +1,223 @@
+"""Additional trigger-runtime coverage: cancellation, write_all value
+lists, error isolation, stats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster import SednaCluster
+from repro.core.config import SednaConfig
+from repro.net.simulator import Simulator
+from repro.triggers.api import (Action, DataHooks, Job, Result,
+                                TriggerOutput)
+from repro.triggers.flow import FlowControl
+from repro.triggers.runtime import TriggerRuntime
+
+
+class Recorder(Action):
+    def __init__(self):
+        self.calls = []
+
+    def action(self, key, values, result):
+        self.calls.append((key.key, list(values)))
+
+
+def build():
+    cluster = SednaCluster(n_nodes=3, zk_size=3,
+                           config=SednaConfig(num_vnodes=32,
+                                              scan_interval=0.05,
+                                              trigger_interval=0.1))
+    cluster.start()
+    runtime = TriggerRuntime(cluster)
+    runtime.start()
+    return cluster, runtime
+
+
+class TestCancellation:
+    def test_cancelled_job_stops_firing(self):
+        cluster, runtime = build()
+        recorder = Recorder()
+        job = runtime.submit(Job("c").with_action(recorder)
+                             .monitor(DataHooks(dataset="d", table="t"))
+                             .output_to(TriggerOutput("d", "o")))
+        client = cluster.client()
+
+        def w(key):
+            yield from client.write_latest(key, 1, table="t", dataset="d")
+            return True
+
+        cluster.run(w("before"))
+        cluster.settle(1.0)
+        runtime.cancel(job)
+        cluster.run(w("after"))
+        cluster.settle(1.0)
+        assert [k for k, _ in recorder.calls] == ["before"]
+
+    def test_cancel_clears_flow_state(self):
+        cluster, runtime = build()
+        job = runtime.submit(Job("c2").with_action(Recorder())
+                             .monitor(DataHooks(dataset="d", table="t"))
+                             .output_to(TriggerOutput("d", "o")))
+        client = cluster.client()
+
+        def w():
+            yield from client.write_latest("k", 1, table="t", dataset="d")
+            return True
+
+        cluster.run(w())
+        cluster.settle(0.5)
+        runtime.cancel(job)
+        assert all(token[0] != job.job_id
+                   for token in runtime.flow._last_fire)
+
+
+class TestValueLists:
+    def test_action_sees_all_write_all_elements(self):
+        cluster, runtime = build()
+        recorder = Recorder()
+        runtime.submit(Job("va").with_action(recorder)
+                       .monitor(DataHooks(dataset="d", table="t"))
+                       .output_to(TriggerOutput("d", "o")))
+        c1 = cluster.client("va-1")
+        c2 = cluster.client("va-2")
+
+        def script():
+            yield from c1.write_all("multi", "from-1", table="t",
+                                    dataset="d")
+            yield from c2.write_all("multi", "from-2", table="t",
+                                    dataset="d")
+            return True
+
+        cluster.run(script())
+        cluster.settle(1.0)
+        # The final activation's values contain both elements.
+        last_values = recorder.calls[-1][1]
+        assert set(last_values) >= {"from-1", "from-2"}
+
+    def test_values_ordered_freshest_first(self):
+        cluster, runtime = build()
+        recorder = Recorder()
+        runtime.submit(Job("vo").with_action(recorder)
+                       .monitor(DataHooks(dataset="d", table="t"))
+                       .output_to(TriggerOutput("d", "o")))
+        c1 = cluster.client("vo-1")
+        c2 = cluster.client("vo-2")
+
+        def script():
+            yield from c1.write_all("k", "older", table="t", dataset="d")
+            yield cluster.sim.timeout(0.5)
+            yield from c2.write_all("k", "newer", table="t", dataset="d")
+            return True
+
+        cluster.run(script())
+        cluster.settle(1.0)
+        assert recorder.calls[-1][1][0] == "newer"
+
+
+class TestErrorIsolation:
+    def test_raising_action_does_not_kill_runtime(self):
+        cluster, runtime = build()
+
+        class Bomb(Action):
+            def action(self, key, values, result):
+                raise RuntimeError("boom")
+
+        recorder = Recorder()
+        bomb_job = runtime.submit(Job("bomb").with_action(Bomb())
+                                  .monitor(DataHooks(dataset="d", table="t"))
+                                  .output_to(TriggerOutput("d", "o")))
+        runtime.submit(Job("ok").with_action(recorder)
+                       .monitor(DataHooks(dataset="d", table="t"))
+                       .output_to(TriggerOutput("d", "o2")))
+        client = cluster.client()
+
+        def w():
+            yield from client.write_latest("k", 1, table="t", dataset="d")
+            return True
+
+        cluster.run(w())
+        cluster.settle(1.0)
+        assert bomb_job.errors >= 1
+        assert len(recorder.calls) == 1, "healthy job unaffected"
+
+    def test_raising_filter_counts_as_error(self):
+        cluster, runtime = build()
+
+        from repro.triggers.api import Filter
+
+        class BadFilter(Filter):
+            def check(self, ok, ov, nk, nv):
+                raise ValueError("bad filter")
+
+        recorder = Recorder()
+        job = runtime.submit(Job("bf").with_action(recorder)
+                             .monitor(DataHooks(dataset="d", table="t"),
+                                      BadFilter())
+                             .output_to(TriggerOutput("d", "o")))
+        client = cluster.client()
+
+        def w():
+            yield from client.write_latest("k", 1, table="t", dataset="d")
+            return True
+
+        cluster.run(w())
+        cluster.settle(1.0)
+        assert job.errors >= 1
+        assert recorder.calls == []
+
+
+class TestStats:
+    def test_runtime_stats_shape(self):
+        cluster, runtime = build()
+        recorder = Recorder()
+        runtime.submit(Job("st").with_action(recorder)
+                       .monitor(DataHooks(dataset="d", table="t"))
+                       .output_to(TriggerOutput("d", "o")))
+        client = cluster.client()
+
+        def w():
+            for i in range(5):
+                yield from client.write_latest(f"k{i}", i, table="t",
+                                               dataset="d")
+            return True
+
+        cluster.run(w())
+        cluster.settle(1.0)
+        stats = runtime.stats()
+        assert stats["jobs"]["st"]["activations"] == 5
+        assert stats["activations"] >= 5
+        assert stats["action_errors"] == 0
+
+
+# -- flow-control property test ----------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=0.3), min_size=1,
+                max_size=60),
+       st.floats(min_value=0.2, max_value=1.0))
+def test_flow_rate_limit_property(gaps, interval):
+    """Property: whatever the event arrival pattern, consecutive fires
+    of one (job, key) are at least ``interval`` apart, and the freshest
+    payload is never lost (the last fire carries the last payload)."""
+    sim = Simulator()
+    flow = FlowControl(sim, default_interval=interval)
+
+    class J:
+        job_id = "j"
+        trigger_interval = None
+        suppressed = 0
+
+    job = J()
+    fires = []
+
+    def driver():
+        for i, gap in enumerate(gaps):
+            flow.offer(job, "k", i, lambda k, p: fires.append((sim.now, p)))
+            yield sim.timeout(gap)
+
+    sim.process(driver())
+    sim.run()
+    for (t1, _p1), (t2, _p2) in zip(fires, fires[1:]):
+        assert t2 - t1 >= interval - 1e-9
+    assert fires, "at least the first event fires"
+    assert fires[-1][1] == len(gaps) - 1, "freshest payload always delivered"

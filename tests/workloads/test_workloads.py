@@ -1,0 +1,115 @@
+"""Tests for the workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.kv import (PAPER_VALUE, ZipfGenerator, paper_keys,
+                                uniform_keys, zipfian_keys)
+from repro.workloads.microblog import MicroblogGenerator, Tweet
+
+
+class TestPaperKeys:
+    def test_exact_shape(self):
+        keys = paper_keys(100)
+        for key in keys:
+            assert len(key) == 20, "paper: 20-byte keys"
+            assert key.startswith(b"test-")
+            assert key[5:].isdigit()
+
+    def test_paper_value_is_20_bytes(self):
+        assert len(PAPER_VALUE) == 20
+
+    def test_deterministic_per_seed(self):
+        assert paper_keys(50, seed=1) == paper_keys(50, seed=1)
+        assert paper_keys(50, seed=1) != paper_keys(50, seed=2)
+
+    def test_mostly_unique(self):
+        keys = paper_keys(10_000)
+        assert len(set(keys)) > 9_990
+
+
+class TestUniform:
+    def test_in_space(self):
+        keys = list(uniform_keys(1000, space=50, seed=1))
+        assert len(keys) == 1000
+        assert len(set(keys)) <= 50
+
+
+class TestZipf:
+    def test_rank_zero_most_popular(self):
+        gen = ZipfGenerator(space=100, theta=0.99, seed=5)
+        counts = [0] * 100
+        for _ in range(20_000):
+            counts[gen.sample()] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > 5 * (20_000 // 100), "head must be heavy"
+
+    def test_samples_in_range(self):
+        gen = ZipfGenerator(space=10, seed=1)
+        assert all(0 <= gen.sample() < 10 for _ in range(1000))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(space=0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(space=5, theta=0)
+
+    def test_zipfian_keys_shape(self):
+        keys = list(zipfian_keys(100, space=20, seed=2))
+        assert len(keys) == 100
+        assert all(k.startswith(b"zipf-") for k in keys)
+
+
+class TestMicroblog:
+    def test_tweet_stream_shape(self):
+        gen = MicroblogGenerator(n_users=50, seed=1)
+        tweets = list(gen.tweets(200))
+        assert len(tweets) == 200
+        assert len({t.tweet_id for t in tweets}) == 200
+        for t in tweets:
+            assert len(t.text) <= 140, "paper: tweets under 140 bytes"
+            assert t.author.startswith("user")
+
+    def test_timestamps_monotonic(self):
+        gen = MicroblogGenerator(seed=1)
+        tweets = list(gen.tweets(50, now=10.0, dt=0.5))
+        for a, b in zip(tweets, tweets[1:]):
+            assert b.timestamp > a.timestamp
+        assert tweets[0].timestamp == 10.0
+
+    def test_authorship_skewed(self):
+        gen = MicroblogGenerator(n_users=100, theta=0.99, seed=3)
+        tweets = list(gen.tweets(5000))
+        by_author = {}
+        for t in tweets:
+            by_author[t.author] = by_author.get(t.author, 0) + 1
+        top = max(by_author.values())
+        assert top > 3 * (5000 / 100)
+
+    def test_retweets_reference_existing(self):
+        gen = MicroblogGenerator(retweet_prob=0.5, seed=4)
+        tweets = list(gen.tweets(300))
+        ids = {t.tweet_id for t in tweets}
+        retweets = [t for t in tweets if t.retweet_of is not None]
+        assert retweets, "with p=0.5 some retweets must occur"
+        for t in retweets:
+            assert t.retweet_of in ids
+
+    def test_encode_decode_roundtrip(self):
+        gen = MicroblogGenerator(seed=5)
+        for tweet in gen.tweets(20):
+            clone = Tweet.decode(tweet.tweet_id, tweet.encoded())
+            assert clone == tweet
+
+    def test_follow_edges(self):
+        gen = MicroblogGenerator(n_users=30, seed=6)
+        edges = list(gen.follow_edges(100))
+        assert len(edges) == 100
+        for e in edges:
+            assert e.follower != e.followee
+
+    def test_deterministic(self):
+        a = [t.encoded() for t in MicroblogGenerator(seed=9).tweets(50)]
+        b = [t.encoded() for t in MicroblogGenerator(seed=9).tweets(50)]
+        assert a == b

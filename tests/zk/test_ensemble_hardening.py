@@ -1,0 +1,211 @@
+"""Hardening tests for the ZAB-lite ensemble: split brain, zombies,
+minority partitions, and election races."""
+
+import pytest
+
+from repro.net.failure import FailureInjector
+from repro.net.latency import LanGigabit
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.zk.ensemble import ZkEnsemble
+from repro.zk.server import ZkConfig
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    net = Network(sim, latency=LanGigabit(seed=17))
+    ens = ZkEnsemble(sim, net, size=3)
+    ens.start()
+    inj = FailureInjector(net)
+    return sim, net, ens, inj
+
+
+def client_script(sim, ens, script, name="cli"):
+    zk = ens.client(name)
+
+    def main():
+        yield from zk.connect()
+        return (yield from script(zk))
+
+    proc = sim.process(main())
+    return sim.run(until=proc)
+
+
+class TestLeaderPartition:
+    def test_minority_leader_cannot_commit(self, world):
+        sim, net, ens, inj = world
+
+        def seed(zk):
+            yield from zk.create("/seed", b"1")
+            return True
+
+        client_script(sim, ens, seed)
+        # Cut the leader (zk0) away from both followers.
+        part = inj.partition(["zk0"], ["zk1", "zk2"])
+        sim.run(until=sim.now + 3.0)
+
+        # A new leader must exist on the majority side.
+        majority_leaders = [s for s in ens.servers[1:]
+                            if s.is_leader and s.running]
+        assert len(majority_leaders) == 1
+
+        # The old leader cannot commit anything: its proposals lack a
+        # quorum.  Write through the majority side instead and verify.
+        zk = ens.client("post-part")
+        zk._server_idx = 1  # talk to the majority
+
+        def write(zkc):
+            yield from zkc.create("/majority-write", b"")
+            return True
+
+        proc_result = None
+
+        def main():
+            yield from zk.connect()
+            yield from zk.create("/majority-write", b"")
+            return True
+
+        proc = sim.process(main())
+        assert sim.run(until=proc) is True
+        assert ens.servers[0].tree.exists("/majority-write") is None, \
+            "partitioned old leader must not see the new commit"
+
+        # Heal: the zombie leader must step down and sync.
+        part.heal()
+        sim.run(until=sim.now + 4.0)
+        assert not (ens.servers[0].is_leader
+                    and ens.servers[1].is_leader), "split brain after heal"
+        leaders = [s for s in ens.servers if s.is_leader]
+        assert len(leaders) == 1
+
+    def test_zombie_leader_syncs_after_heal(self, world):
+        sim, net, ens, inj = world
+        part = inj.partition(["zk0"], ["zk1", "zk2"])
+        sim.run(until=sim.now + 3.0)
+
+        zk = ens.client("writer")
+        zk._server_idx = 1
+
+        def main():
+            yield from zk.connect()
+            for i in range(5):
+                yield from zk.create(f"/during-{i}", b"")
+            return True
+
+        proc = sim.process(main())
+        sim.run(until=proc)
+        part.heal()
+        sim.run(until=sim.now + 5.0)
+        for i in range(5):
+            assert ens.servers[0].tree.exists(f"/during-{i}") is not None, \
+                f"old leader missing /during-{i} after resync"
+
+
+class TestElectionRaces:
+    def test_simultaneous_candidates_converge(self, world):
+        sim, net, ens, inj = world
+        ens.crash("zk0")
+        # Both followers detect loss around the same time.
+        sim.run(until=sim.now + 6.0)
+        leaders = [s for s in ens.servers if s.running and s.is_leader]
+        assert len(leaders) == 1, f"split brain: {[s.name for s in leaders]}"
+        followers = [s for s in ens.servers
+                     if s.running and not s.is_leader]
+        assert all(f.leader_name == leaders[0].name for f in followers)
+
+    def test_highest_zxid_wins_election(self, world):
+        sim, net, ens, inj = world
+
+        def seed(zk):
+            for i in range(8):
+                yield from zk.create(f"/z{i}", b"")
+            return True
+
+        client_script(sim, ens, seed)
+        sim.run(until=sim.now + 1.0)
+        # Make zk2 lag by crashing it, writing more, restarting it.
+        ens.crash("zk2")
+
+        def more(zk):
+            yield from zk.create("/late", b"")
+            return True
+
+        client_script(sim, ens, more, name="more")
+        ens.restart("zk2")
+        sim.run(until=sim.now + 1.0)
+        # zk2 may still be catching up; now kill the leader.
+        zk1_zxid = ens.server("zk1").applied_zxid
+        zk2_zxid = ens.server("zk2").applied_zxid
+        ens.crash("zk0")
+        sim.run(until=sim.now + 6.0)
+        leader = ens.leader()
+        assert leader is not None
+        if zk1_zxid != zk2_zxid:
+            expected = "zk1" if zk1_zxid > zk2_zxid else "zk2"
+            assert leader.name == expected, (
+                f"leader {leader.name}, but zxids were zk1={zk1_zxid} "
+                f"zk2={zk2_zxid}")
+
+    def test_cluster_of_five_survives_two_crashes(self):
+        sim = Simulator()
+        net = Network(sim, latency=LanGigabit(seed=23))
+        ens = ZkEnsemble(sim, net, size=5)
+        ens.start()
+
+        def seed(zk):
+            yield from zk.create("/five", b"")
+            return True
+
+        client_script(sim, ens, seed)
+        ens.crash("zk0")  # the leader
+        ens.crash("zk3")
+        sim.run(until=sim.now + 6.0)
+        leader = ens.leader()
+        assert leader is not None
+
+        def after(zk):
+            yield from zk.create("/after-two-crashes", b"")
+            data, _ = yield from zk.get("/five")
+            return True
+
+        assert client_script(sim, ens, after, name="after") is True
+
+
+class TestSessionRobustness:
+    def test_sessions_survive_leader_failover(self, world):
+        sim, net, ens, inj = world
+        zk = ens.client("survivor")
+
+        def main():
+            yield from zk.connect()
+            yield from zk.create("/mine", b"", ephemeral=True)
+            return True
+
+        proc = sim.process(main())
+        sim.run(until=proc)
+        ens.crash("zk0")
+        sim.run(until=sim.now + 6.0)
+        # The pinger kept the session alive through the failover; the
+        # ephemeral must still exist on the new leader.
+        leader = ens.leader()
+        assert leader.tree.exists("/mine") is not None
+
+    def test_expiry_still_works_after_failover(self, world):
+        sim, net, ens, inj = world
+        zk = ens.client("doomed")
+
+        def main():
+            yield from zk.connect()
+            yield from zk.create("/doomed-node", b"", ephemeral=True)
+            return True
+
+        proc = sim.process(main())
+        sim.run(until=proc)
+        ens.crash("zk0")
+        sim.run(until=sim.now + 5.0)
+        zk.crash()  # client dies after the failover
+        sim.run(until=sim.now + 5 * ens.config.session_timeout)
+        leader = ens.leader()
+        assert leader.tree.exists("/doomed-node") is None, \
+            "new leader must expire dead sessions too"

@@ -1,0 +1,174 @@
+"""Tests for atomic multi transactions in the ZooKeeper substrate."""
+
+import pytest
+
+from repro.net.latency import LanGigabit
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.zk.ensemble import ZkEnsemble
+from repro.zk.znode import NodeExistsError, NoNodeError, ZkError
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    net = Network(sim, latency=LanGigabit(seed=8))
+    ens = ZkEnsemble(sim, net, size=3)
+    ens.start()
+    return sim, ens
+
+
+def run(sim, ens, script, name="cli"):
+    zk = ens.client(name)
+
+    def main():
+        yield from zk.connect()
+        return (yield from script(zk))
+
+    proc = sim.process(main())
+    return sim.run(until=proc)
+
+
+class TestMulti:
+    def test_all_steps_apply(self, world):
+        sim, ens = world
+
+        def script(zk):
+            results = yield from zk.multi([
+                zk.op_create("/a", b"1"),
+                zk.op_create("/a/b", b"2"),
+                zk.op_set("/a", b"1x"),
+            ])
+            data, _ = yield from zk.get("/a")
+            return len(results), data
+
+        count, data = run(sim, ens, script)
+        assert count == 3 and data == b"1x"
+
+    def test_failure_rolls_back_everything(self, world):
+        sim, ens = world
+
+        def script(zk):
+            yield from zk.create("/exists", b"")
+            try:
+                yield from zk.multi([
+                    zk.op_create("/new", b""),
+                    zk.op_create("/exists", b""),  # fails: NodeExists
+                ])
+            except ZkError:
+                pass
+            else:
+                return "multi should have failed"
+            return (yield from zk.exists("/new"))
+
+        assert run(sim, ens, script) is None, "first step must roll back"
+
+    def test_version_check_aborts_txn(self, world):
+        sim, ens = world
+
+        def script(zk):
+            yield from zk.create("/v", b"0")
+            yield from zk.set("/v", b"1")  # version now 1
+            try:
+                yield from zk.multi([
+                    zk.op_set("/v", b"2", version=0),  # stale version
+                    zk.op_create("/side-effect", b""),
+                ])
+            except ZkError:
+                pass
+            side = yield from zk.exists("/side-effect")
+            data, _ = yield from zk.get("/v")
+            return side, data
+
+        side, data = run(sim, ens, script)
+        assert side is None and data == b"1"
+
+    def test_multi_delete_and_create(self, world):
+        sim, ens = world
+
+        def script(zk):
+            yield from zk.create("/old", b"")
+            yield from zk.multi([
+                zk.op_delete("/old"),
+                zk.op_create("/renamed", b""),
+            ])
+            old = yield from zk.exists("/old")
+            new = yield from zk.exists("/renamed")
+            return old, new
+
+        old, new = run(sim, ens, script)
+        assert old is None and new is not None
+
+    def test_multi_replicates_to_followers(self, world):
+        sim, ens = world
+
+        def script(zk):
+            yield from zk.multi([
+                zk.op_create("/m1", b""),
+                zk.op_create("/m2", b""),
+            ])
+            return True
+
+        run(sim, ens, script)
+        sim.run(until=sim.now + 1.0)
+        for server in ens.servers:
+            assert server.tree.exists("/m1") is not None
+            assert server.tree.exists("/m2") is not None
+
+    def test_aborted_multi_leaves_followers_consistent(self, world):
+        sim, ens = world
+
+        def script(zk):
+            yield from zk.create("/clash", b"")
+            try:
+                yield from zk.multi([
+                    zk.op_create("/ghost", b""),
+                    zk.op_create("/clash", b""),
+                ])
+            except ZkError:
+                pass
+            return True
+
+        run(sim, ens, script)
+        sim.run(until=sim.now + 1.0)
+        trees = [sorted(s.tree.walk_paths()) for s in ens.servers]
+        assert trees[0] == trees[1] == trees[2]
+        assert "/ghost" not in trees[0]
+
+    def test_watches_fire_only_on_commit(self, world):
+        sim, ens = world
+        events = []
+
+        def script(zk):
+            yield from zk.create("/w", b"")
+            yield from zk.get("/w", watch=events.append)
+            try:
+                yield from zk.multi([
+                    zk.op_set("/w", b"x"),
+                    zk.op_create("/w", b""),  # fails -> rollback
+                ])
+            except ZkError:
+                pass
+            yield sim.timeout(0.5)
+            aborted_events = len(events)
+            yield from zk.multi([zk.op_set("/w", b"y")])
+            yield sim.timeout(0.5)
+            return aborted_events, len(events)
+
+        aborted, committed = run(sim, ens, script)
+        assert aborted == 0, "rolled-back txn must not fire watches"
+        assert committed == 1
+
+    def test_sequential_in_multi(self, world):
+        sim, ens = world
+
+        def script(zk):
+            yield from zk.create("/q", b"")
+            results = yield from zk.multi([
+                zk.op_create("/q/item-", b"", sequential=True),
+                zk.op_create("/q/item-", b"", sequential=True),
+            ])
+            return [r["path"] for r in results]
+
+        paths = run(sim, ens, script)
+        assert paths == ["/q/item-0000000000", "/q/item-0000000001"]

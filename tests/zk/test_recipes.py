@@ -1,0 +1,279 @@
+"""Tests for the ZooKeeper coordination recipes."""
+
+import pytest
+
+from repro.net.latency import LanGigabit
+from repro.net.simulator import AllOf, Simulator
+from repro.net.transport import Network
+from repro.zk.ensemble import ZkEnsemble
+from repro.zk.recipes import (Barrier, DistributedLock, DistributedQueue,
+                              LeaderElection)
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    net = Network(sim, latency=LanGigabit(seed=6))
+    ens = ZkEnsemble(sim, net, size=3)
+    ens.start()
+    return sim, ens
+
+
+def connected_client(sim, ens, name):
+    zk = ens.client(name)
+    proc = sim.process(zk.connect())
+    sim.run(until=proc)
+    return zk
+
+
+class TestDistributedLock:
+    def test_single_holder_acquires_immediately(self, world):
+        sim, ens = world
+        zk = connected_client(sim, ens, "c1")
+        lock = DistributedLock(zk, "/locks/r")
+
+        def script():
+            got = yield from lock.acquire()
+            held = lock.held
+            yield from lock.release()
+            return got, held
+
+        proc = sim.process(script())
+        assert sim.run(until=proc) == (True, True)
+
+    def test_mutual_exclusion(self, world):
+        sim, ens = world
+        clients = [connected_client(sim, ens, f"c{i}") for i in range(3)]
+        trace = []
+
+        def contender(i, zk):
+            lock = DistributedLock(zk, "/locks/mx")
+            yield from lock.acquire()
+            trace.append(("enter", i, sim.now))
+            yield sim.timeout(0.5)  # critical section
+            trace.append(("exit", i, sim.now))
+            yield from lock.release()
+
+        procs = [sim.process(contender(i, zk))
+                 for i, zk in enumerate(clients)]
+        sim.run(until=AllOf(sim, procs))
+        # Critical sections must not overlap.
+        events = sorted(trace, key=lambda e: e[2])
+        depth = 0
+        for kind, _i, _t in events:
+            depth += 1 if kind == "enter" else -1
+            assert 0 <= depth <= 1, f"overlapping critical sections: {events}"
+
+    def test_fifo_fairness(self, world):
+        sim, ens = world
+        order = []
+
+        def contender(i, zk, delay):
+            lock = DistributedLock(zk, "/locks/fair")
+            yield sim.timeout(delay)
+            yield from lock.acquire()
+            order.append(i)
+            yield sim.timeout(0.2)
+            yield from lock.release()
+
+        procs = [sim.process(contender(i, connected_client(sim, ens, f"f{i}"),
+                                       0.1 * i))
+                 for i in range(3)]
+        sim.run(until=AllOf(sim, procs))
+        assert order == [0, 1, 2], "lock must grant in arrival order"
+
+    def test_acquire_timeout(self, world):
+        sim, ens = world
+        zk1 = connected_client(sim, ens, "h")
+        zk2 = connected_client(sim, ens, "w")
+        holder = DistributedLock(zk1, "/locks/t")
+        waiter = DistributedLock(zk2, "/locks/t")
+
+        def script():
+            yield from holder.acquire()
+            got = yield from waiter.acquire(timeout=1.0)
+            return got, sim.now
+
+        proc = sim.process(script())
+        got, when = sim.run(until=proc)
+        assert got is False and when >= 1.0
+
+    def test_crash_releases_lock(self, world):
+        sim, ens = world
+        zk1 = connected_client(sim, ens, "dying")
+        zk2 = connected_client(sim, ens, "patient")
+        lock1 = DistributedLock(zk1, "/locks/c")
+        lock2 = DistributedLock(zk2, "/locks/c")
+
+        def holder():
+            yield from lock1.acquire()
+            yield sim.timeout(0.5)
+            zk1.crash()  # session will expire, znode vanishes
+
+        def waiter():
+            yield sim.timeout(0.1)
+            got = yield from lock2.acquire(timeout=20.0)
+            return got, sim.now
+
+        sim.process(holder())
+        proc = sim.process(waiter())
+        got, when = sim.run(until=proc)
+        assert got is True
+        assert when > 0.5, "lock must transfer only after the crash"
+
+    def test_double_acquire_rejected(self, world):
+        sim, ens = world
+        zk = connected_client(sim, ens, "d")
+        lock = DistributedLock(zk, "/locks/dbl")
+
+        def script():
+            yield from lock.acquire()
+            with pytest.raises(RuntimeError):
+                yield from lock.acquire()
+            yield from lock.release()
+            with pytest.raises(RuntimeError):
+                yield from lock.release()
+            return True
+
+        proc = sim.process(script())
+        assert sim.run(until=proc) is True
+
+
+class TestLeaderElection:
+    def test_first_volunteer_leads(self, world):
+        sim, ens = world
+        zk = connected_client(sim, ens, "v1")
+        election = LeaderElection(zk, "/election/a")
+
+        def script():
+            got = yield from election.volunteer()
+            return got, election.leading
+
+        proc = sim.process(script())
+        assert sim.run(until=proc) == (True, True)
+
+    def test_succession_on_resign(self, world):
+        sim, ens = world
+        zk1 = connected_client(sim, ens, "e1")
+        zk2 = connected_client(sim, ens, "e2")
+        first = LeaderElection(zk1, "/election/b")
+        second = LeaderElection(zk2, "/election/b")
+        history = []
+
+        def leader_one():
+            yield from first.volunteer()
+            history.append(("one-leads", sim.now))
+            yield sim.timeout(1.0)
+            yield from first.resign()
+
+        def leader_two():
+            yield sim.timeout(0.2)  # volunteer second
+            yield from second.volunteer()
+            history.append(("two-leads", sim.now))
+
+        sim.process(leader_one())
+        proc = sim.process(leader_two())
+        sim.run(until=proc)
+        assert [name for name, _t in history] == ["one-leads", "two-leads"]
+        assert history[1][1] >= 1.0
+
+
+class TestBarrier:
+    def test_parties_wait_for_full_strength(self, world):
+        sim, ens = world
+        release_times = []
+
+        def party(i):
+            zk = connected_client(sim, ens, f"b{i}")
+            barrier = Barrier(zk, "/barriers/x", size=3)
+            yield sim.timeout(0.3 * i)  # staggered arrivals
+            ok = yield from barrier.enter()
+            release_times.append(sim.now)
+            return ok
+
+        procs = [sim.process(party(i)) for i in range(3)]
+        sim.run(until=AllOf(sim, procs))
+        assert all(p.value for p in procs)
+        # Nobody passes before the last arrival (t = 0.6).
+        assert min(release_times) >= 0.6
+
+    def test_barrier_timeout(self, world):
+        sim, ens = world
+        zk = connected_client(sim, ens, "lonely")
+        barrier = Barrier(zk, "/barriers/alone", size=2)
+
+        def script():
+            return (yield from barrier.enter(timeout=1.0))
+
+        proc = sim.process(script())
+        assert sim.run(until=proc) is False
+
+
+class TestDistributedQueue:
+    def test_fifo_order(self, world):
+        sim, ens = world
+        zk = connected_client(sim, ens, "q")
+        queue = DistributedQueue(zk, "/queues/fifo")
+
+        def script():
+            for i in range(5):
+                yield from queue.offer(f"item{i}".encode())
+            out = []
+            for _ in range(5):
+                out.append((yield from queue.take()))
+            return out
+
+        proc = sim.process(script())
+        assert sim.run(until=proc) == [f"item{i}".encode() for i in range(5)]
+
+    def test_take_empty_times_out(self, world):
+        sim, ens = world
+        zk = connected_client(sim, ens, "q2")
+        queue = DistributedQueue(zk, "/queues/empty")
+
+        def script():
+            return (yield from queue.take(timeout=0.5))
+
+        proc = sim.process(script())
+        assert sim.run(until=proc) is None
+
+    def test_competing_consumers_no_duplicates(self, world):
+        sim, ens = world
+        producer_zk = connected_client(sim, ens, "prod")
+        queue = DistributedQueue(producer_zk, "/queues/comp")
+        consumed = []
+
+        def producer():
+            for i in range(10):
+                yield from queue.offer(str(i).encode())
+
+        def consumer(name):
+            zk = connected_client(sim, ens, name)
+            q = DistributedQueue(zk, "/queues/comp")
+            while True:
+                item = yield from q.take(timeout=1.5)
+                if item is None:
+                    return
+                consumed.append(item)
+
+        sim.process(producer())
+        procs = [sim.process(consumer(f"cons{i}")) for i in range(3)]
+        sim.run(until=AllOf(sim, procs))
+        assert sorted(consumed) == sorted(str(i).encode() for i in range(10))
+        assert len(consumed) == len(set(consumed)) == 10
+
+    def test_size(self, world):
+        sim, ens = world
+        zk = connected_client(sim, ens, "q3")
+        queue = DistributedQueue(zk, "/queues/size")
+
+        def script():
+            yield from queue.offer(b"a")
+            yield from queue.offer(b"b")
+            before = yield from queue.size()
+            yield from queue.take()
+            after = yield from queue.size()
+            return before, after
+
+        proc = sim.process(script())
+        assert sim.run(until=proc) == (2, 1)

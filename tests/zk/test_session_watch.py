@@ -1,0 +1,108 @@
+"""Unit tests for the session table and watch registry."""
+
+from repro.zk.session import SessionTable
+from repro.zk.watches import (EVENT_CHANGED, EVENT_CHILD, EVENT_CREATED,
+                              EVENT_DELETED, WatchRegistry)
+
+
+class TestSessionTable:
+    def test_open_and_contains(self):
+        table = SessionTable()
+        table.open(1, timeout=2.0, now=0.0)
+        assert 1 in table and len(table) == 1
+
+    def test_ping_updates(self):
+        table = SessionTable()
+        table.open(1, timeout=2.0, now=0.0)
+        assert table.ping(1, now=1.5)
+        assert table.expired(now=3.0) == []
+        assert table.expired(now=3.6) == [1]
+
+    def test_ping_unknown(self):
+        assert SessionTable().ping(99, 0.0) is False
+
+    def test_expired_respects_timeout(self):
+        table = SessionTable()
+        table.open(1, timeout=1.0, now=0.0)
+        table.open(2, timeout=10.0, now=0.0)
+        assert table.expired(now=2.0) == [1]
+
+    def test_close(self):
+        table = SessionTable()
+        table.open(1, timeout=1.0, now=0.0)
+        assert table.close(1) is True
+        assert table.close(1) is False
+
+    def test_reset_clocks(self):
+        table = SessionTable()
+        table.open(1, timeout=1.0, now=0.0)
+        table.reset_clocks(now=100.0)
+        assert table.expired(now=100.5) == []
+
+    def test_dump_load(self):
+        table = SessionTable()
+        table.open(1, timeout=2.5, now=0.0)
+        clone = SessionTable()
+        clone.load(table.dump(), now=50.0)
+        assert 1 in clone
+        assert clone.sessions[1].timeout == 2.5
+        assert clone.expired(now=51.0) == []
+
+
+class TestWatchRegistry:
+    def test_data_watch_fires_once(self):
+        reg = WatchRegistry()
+        reg.add_data("/a", "c1")
+        fired = reg.fire_data("/a", EVENT_CHANGED)
+        assert fired == [("c1", {"type": EVENT_CHANGED, "path": "/a"})]
+        assert reg.fire_data("/a", EVENT_CHANGED) == []
+
+    def test_multiple_clients(self):
+        reg = WatchRegistry()
+        reg.add_data("/a", "c2")
+        reg.add_data("/a", "c1")
+        fired = reg.fire_data("/a", EVENT_DELETED)
+        assert [c for c, _ in fired] == ["c1", "c2"]
+
+    def test_child_watch(self):
+        reg = WatchRegistry()
+        reg.add_child("/p", "c1")
+        fired = reg.fire_child("/p")
+        assert fired[0][1]["type"] == EVENT_CHILD
+
+    def test_events_for_create(self):
+        reg = WatchRegistry()
+        reg.add_data("/p/x", "c1")   # exists-watch on the new node
+        reg.add_child("/p", "c2")    # child-watch on the parent
+        events = reg.events_for_txn("create", "/p/x", "/p")
+        types = sorted(e["type"] for _, e in events)
+        assert types == [EVENT_CHILD, EVENT_CREATED]
+
+    def test_events_for_delete(self):
+        reg = WatchRegistry()
+        reg.add_data("/p/x", "c1")
+        reg.add_child("/p", "c1")
+        events = reg.events_for_txn("delete", "/p/x", "/p")
+        assert len(events) == 2
+
+    def test_events_for_set_no_child_watch(self):
+        reg = WatchRegistry()
+        reg.add_child("/p", "c1")
+        assert reg.events_for_txn("set", "/p/x", "/p") == []
+
+    def test_drop_client(self):
+        reg = WatchRegistry()
+        reg.add_data("/a", "c1")
+        reg.add_data("/a", "c2")
+        reg.add_child("/b", "c1")
+        reg.drop_client("c1")
+        assert reg.count() == 1
+        assert reg.fire_data("/a", EVENT_CHANGED) == [
+            ("c2", {"type": EVENT_CHANGED, "path": "/a"})]
+
+    def test_count(self):
+        reg = WatchRegistry()
+        assert reg.count() == 0
+        reg.add_data("/a", "c1")
+        reg.add_child("/a", "c1")
+        assert reg.count() == 2

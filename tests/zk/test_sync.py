@@ -1,0 +1,75 @@
+"""Tests for the ZooKeeper sync (read-your-writes) operation."""
+
+import pytest
+
+from repro.net.latency import LanGigabit, UniformLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.zk.ensemble import ZkEnsemble
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    net = Network(sim, latency=LanGigabit(seed=19))
+    ens = ZkEnsemble(sim, net, size=3)
+    ens.start()
+    return sim, ens
+
+
+class TestSync:
+    def test_sync_on_leader_returns_current_zxid(self, world):
+        sim, ens = world
+        zk = ens.client("c")
+        zk._server_idx = 0  # talk to the leader
+
+        def main():
+            yield from zk.connect()
+            yield from zk.create("/a", b"")
+            zxid = yield from zk.sync()
+            return zxid
+
+        proc = sim.process(main())
+        zxid = sim.run(until=proc)
+        assert zxid == ens.leader().applied_zxid
+
+    def test_sync_then_read_sees_prior_write(self, world):
+        sim, ens = world
+        writer = ens.client("writer")
+        reader = ens.client("reader")
+        reader._server_idx = 2  # pinned to a follower
+
+        def main():
+            yield from writer.connect()
+            yield from reader.connect()
+            yield from writer.create("/fresh", b"payload")
+            yield from reader.sync()
+            data, _ = yield from reader.get("/fresh")
+            return data
+
+        proc = sim.process(main())
+        assert sim.run(until=proc) == b"payload"
+
+    def test_sync_waits_for_lagging_follower(self):
+        # Slow network so follower application visibly lags the leader.
+        sim = Simulator()
+        net = Network(sim, latency=UniformLatency(propagation=0.05,
+                                                  jitter=0.0))
+        ens = ZkEnsemble(sim, net, size=3)
+        ens.start()
+        writer = ens.client("w")
+        reader = ens.client("r")
+        reader._server_idx = 1
+
+        def main():
+            yield from writer.connect()
+            yield from reader.connect()
+            for i in range(5):
+                yield from writer.create(f"/lag{i}", b"")
+            zxid = yield from reader.sync()
+            follower = ens.server("zk1")
+            return zxid, follower.applied_zxid
+
+        proc = sim.process(main())
+        zxid, applied = sim.run(until=proc)
+        assert applied >= zxid >= 5
