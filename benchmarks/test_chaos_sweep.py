@@ -1,0 +1,14 @@
+"""Chaos harness sweep: safety invariants across fault profiles.
+
+Every profile × seed must finish with zero invariant violations and a
+seed-stable replay digest; the chart shows completed ops per run.
+"""
+
+from conftest import record
+
+from repro.bench.chaossweep import chaos_sweep
+
+
+def test_chaos_sweep(benchmark):
+    result = benchmark.pedantic(chaos_sweep, rounds=1, iterations=1)
+    record(result, "chaos_sweep")

@@ -1,0 +1,52 @@
+"""Chaos sweep bench: safety invariants across fault profiles.
+
+Runs the deterministic chaos harness (``repro.chaos``) over every
+fault profile at several seeds, charts completed operations per run,
+and asserts the paper-shape expectations: zero invariant violations
+everywhere, full fault-kind coverage across the sweep, and a
+byte-identical replay digest for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from ..chaos.runner import ChaosRunner
+from ..chaos.schedule import PROFILES
+from .harness import FigureResult
+
+__all__ = ["chaos_sweep"]
+
+
+def chaos_sweep(seeds: tuple[int, ...] = (1, 2, 3),
+                duration: float = 6.0) -> FigureResult:
+    """The chaos harness over ``PROFILES`` × ``seeds``."""
+    result = FigureResult(
+        "chaos", "Fault-schedule sweep: invariants by profile")
+    kinds_seen: set[str] = set()
+    digests: dict[tuple[int, str], str] = {}
+    for profile in PROFILES:
+        points = []
+        anomalies = 0
+        ops = 0
+        for i, seed in enumerate(seeds):
+            report = ChaosRunner(seed=seed, profile=profile,
+                                 duration=duration).run()
+            points.append((i + 1, float(len(report.history))))
+            anomalies += len(report.anomalies)
+            ops += len(report.history)
+            kinds_seen |= report.schedule.kinds
+            digests[(seed, profile)] = report.digest
+        result.series[profile] = points
+        result.totals[f"{profile} ops"] = float(ops)
+        result.expect(f"{profile}: no invariant violations", anomalies == 0,
+                      f"{anomalies} anomalies across seeds {seeds}")
+    wanted = {"crash", "restart", "partition", "heal",
+              "loss_start", "loss_stop"}
+    result.expect("fault coverage", wanted <= kinds_seen,
+                  f"missing {sorted(wanted - kinds_seen)}")
+    replay = ChaosRunner(seed=seeds[0], profile="mixed",
+                         duration=duration).run()
+    result.expect("replay digest identical",
+                  replay.digest == digests[(seeds[0], "mixed")],
+                  "same seed must reproduce the same history")
+    result.notes["digest"] = digests[(seeds[0], "mixed")]
+    return result

@@ -1,0 +1,157 @@
+"""Per-operation history of a chaos run.
+
+Every client operation is recorded twice — at *invocation* (timestamp,
+kind, key, the write's version timestamp) and at *response* (status,
+acking/responding replicas, the value that came back).  The invariant
+checkers in :mod:`repro.chaos.invariants` reason over these records;
+the sha256 digest over the canonical byte form is the replay-identity
+fingerprint (same seed → same digest, byte for byte).
+
+The recorder also tallies network traffic by (message kind, RPC
+method) through :class:`repro.net.tap.NetworkTap`'s streaming
+``on_record`` hook — counts only, so a long run does not buffer every
+transmission.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["OpRecord", "History"]
+
+WRITE_KINDS = ("write_latest", "write_all")
+
+
+@dataclass
+class OpRecord:
+    """One client operation, invocation through response."""
+
+    op_id: int
+    client: str
+    kind: str                 # write_latest/write_all/read_latest/read_all/delete
+    key: str                  # encoded full key
+    invoked: float
+    value: Any = None         # written value (writes only)
+    ts: Optional[float] = None        # write version timestamp
+    completed: Optional[float] = None
+    status: Optional[str] = None      # ok/outdated/failure/found/miss
+    acks: tuple = ()                  # replicas that acked (writes/deletes)
+    responders: tuple = ()            # replicas that answered (reads)
+    result_ts: Optional[float] = None
+    result_source: Optional[str] = None
+    result_value: Any = None
+    result_elements: tuple = ()       # ((source, ts, value), ...) for read_all
+
+    @property
+    def done(self) -> bool:
+        """Whether the response was recorded."""
+        return self.completed is not None
+
+    def to_line(self) -> str:
+        """Canonical one-line form (feeds the history digest)."""
+        return ("|".join([
+            str(self.op_id), self.client, self.kind, self.key,
+            repr(self.invoked), repr(self.ts), repr(self.value),
+            repr(self.completed), str(self.status),
+            ",".join(self.acks), ",".join(self.responders),
+            repr(self.result_ts), str(self.result_source),
+            repr(self.result_value),
+            ";".join(f"{s},{repr(t)},{repr(v)}"
+                     for s, t, v in self.result_elements),
+        ]))
+
+
+class History:
+    """Append-only operation log plus message tallies."""
+
+    def __init__(self):
+        self.records: list[OpRecord] = []
+        self.message_counts: dict[tuple[str, str], int] = {}
+
+    # -- recording --------------------------------------------------------
+    def begin(self, client: str, kind: str, key: str, now: float,
+              value: Any = None, ts: Optional[float] = None) -> OpRecord:
+        """Open a record at invocation time; returns it for completion."""
+        record = OpRecord(op_id=len(self.records), client=client, kind=kind,
+                          key=key, invoked=now, value=value, ts=ts)
+        self.records.append(record)
+        return record
+
+    def complete(self, record: OpRecord, now: float, status: str,
+                 acks: tuple = (), responders: tuple = (),
+                 result_ts: Optional[float] = None,
+                 result_source: Optional[str] = None,
+                 result_value: Any = None,
+                 result_elements: tuple = ()) -> None:
+        """Close a record at response time."""
+        record.completed = now
+        record.status = status
+        record.acks = tuple(acks)
+        record.responders = tuple(responders)
+        record.result_ts = result_ts
+        record.result_source = result_source
+        record.result_value = result_value
+        record.result_elements = tuple(result_elements)
+
+    def tally(self, tap_record) -> None:
+        """`NetworkTap.on_record` hook: count by (kind, method)."""
+        token = (tap_record.kind, tap_record.method)
+        self.message_counts[token] = self.message_counts.get(token, 0) + 1
+
+    # -- queries ----------------------------------------------------------
+    def ops(self, kind: Optional[str] = None,
+            key: Optional[str] = None) -> list[OpRecord]:
+        """Completed records matching the criteria, in op order."""
+        out = []
+        for record in self.records:
+            if not record.done:
+                continue
+            if kind is not None and record.kind != kind:
+                continue
+            if key is not None and record.key != key:
+                continue
+            out.append(record)
+        return out
+
+    def written_keys(self) -> list[str]:
+        """Keys any write (acked or not) was attempted on, sorted."""
+        return sorted({r.key for r in self.records
+                       if r.kind in WRITE_KINDS})
+
+    def deleted_keys(self) -> set[str]:
+        """Keys touched by any delete attempt — even a *failed* delete
+        may have removed the row on a minority of replicas, so these
+        keys are tainted for the durability-flavoured invariants."""
+        return {r.key for r in self.records if r.kind == "delete"}
+
+    def acked_writes(self, key: str, kind: Optional[str] = None
+                     ) -> list[OpRecord]:
+        """Quorum-acknowledged (status ``ok``) writes on ``key``."""
+        out = []
+        for record in self.records:
+            if record.key != key or record.status != "ok":
+                continue
+            if record.kind not in WRITE_KINDS:
+                continue
+            if kind is not None and record.kind != kind:
+                continue
+            out.append(record)
+        return out
+
+    # -- fingerprinting ---------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Canonical byte form of the whole history."""
+        lines = [record.to_line() for record in self.records]
+        lines.append("messages:" + ",".join(
+            f"{kind}/{method}={count}"
+            for (kind, method), count in sorted(self.message_counts.items())))
+        return "\n".join(lines).encode()
+
+    def digest(self) -> str:
+        """sha256 over :meth:`to_bytes` — the replay-identity check."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.records)

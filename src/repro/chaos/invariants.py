@@ -1,0 +1,219 @@
+"""Safety invariants checked after a chaos run quiesces.
+
+The checkers consume the operation :class:`~repro.chaos.history.History`
+plus a :class:`FinalState` snapshot (taken by the runner after healing
+every fault, restarting every crashed node and letting anti-entropy
+finish) and return :class:`Anomaly` records — an empty list is a pass.
+
+Five invariants, matching the promises the cluster actually makes:
+
+1. **durability** — a ``write_latest`` acknowledged at W quorum is
+   never lost: the surviving row's latest element is that write or a
+   newer one.
+2. **freshness** — R + W > N: a ``read_latest`` invoked after an acked
+   write completed returns that write or newer, never an older value
+   and never a miss.
+3. **replication** — every written key is back on all N replicas of
+   its (post-churn) authoritative replica set; orphan copies GC'd off
+   former owners don't count against this.
+4. **value lists** — ``write_all`` never loses a source's newest acked
+   element from the merged value list.
+5. **cache convergence** — every running node's and every client's
+   mapping cache equals the ZooKeeper assignment.
+
+Keys touched by a ``delete`` are excluded from 1-4: the store keeps no
+tombstones, so anti-entropy may legitimately resurrect a deleted key
+(a faithful reproduction of the paper's no-tombstone design, noted in
+docs/protocols.md), and a failed delete may still have removed the row
+on a minority of replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .history import History
+
+__all__ = ["Anomaly", "FinalState", "check_all", "check_durability",
+           "check_freshness", "check_replication", "check_value_lists",
+           "check_cache_convergence"]
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One invariant violation."""
+
+    invariant: str
+    key: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.key}: {self.detail}"
+
+
+@dataclass
+class FinalState:
+    """Post-quiesce cluster snapshot (built by the runner).
+
+    ``holders`` maps each tracked key to ``{replica_name: [(source,
+    ts, value), ...]}`` over its *authoritative* replica set (from the
+    assignment freshly loaded out of ZooKeeper); ``replica_sets`` maps
+    each key to its ``(vnode_id, [replica names])``.
+    """
+
+    assignment: list[str] = field(default_factory=list)
+    replica_sets: dict[str, tuple[int, list[str]]] = field(default_factory=dict)
+    holders: dict[str, dict[str, list[tuple]]] = field(default_factory=dict)
+    node_caches: dict[str, list[str]] = field(default_factory=dict)
+    client_caches: dict[str, list[str]] = field(default_factory=dict)
+
+
+def _merged_elements(state: FinalState, key: str) -> dict[str, tuple]:
+    """source -> (ts, value): newest-per-source across the replica set."""
+    merged: dict[str, tuple] = {}
+    for elements in state.holders.get(key, {}).values():
+        for source, ts, value in elements:
+            if source not in merged or ts > merged[source][0]:
+                merged[source] = (ts, value)
+    return merged
+
+
+def _final_latest(state: FinalState, key: str):
+    """(ts, source, value) of the freshest surviving element, or None."""
+    best = None
+    for source, (ts, value) in _merged_elements(state, key).items():
+        if best is None or (ts, source) > (best[0], best[1]):
+            best = (ts, source, value)
+    return best
+
+
+def check_durability(history: History, state: FinalState) -> list[Anomaly]:
+    """Invariant 1: no quorum-acked ``write_latest`` lost."""
+    anomalies = []
+    tainted = history.deleted_keys()
+    for key in history.written_keys():
+        if key in tainted:
+            continue
+        acked = history.acked_writes(key, kind="write_latest")
+        if not acked:
+            continue
+        winner = max(acked, key=lambda r: (r.ts, r.client))
+        latest = _final_latest(state, key)
+        if latest is None:
+            anomalies.append(Anomaly(
+                "durability", key,
+                f"acked write ts={winner.ts} by {winner.client} vanished "
+                f"(no surviving element on any replica)"))
+        elif (latest[0], latest[1]) < (winner.ts, winner.client):
+            anomalies.append(Anomaly(
+                "durability", key,
+                f"final latest (ts={latest[0]}, src={latest[1]}) older than "
+                f"acked write (ts={winner.ts}, src={winner.client})"))
+    return anomalies
+
+
+def check_freshness(history: History, state: FinalState) -> list[Anomaly]:
+    """Invariant 2: reads after acked writes return them or newer."""
+    anomalies = []
+    tainted = history.deleted_keys()
+    for read in history.ops(kind="read_latest"):
+        if read.key in tainted or read.status == "failure":
+            continue
+        acked = [w for w in history.acked_writes(read.key,
+                                                 kind="write_latest")
+                 if w.completed is not None and w.completed <= read.invoked]
+        if not acked:
+            continue
+        winner = max(acked, key=lambda r: (r.ts, r.client))
+        if read.status == "miss":
+            anomalies.append(Anomaly(
+                "freshness", read.key,
+                f"op#{read.op_id} ({read.client}) missed despite write "
+                f"ts={winner.ts} acked at t={winner.completed:.3f} before "
+                f"read at t={read.invoked:.3f}"))
+        elif (read.result_ts, read.result_source) < (winner.ts,
+                                                     winner.client):
+            anomalies.append(Anomaly(
+                "freshness", read.key,
+                f"op#{read.op_id} ({read.client}) returned stale "
+                f"ts={read.result_ts} (src={read.result_source}); acked "
+                f"write ts={winner.ts} (src={winner.client}) completed "
+                f"earlier"))
+    return anomalies
+
+
+def check_replication(history: History, state: FinalState) -> list[Anomaly]:
+    """Invariant 3: replication factor back to N on the final set."""
+    anomalies = []
+    tainted = history.deleted_keys()
+    for key in history.written_keys():
+        if key in tainted or not history.acked_writes(key):
+            continue
+        _vnode, replicas = state.replica_sets.get(key, (None, []))
+        holders = state.holders.get(key, {})
+        missing = [r for r in replicas if not holders.get(r)]
+        if missing:
+            anomalies.append(Anomaly(
+                "replication", key,
+                f"absent on {missing} of final replica set {replicas}"))
+    return anomalies
+
+
+def check_value_lists(history: History, state: FinalState) -> list[Anomaly]:
+    """Invariant 4: no source's newest acked ``write_all`` element lost."""
+    anomalies = []
+    tainted = history.deleted_keys()
+    keys = {r.key for r in history.records if r.kind == "write_all"}
+    for key in sorted(keys):
+        if key in tainted:
+            continue
+        merged = _merged_elements(state, key)
+        per_source: dict[str, float] = {}
+        for write in history.acked_writes(key, kind="write_all"):
+            per_source[write.client] = max(per_source.get(write.client,
+                                                          float("-inf")),
+                                           write.ts)
+        for source, newest_ts in sorted(per_source.items()):
+            surviving = merged.get(source)
+            if surviving is None:
+                anomalies.append(Anomaly(
+                    "value-list", key,
+                    f"source {source} lost from value list (newest acked "
+                    f"ts={newest_ts})"))
+            elif surviving[0] < newest_ts:
+                anomalies.append(Anomaly(
+                    "value-list", key,
+                    f"source {source} element ts={surviving[0]} older than "
+                    f"newest acked ts={newest_ts}"))
+    return anomalies
+
+
+def check_cache_convergence(history: History,
+                            state: FinalState) -> list[Anomaly]:
+    """Invariant 5: every mapping cache equals the ZK assignment."""
+    anomalies = []
+    for label, caches in (("node", state.node_caches),
+                          ("client", state.client_caches)):
+        for name, snapshot in sorted(caches.items()):
+            diffs = [v for v, (a, b) in
+                     enumerate(zip(snapshot, state.assignment)) if a != b]
+            if diffs:
+                shown = diffs[:5]
+                anomalies.append(Anomaly(
+                    "cache", name,
+                    f"{label} cache diverges from ZK on vnodes {shown}"
+                    + (f" (+{len(diffs) - len(shown)} more)"
+                       if len(diffs) > len(shown) else "")))
+    return anomalies
+
+
+CHECKS = (check_durability, check_freshness, check_replication,
+          check_value_lists, check_cache_convergence)
+
+
+def check_all(history: History, state: FinalState) -> list[Anomaly]:
+    """Run every invariant; empty list == the run was safe."""
+    anomalies: list[Anomaly] = []
+    for check in CHECKS:
+        anomalies.extend(check(history, state))
+    return anomalies

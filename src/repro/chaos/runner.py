@@ -1,0 +1,467 @@
+"""The chaos runner: seeded workloads + fault schedule + invariants.
+
+One :class:`ChaosRunner` run is fully determined by its parameters:
+
+1. build a :class:`~repro.core.cluster.SednaCluster` (seeded latency);
+2. attach a :class:`~repro.net.tap.NetworkTap` streaming into the
+   history's message tallies;
+3. start background maintenance (anti-entropy, GC, active detection —
+   rebalancing stays off so the assignment only moves through the
+   §III.C/D recovery paths under test);
+4. run seeded smart-client workloads while the seeded fault schedule
+   injects crashes, restarts, partitions and message loss;
+5. quiesce: heal everything, restart every crashed node, let
+   ZooKeeper sessions expire and recoveries finish, run a GC pass
+   (ex-replicas push rows for vnodes that rotated away from them)
+   and full anti-entropy passes, force-refresh every mapping cache;
+6. snapshot the final state against the assignment freshly loaded from
+   ZooKeeper and run the five invariant checkers.
+
+Replays are byte-identical: the same seed yields the same schedule,
+the same operation history and the same sha256 history digest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.antientropy import AntiEntropyManager
+from ..core.cache import MappingCache
+from ..core.cluster import SednaCluster
+from ..core.config import SednaConfig
+from ..core.gc import GarbageCollector
+from ..core.types import FullKey
+from ..net.rpc import RpcRejected, RpcTimeout
+from ..net.simulator import AllOf
+from ..net.tap import NetworkTap
+from ..zk.server import ZkConfig
+from .history import History
+from .invariants import Anomaly, FinalState, check_all
+from .schedule import Schedule, ScheduleGenerator
+
+__all__ = ["ChaosRunner", "ChaosReport"]
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced."""
+
+    seed: int
+    profile: str
+    schedule: Schedule
+    history: History
+    anomalies: list[Anomaly]
+    state: FinalState
+    end_time: float
+    crashes: int = 0
+    restarts: int = 0
+    op_counts: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not self.anomalies
+
+    @property
+    def digest(self) -> str:
+        """The history's sha256 — the replay-identity fingerprint."""
+        return self.history.digest()
+
+    def describe(self) -> str:
+        """Human-readable summary (bench output, failure triage)."""
+        lines = [
+            f"chaos seed={self.seed} profile={self.profile} "
+            f"ops={len(self.history)} digest={self.digest[:16]}…",
+            f"  faults: {len(self.schedule.events)} events "
+            f"({self.crashes} crashes, {self.restarts} mid-run restarts)",
+            f"  ops: " + ", ".join(f"{k}={v}" for k, v
+                                   in sorted(self.op_counts.items())),
+        ]
+        if self.anomalies:
+            lines.append(f"  ANOMALIES ({len(self.anomalies)}):")
+            lines.extend(f"    {a}" for a in self.anomalies)
+        else:
+            lines.append("  all invariants held")
+        return "\n".join(lines)
+
+
+class ChaosRunner:
+    """One deterministic chaos experiment; see the module docstring.
+
+    Parameters
+    ----------
+    seed:
+        Drives the fault schedule, the workload mix and the network
+        jitter; the only thing needed to replay a run.
+    profile:
+        Fault family selection (see
+        :class:`~repro.chaos.schedule.ScheduleGenerator`).
+    duration:
+        Simulated seconds of faulted workload before quiesce.
+    n_nodes / n_clients / num_vnodes:
+        Cluster shape; small defaults keep a run around a second of
+        wall clock.
+    max_down:
+        Cap on simultaneously unavailable nodes; default 2 keeps every
+        quorum-overlap argument per-vnode sound for N=3.
+    """
+
+    LW_PREFIX = "lw"     # write_latest keys, shared across clients
+    VA_PREFIX = "va"     # write_all keys (per-source value lists)
+    DEL_PREFIX = "del"   # delete-churned keys (tainted for invariants)
+
+    def __init__(self, seed: int, profile: str = "mixed",
+                 duration: float = 10.0, n_nodes: int = 6,
+                 zk_size: int = 3, n_clients: int = 3,
+                 num_vnodes: int = 16,
+                 n_lw_keys: int = 6, n_va_keys: int = 4,
+                 n_del_keys: int = 3,
+                 max_down: int = 2,
+                 config: Optional[SednaConfig] = None,
+                 zk_config: Optional[ZkConfig] = None):
+        self.seed = seed
+        self.profile = profile
+        self.duration = duration
+        self.n_nodes = n_nodes
+        self.zk_size = zk_size
+        self.n_clients = n_clients
+        self.n_lw_keys = n_lw_keys
+        self.n_va_keys = n_va_keys
+        self.n_del_keys = n_del_keys
+        self.max_down = max_down
+        self.config = config if config is not None else SednaConfig(
+            num_vnodes=num_vnodes)
+        self.zk_config = zk_config if zk_config is not None else ZkConfig(
+            session_timeout=1.0)
+        self.history = History()
+        self.cluster: Optional[SednaCluster] = None
+        self.clients: list = []
+        self._restart_procs: list = []
+        self._active_loss: list = []
+        self._crashes = 0
+        self._restarts = 0
+        self._op_counts: dict[str, int] = {}
+
+    # -- lifecycle --------------------------------------------------------
+    def run(self) -> ChaosReport:
+        """Execute the whole experiment; returns the report."""
+        self.cluster = SednaCluster(
+            n_nodes=self.n_nodes, zk_size=self.zk_size, seed=self.seed,
+            config=self.config, zk_config=self.zk_config)
+        self.cluster.start()
+        sim = self.cluster.sim
+        tap = NetworkTap(self.cluster.network, on_record=self.history.tally,
+                         keep_records=False)
+        # Production maintenance, minus the rebalancer: the assignment
+        # should only move through the recovery paths under test.
+        self.cluster.enable_maintenance(anti_entropy=False, rebalance=False)
+        self._ae = [AntiEntropyManager(self.cluster.nodes[name],
+                                       interval=1.5, vnodes_per_pass=4)
+                    for name in sorted(self.cluster.nodes)]
+        for manager in self._ae:
+            manager.start()
+
+        self.clients = [self.cluster.smart_client(f"chaos{i}")
+                        for i in range(self.n_clients)]
+        self.cluster.run_all([c.connect() for c in self.clients])
+
+        t0 = sim.now
+        schedule = ScheduleGenerator(
+            self.cluster.node_names, self.seed, duration=self.duration,
+            profile=self.profile, max_down=self.max_down,
+            session_expiry=self.zk_config.session_timeout).generate()
+
+        procs = [sim.process(self._workload(client, i, t0),
+                             name=f"chaos-load-{i}")
+                 for i, client in enumerate(self.clients)]
+        procs.append(sim.process(self._execute(schedule, t0),
+                                 name="chaos-faults"))
+        sim.run(until=AllOf(sim, procs))
+
+        self.cluster.run(self._quiesce(), name="chaos-quiesce")
+        state = self._collect()
+        anomalies = check_all(self.history, state)
+        tap.detach()
+        return ChaosReport(seed=self.seed, profile=self.profile,
+                           schedule=schedule, history=self.history,
+                           anomalies=anomalies, state=state,
+                           end_time=sim.now, crashes=self._crashes,
+                           restarts=self._restarts,
+                           op_counts=dict(sorted(self._op_counts.items())))
+
+    # -- fault execution --------------------------------------------------
+    def _execute(self, schedule: Schedule, t0: float):
+        """Replay the schedule against the live cluster."""
+        cluster = self.cluster
+        sim = cluster.sim
+        partitions: dict[int, object] = {}
+        losses: dict[int, object] = {}
+        for ev in schedule.events:
+            target_time = t0 + ev.time
+            if target_time > sim.now:
+                yield sim.timeout(target_time - sim.now)
+            if ev.kind == "crash":
+                node = cluster.nodes[ev.targets[0]]
+                if node.running:
+                    node.crash()
+                    self._crashes += 1
+            elif ev.kind == "restart":
+                node = cluster.nodes[ev.targets[0]]
+                if not node.running:
+                    # cluster.restart_node() calls sim.run and cannot be
+                    # used from inside a process; spawn the node's own
+                    # restart generator instead.
+                    self._restart_procs.append(sim.process(
+                        self._supervised_restart(node),
+                        name=f"{ev.targets[0]}-chaos-up"))
+                    self._restarts += 1
+            elif ev.kind == "partition":
+                island = [n for t in ev.targets for n in (t, f"{t}-zk")]
+                mainland = [n for n in cluster.network.endpoints
+                            if n not in island]
+                partitions[ev.tag] = cluster.failures.partition(island,
+                                                                mainland)
+            elif ev.kind == "heal":
+                part = partitions.pop(ev.tag, None)
+                if part is not None:
+                    part.heal()
+            elif ev.kind == "loss_start":
+                loss = cluster.failures.message_loss(
+                    ev.rate, seed=self.seed * 1000 + ev.tag)
+                losses[ev.tag] = loss
+                self._active_loss.append(loss)
+            elif ev.kind == "loss_stop":
+                loss = losses.pop(ev.tag, None)
+                if loss is not None:
+                    loss.stop()
+                    self._active_loss.remove(loss)
+
+    # -- workload ---------------------------------------------------------
+    def _workload(self, client, index: int, t0: float):
+        """One client's seeded op stream until the fault window closes."""
+        rng = random.Random(f"{self.seed}/client/{index}")
+        counter = 0
+        end = t0 + self.duration
+        while self.sim.now < end:
+            yield self.sim.timeout(rng.uniform(0.04, 0.18))
+            if self.sim.now >= end:
+                return
+            counter += 1
+            value = f"{client.name}:{counter}"
+            roll = rng.random()
+            if roll < 0.30:
+                key = f"{self.LW_PREFIX}-{rng.randrange(self.n_lw_keys)}"
+                yield from self._op_write(client, "write_latest", key, value)
+            elif roll < 0.42:
+                key = f"{self.VA_PREFIX}-{rng.randrange(self.n_va_keys)}"
+                yield from self._op_write(client, "write_all", key, value)
+            elif roll < 0.72:
+                key = f"{self.LW_PREFIX}-{rng.randrange(self.n_lw_keys)}"
+                yield from self._op_read_latest(client, key)
+            elif roll < 0.84:
+                key = f"{self.VA_PREFIX}-{rng.randrange(self.n_va_keys)}"
+                yield from self._op_read_all(client, key)
+            elif roll < 0.92:
+                key = f"{self.DEL_PREFIX}-{rng.randrange(self.n_del_keys)}"
+                yield from self._op_write(client, "write_latest", key, value)
+            else:
+                key = f"{self.DEL_PREFIX}-{rng.randrange(self.n_del_keys)}"
+                yield from self._op_delete(client, key)
+
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    def _count(self, kind: str) -> None:
+        self._op_counts[kind] = self._op_counts.get(kind, 0) + 1
+
+    def _op_write(self, client, kind: str, key: str, value):
+        self._count(kind)
+        encoded = FullKey.of(key).encoded()
+        mode = "latest" if kind == "write_latest" else "all"
+        args = {"key": encoded, "value": value, "ts": client._timestamp(),
+                "source": client.name, "mode": mode}
+        record = self.history.begin(client.name, kind, encoded,
+                                    self.sim.now, value=value, ts=args["ts"])
+        try:
+            result = yield from client.coordinator.coordinate_write(args)
+        except (RpcTimeout, RpcRejected):
+            self.history.complete(record, self.sim.now, "failure")
+            return
+        self.history.complete(record, self.sim.now, result["status"],
+                              acks=tuple(result.get("acks", ())))
+
+    def _op_read_latest(self, client, key: str):
+        self._count("read_latest")
+        encoded = FullKey.of(key).encoded()
+        record = self.history.begin(client.name, "read_latest", encoded,
+                                    self.sim.now)
+        try:
+            result = yield from client.coordinator.coordinate_read(
+                {"key": encoded, "mode": "latest"})
+        except (RpcTimeout, RpcRejected):
+            self.history.complete(record, self.sim.now, "failure")
+            return
+        responders = tuple(result.get("responders", ()))
+        if result.get("found"):
+            self.history.complete(record, self.sim.now, "found",
+                                  responders=responders,
+                                  result_ts=result["ts"],
+                                  result_source=result["source"],
+                                  result_value=result["value"])
+        else:
+            self.history.complete(record, self.sim.now, "miss",
+                                  responders=responders)
+
+    def _op_read_all(self, client, key: str):
+        self._count("read_all")
+        encoded = FullKey.of(key).encoded()
+        record = self.history.begin(client.name, "read_all", encoded,
+                                    self.sim.now)
+        try:
+            result = yield from client.coordinator.coordinate_read(
+                {"key": encoded, "mode": "all"})
+        except (RpcTimeout, RpcRejected):
+            self.history.complete(record, self.sim.now, "failure")
+            return
+        self.history.complete(
+            record, self.sim.now, "ok",
+            responders=tuple(result.get("responders", ())),
+            result_elements=tuple((s, t, v)
+                                  for s, t, v in result["elements"]))
+
+    def _op_delete(self, client, key: str):
+        self._count("delete")
+        encoded = FullKey.of(key).encoded()
+        record = self.history.begin(client.name, "delete", encoded,
+                                    self.sim.now)
+        try:
+            result = yield from client.coordinator.coordinate_delete(
+                {"key": encoded})
+        except (RpcTimeout, RpcRejected):
+            self.history.complete(record, self.sim.now, "failure")
+            return
+        self.history.complete(record, self.sim.now, result["status"],
+                              acks=tuple(result.get("acks", ())))
+
+    def _supervised_restart(self, node):
+        """``node.restart()`` hardened against open fault windows.
+
+        A rejoin can time out mid-join when its ZooKeeper endpoint is
+        partitioned or the fabric is lossy; crash the half-joined node
+        back down and retry — faults heal no later than quiesce, so the
+        loop always terminates.
+        """
+        while True:
+            try:
+                yield from node.restart()
+                return
+            except (RpcTimeout, RpcRejected):
+                node.crash()
+                yield self.sim.timeout(self.zk_config.rpc_timeout)
+
+    # -- quiesce ----------------------------------------------------------
+    def _quiesce(self):
+        """Heal everything and drive the cluster back to convergence."""
+        cluster = self.cluster
+        sim = self.sim
+        cluster.failures.heal_all()
+        for loss in list(self._active_loss):
+            loss.stop()
+        self._active_loss.clear()
+        # In-run maintenance off; convergence below is explicit so the
+        # quiesce length is fixed instead of waiting on periodic loops.
+        for manager in self._ae:
+            manager.stop()
+        cluster.disable_maintenance()
+        for proc in self._restart_procs:
+            if not proc.triggered:
+                yield proc
+        repair_procs = []
+        for name in sorted(cluster.nodes):
+            node = cluster.nodes[name]
+            if not node.running:
+                repair_procs.append(sim.process(
+                    self._supervised_restart(node),
+                    name=f"{name}-quiesce-up"))
+        for proc in repair_procs:
+            if not proc.triggered:
+                yield proc
+        # Let crashed sessions expire and in-flight investigations,
+        # recoveries and fire-and-forget repairs land.
+        yield sim.timeout(self.zk_config.session_timeout * 2 + 1.0)
+        # Sync every ring to the final assignment BEFORE reconciling:
+        # rejoining nodes may have re-claimed vnodes, and anti-entropy
+        # walks each node's *cached* replica sets.
+        yield from self._refresh_caches()
+        # GC pass: claiming a vnode rotates the replica sets of its ring
+        # *predecessors* too, so rows can be stranded on ex-replicas that
+        # anti-entropy (which only walks current replica sets) never
+        # consults.  The janitor pushes those rows to the authoritative
+        # set before dropping them.
+        for name in sorted(cluster.nodes):
+            node = cluster.nodes[name]
+            if node.running:
+                janitor = GarbageCollector(
+                    node, vnodes_per_pass=self.config.num_vnodes)
+                yield from janitor.run_pass()
+        # Full anti-entropy sweeps: every node reconciles every vnode it
+        # replicates; three rounds close pull-then-push transitive chains.
+        for _ in range(3):
+            for name in sorted(cluster.nodes):
+                node = cluster.nodes[name]
+                if not node.running:
+                    continue
+                sweeper = AntiEntropyManager(
+                    node, vnodes_per_pass=self.config.num_vnodes)
+                yield from sweeper.run_pass()
+            yield sim.timeout(0.5)
+        # Force every cache up to date (invariant 5 checks the result).
+        yield from self._refresh_caches()
+
+    def _refresh_caches(self):
+        for name in sorted(self.cluster.nodes):
+            node = self.cluster.nodes[name]
+            if node.running:
+                yield from node.cache.refresh()
+        for client in self.clients:
+            yield from client.cache.refresh()
+
+    # -- final-state collection ------------------------------------------
+    def _authoritative_ring(self):
+        """Load the assignment fresh from ZooKeeper (ground truth)."""
+        zk = self.cluster.ensemble.client("chaos-probe")
+        yield from zk.connect()
+        probe = MappingCache(self.sim, zk, self.config)
+        yield from probe.load_full()
+        yield from zk.close()
+        return probe.ring
+
+    def _collect(self) -> FinalState:
+        ring = self.cluster.run(self._authoritative_ring(),
+                                name="chaos-collect")
+        state = FinalState(assignment=ring.snapshot())
+        tracked = sorted(set(self.history.written_keys())
+                         | self.history.deleted_keys())
+        for key in tracked:
+            vnode_id, replicas = ring.replicas_for_key(key,
+                                                       self.config.replicas)
+            state.replica_sets[key] = (vnode_id, replicas)
+            holders: dict[str, list[tuple]] = {}
+            for name in replicas:
+                node = self.cluster.nodes.get(name)
+                if node is None or not node.running:
+                    holders[name] = []
+                    continue
+                holders[name] = [(e.source, e.timestamp, e.value)
+                                 for e in node.store.read_all(key)]
+            state.holders[key] = holders
+        for name in sorted(self.cluster.nodes):
+            node = self.cluster.nodes[name]
+            if node.running:
+                state.node_caches[name] = node.cache.ring.snapshot()
+        for client in self.clients:
+            state.client_caches[client.name] = client.cache.ring.snapshot()
+        return state

@@ -1,0 +1,182 @@
+"""Seeded fault-schedule generation.
+
+A :class:`Schedule` is a time-ordered list of :class:`FaultEvent`
+tuples; :class:`ScheduleGenerator` draws one deterministically from a
+seed, a fault *profile*, and a duration.  Profiles select which fault
+families appear:
+
+* ``crash``     — node crashes, repaired only at quiesce;
+* ``partition`` — minority island cuts that heal during the run;
+* ``loss``      — windows of seeded message loss on the whole fabric;
+* ``churn``     — leave/rejoin cycles (crash + restart inside the run,
+  exercising the §III.D rejoin and vnode re-acquisition path);
+* ``mixed``     — all of the above.
+
+The generator keeps the cluster *testable* while faulted: it never
+takes down more than ``max_down`` nodes at once (crashed or islanded),
+and spaces a restart at least a ZooKeeper session expiry after the
+crash so the ephemeral znode cycle is realistic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["FaultEvent", "Schedule", "ScheduleGenerator", "PROFILES"]
+
+PROFILES = ("crash", "partition", "loss", "churn", "mixed")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action.
+
+    ``kind`` is one of ``crash`` / ``restart`` / ``partition`` /
+    ``heal`` / ``loss_start`` / ``loss_stop``.  ``targets`` carries the
+    node names involved (the minority group for partitions), ``rate``
+    the loss fraction, and ``tag`` pairs start/stop events.
+    """
+
+    time: float
+    kind: str
+    targets: tuple[str, ...] = ()
+    rate: float = 0.0
+    tag: int = 0
+
+    def describe(self) -> str:
+        """One human-readable line (used by schedule dumps)."""
+        extra = ""
+        if self.kind in ("loss_start",):
+            extra = f" rate={self.rate:.3f}"
+        names = ",".join(self.targets)
+        return f"t={self.time:8.3f}  {self.kind:<10} {names}{extra}"
+
+
+@dataclass
+class Schedule:
+    """A deterministic, replayable fault schedule."""
+
+    seed: int
+    profile: str
+    duration: float
+    events: list[FaultEvent] = field(default_factory=list)
+
+    @property
+    def kinds(self) -> set[str]:
+        """Fault kinds present (coverage bookkeeping)."""
+        return {ev.kind for ev in self.events}
+
+    def describe(self) -> str:
+        """The whole schedule, one event per line."""
+        head = (f"schedule seed={self.seed} profile={self.profile} "
+                f"duration={self.duration}")
+        return "\n".join([head] + [ev.describe() for ev in self.events])
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte form (replay-identity checks)."""
+        return self.describe().encode()
+
+
+class ScheduleGenerator:
+    """Draws a :class:`Schedule` deterministically from a seed.
+
+    Parameters
+    ----------
+    node_names:
+        The cluster's real-node endpoint names.  Their ``-zk`` session
+        endpoints are partitioned along with them.
+    seed:
+        Drives every random choice; same seed → identical schedule.
+    duration:
+        Fault window length (simulated seconds); all events land in
+        ``[0.5, duration]``.
+    profile:
+        One of :data:`PROFILES`.
+    max_down:
+        Upper bound on simultaneously unavailable nodes (crashed or cut
+        off); defaults to ``len(node_names) - 3`` so a quorum-capable
+        core always remains.
+    session_expiry:
+        Minimum crash→restart dwell (ZooKeeper session timeout).
+    """
+
+    def __init__(self, node_names: list[str], seed: int,
+                 duration: float = 12.0, profile: str = "mixed",
+                 max_down: int | None = None,
+                 session_expiry: float = 1.0):
+        if profile not in PROFILES:
+            raise ValueError(f"unknown profile {profile!r}")
+        self.node_names = list(node_names)
+        self.seed = seed
+        self.duration = duration
+        self.profile = profile
+        self.max_down = (max_down if max_down is not None
+                         else max(0, len(node_names) - 3))
+        self.session_expiry = session_expiry
+
+    def generate(self) -> Schedule:
+        """The schedule for this generator's parameters."""
+        rng = random.Random(
+            f"{self.seed}/{self.profile}/{len(self.node_names)}")
+        events: list[FaultEvent] = []
+        down: dict[str, float] = {}   # node -> earliest restart time
+
+        def pick_up_node(at: float) -> str | None:
+            # A node not already down at time `at`, capacity permitting.
+            live = [n for n in self.node_names
+                    if n not in down or down[n] <= at]
+            currently_down = [n for n, until in down.items() if until > at]
+            if not live or len(currently_down) >= self.max_down:
+                return None
+            return rng.choice(sorted(live))
+
+        want = self.profile
+        if want in ("crash", "mixed") and self.max_down > 0:
+            for _ in range(rng.randint(1, 2)):
+                at = rng.uniform(0.5, self.duration * 0.6)
+                victim = pick_up_node(at)
+                if victim is None:
+                    continue
+                events.append(FaultEvent(at, "crash", (victim,)))
+                down[victim] = self.duration + 1.0  # repaired at quiesce
+
+        if want in ("churn", "mixed") and self.max_down > 0:
+            cycles = rng.randint(2, 3) if want == "churn" else 1
+            for _ in range(cycles):
+                at = rng.uniform(0.5, self.duration * 0.5)
+                victim = pick_up_node(at)
+                if victim is None:
+                    continue
+                dwell = rng.uniform(self.session_expiry * 2.0,
+                                    self.session_expiry * 2.0 + 3.0)
+                back = min(at + dwell, self.duration)
+                events.append(FaultEvent(at, "crash", (victim,)))
+                events.append(FaultEvent(back, "restart", (victim,)))
+                down[victim] = back
+
+        if want in ("partition", "mixed"):
+            cuts = rng.randint(1, 2)
+            for tag in range(cuts):
+                at = rng.uniform(0.5, self.duration * 0.7)
+                size = rng.randint(1, max(1, min(2, self.max_down)))
+                island = tuple(sorted(rng.sample(sorted(self.node_names),
+                                                 size)))
+                heal_at = min(at + rng.uniform(1.5, 4.0), self.duration)
+                events.append(FaultEvent(at, "partition", island, tag=tag))
+                events.append(FaultEvent(heal_at, "heal", island, tag=tag))
+
+        if want in ("loss", "mixed"):
+            windows = rng.randint(1, 2)
+            for tag in range(windows):
+                at = rng.uniform(0.5, self.duration * 0.7)
+                rate = rng.uniform(0.02, 0.15)
+                stop_at = min(at + rng.uniform(1.0, 3.0), self.duration)
+                events.append(FaultEvent(at, "loss_start", (),
+                                         rate=rate, tag=100 + tag))
+                events.append(FaultEvent(stop_at, "loss_stop", (),
+                                         tag=100 + tag))
+
+        events.sort(key=lambda ev: (ev.time, ev.kind, ev.targets))
+        return Schedule(seed=self.seed, profile=self.profile,
+                        duration=self.duration, events=events)

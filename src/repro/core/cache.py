@@ -72,6 +72,7 @@ class MappingCache:
         self.last_changelog_seq = -1
         self.loaded = False
         self._running = False
+        self._generation = 0
         # Stats for the bottleneck ablation.
         self.full_loads = 0
         self.incremental_refreshes = 0
@@ -128,7 +129,10 @@ class MappingCache:
                 data, _ = yield from self.zk.get(f"{ZkLayout.CHANGELOG}/{name}")
                 touched.add(int(data.decode()))
             except NoNodeError:
-                continue
+                # Trimmed entry: nothing left to read, but its sequence
+                # is consumed all the same — otherwise every later
+                # refresh re-fetches the same dead entries forever.
+                pass
             self.last_changelog_seq = seq
         changes = 0
         for vnode_id in sorted(touched):
@@ -159,16 +163,26 @@ class MappingCache:
         if self._running:
             return
         self._running = True
-        self.sim.process(self._lease_loop(), name=f"{self.zk.name}-lease")
+        # Each spawn gets a fresh generation token: a stopped loop that
+        # is still asleep when the next one starts must retire at its
+        # wakeup instead of being revived by the shared flag (which
+        # would leave two concurrent sync processes running).
+        self._generation += 1
+        self.sim.process(self._lease_loop(self._generation),
+                         name=f"{self.zk.name}-lease")
 
     def stop(self) -> None:
         """Stop the lease loop at its next wakeup."""
         self._running = False
 
-    def _lease_loop(self):
-        while self._running and self.zk.rpc.endpoint.up:
+    def _alive(self, generation: int) -> bool:
+        return (self._running and self._generation == generation
+                and self.zk.rpc.endpoint.up)
+
+    def _lease_loop(self, generation: int):
+        while self._alive(generation):
             yield self.sim.timeout(self.lease)
-            if not (self._running and self.zk.rpc.endpoint.up):
+            if not self._alive(generation):
                 return
             changes = yield from self.refresh()
             if self.adaptive:

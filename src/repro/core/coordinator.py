@@ -71,6 +71,7 @@ class QuorumCoordinator:
         # Stats.
         self.coordinated_writes = 0
         self.coordinated_reads = 0
+        self.coordinated_deletes = 0
         self.read_repairs = 0
 
     # -- plumbing -----------------------------------------------------------
@@ -186,7 +187,8 @@ class QuorumCoordinator:
         self._post_quorum_watch(calls, vnode_id, {n for n, _v in oks})
         for name, _exc in fails:
             self._suspect(name, vnode_id)
-        return {"status": outcome, "vnode": vnode_id}
+        return {"status": outcome, "vnode": vnode_id,
+                "acks": [name for name, _v in oks]}
 
     def coordinate_read(self, args: Any):
         """Parallel read from all replicas, waiting for R agreeing copies.
@@ -212,6 +214,23 @@ class QuorumCoordinator:
                 calls, cfg.read_quorum, cfg.request_timeout)
         except (RpcTimeout, RpcError) as err:
             self._post_quorum_watch(calls, vnode_id, set())
+            warming = any(isinstance(exc, RpcRejected)
+                          and "warming" in str(exc)
+                          for _n, exc in ((n, ev.value) for n, ev in calls
+                                          if ev.triggered and not ev.ok))
+            if warming:
+                # A freshly claimed replica refuses reads until its
+                # handoff catch-up finishes; that is transient, so wait
+                # it out instead of failing the read.
+                waits = args.get("_warm_waits", 0)
+                limit = int(self.config.lease_base * 2
+                            / cfg.request_timeout) + 2
+                if waits < limit:
+                    yield self.sim.timeout(cfg.request_timeout)
+                    retry = dict(args)
+                    retry["_warm_waits"] = waits + 1
+                    result = yield from self.coordinate_read(retry)
+                    return result
             if not args.get("_retried"):
                 yield from self.cache.invalidate(vnode_id)
                 retry = dict(args)
@@ -319,24 +338,47 @@ class QuorumCoordinator:
                 else:
                     ev.callbacks.append(
                         lambda done, name=name: late_check(done, name))
+        responders = list(responses)
         if mode == "all":
-            return {"elements": wire_elements(merged_elements)}
+            return {"elements": wire_elements(merged_elements),
+                    "responders": responders}
         if latest is None:
-            return {"found": False}
+            return {"found": False, "responders": responders}
         return {"found": True, "value": latest.value,
-                "ts": latest.timestamp, "source": latest.source}
+                "ts": latest.timestamp, "source": latest.source,
+                "responders": responders}
 
     def coordinate_delete(self, args: Any):
-        """Quorum delete (not in the paper's API; completes the CRUD)."""
+        """Quorum delete (not in the paper's API; completes the CRUD).
+
+        Mirrors :meth:`coordinate_write` end to end: replica-set sanity
+        check, invalidate-and-retry on a stale-mapping quorum failure,
+        laggard watching and suspicion — deletes issued right after
+        churn must trigger the same lazy recovery as writes (§III.C/E).
+        """
+        self.coordinated_deletes += 1
         cfg = self.config
         key = args["key"]
         vnode_id, replicas = yield from self._replica_set(key)
+        if len(replicas) < cfg.write_quorum:
+            raise RpcRejected("not-enough-replicas")
         payload = {"vnode": vnode_id, "key": key}
         calls = [(r, self._replica_call(r, "replica.delete", payload))
                  for r in replicas]
         try:
-            yield from self._quorum_fanout(calls, cfg.write_quorum,
-                                           cfg.request_timeout)
+            oks, fails = yield from self._quorum_fanout(
+                calls, cfg.write_quorum, cfg.request_timeout)
         except (RpcTimeout, RpcError) as err:
+            self._post_quorum_watch(calls, vnode_id, set())
+            if not args.get("_retried"):
+                yield from self.cache.invalidate(vnode_id)
+                retry = dict(args)
+                retry["_retried"] = True
+                result = yield from self.coordinate_delete(retry)
+                return result
             raise RpcRejected(f"delete-quorum-failed:{err}")
-        return {"status": "ok"}
+        self._post_quorum_watch(calls, vnode_id, {n for n, _v in oks})
+        for name, _exc in fails:
+            self._suspect(name, vnode_id)
+        return {"status": "ok", "vnode": vnode_id,
+                "acks": [name for name, _v in oks]}

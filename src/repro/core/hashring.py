@@ -32,6 +32,11 @@ class VnodeStatus:
     bytes: int = 0
     reads: int = 0
     writes: int = 0
+    # True while a freshly claimed vnode is still catching up on writes
+    # that raced the handoff through stale mapping caches; reads are
+    # refused until the catch-up pull completes (writes are accepted —
+    # they only add newer data).
+    warming: bool = False
 
 
 class Ring:

@@ -207,22 +207,56 @@ class SednaNode:
             if counts.get(owner, 0) <= target:
                 return False  # no longer overloaded
         try:
-            yield from self.zk.set(ZkLayout.vnode(vnode_id),
-                                   self.name.encode(),
-                                   version=stat["version"])
+            yield from self.write_assignment(vnode_id, self.name,
+                                             stat["version"])
         except (BadVersionError, NoNodeError):
             return False  # raced with another joiner
-        yield from self._log_change(vnode_id)
         self.cache.ring.assign(vnode_id, self.name)
-        self.vnode_status.setdefault(vnode_id, VnodeStatus())
+        status = self.vnode_status.setdefault(vnode_id, VnodeStatus())
         if owner != Ring.UNASSIGNED:
+            # The claim-time pull gives us the vnode's history up to
+            # now, but coordinators with stale mapping caches keep
+            # routing writes to the old replica set for up to a lease;
+            # serve no reads until that window is swept.
+            status.warming = True
             yield from self._pull_vnode(vnode_id, owner)
+            self.sim.process(self._finish_handoff(vnode_id, owner, status),
+                             name=f"{self.name}-handoff-{vnode_id}")
         return True
 
-    def _log_change(self, vnode_id: int):
-        """Append a changelog entry so caches can refresh incrementally."""
-        yield from self.zk.create(f"{ZkLayout.CHANGELOG}/e-",
-                                  str(vnode_id).encode(), sequential=True)
+    def _finish_handoff(self, vnode_id: int, predecessor: str,
+                        status: VnodeStatus):
+        """Close the handoff race window for a claimed vnode.
+
+        Writes acknowledged by the old replica set after our claim-time
+        pull would be invisible here; once every mapping cache has had
+        a lease period to catch up, re-pull the predecessor's rows and
+        digest-sync with the other current replicas, then start
+        answering reads.
+        """
+        try:
+            yield self.sim.timeout(self.config.lease_base * 2)
+            if self.running:
+                yield from self._pull_vnode(vnode_id, predecessor)
+                yield from self.reconcile_vnode(vnode_id)
+        finally:
+            status.warming = False
+
+    def write_assignment(self, vnode_id: int, owner: str, version: int):
+        """Version-checked ownership rewrite plus its changelog entry,
+        as ONE transaction.
+
+        The two writes must be atomic: if the mapping set applied but
+        the changelog append was lost (response dropped, client died
+        between the calls), every cache following the changelog would
+        stay stale on that vnode forever.
+        """
+        yield from self.zk.multi([
+            self.zk.op_set(ZkLayout.vnode(vnode_id), owner.encode(),
+                           version=version),
+            self.zk.op_create(f"{ZkLayout.CHANGELOG}/e-",
+                              str(vnode_id).encode(), sequential=True),
+        ])
 
     def _pull_vnode(self, vnode_id: int, source: str):
         """Copy a vnode's rows from ``source`` into the local store."""
@@ -350,6 +384,11 @@ class SednaNode:
         if self.cache.loaded and not self._owns(vnode_id):
             self.sim.process(self.cache.invalidate(vnode_id))
             raise RpcRejected("not-owner")
+        status = self.vnode_status.get(vnode_id)
+        if status is not None and status.warming:
+            # Mid-handoff: answering now could miss writes still routed
+            # to the old replica set through stale caches.
+            raise RpcRejected("warming")
         self.replica_reads += 1
         self._status(vnode_id).reads += 1
         elements = self.store.read_all(args["key"])
@@ -551,12 +590,10 @@ class SednaNode:
             self.cache.ring.assign(vnode_id, data.decode())
             return False
         try:
-            yield from self.zk.set(ZkLayout.vnode(vnode_id),
-                                   replacement.encode(),
-                                   version=stat["version"])
+            yield from self.write_assignment(vnode_id, replacement,
+                                             stat["version"])
         except (BadVersionError, NoNodeError, RpcTimeout, RpcRejected):
             return False
-        yield from self._log_change(vnode_id)
         self.cache.ring.assign(vnode_id, replacement)
         return True
 
@@ -678,6 +715,11 @@ class SednaNode:
         """Reads this node coordinated (delegated counter)."""
         return self.coordinator.coordinated_reads
 
+    @property
+    def coordinated_deletes(self) -> int:
+        """Deletes this node coordinated (delegated counter)."""
+        return self.coordinator.coordinated_deletes
+
     def stats(self) -> dict:
         """Per-node counters for the harness."""
         return {
@@ -687,6 +729,7 @@ class SednaNode:
             "vnodes": len(self.cache.ring.vnodes_of(self.name)),
             "coordinated_writes": self.coordinated_writes,
             "coordinated_reads": self.coordinated_reads,
+            "coordinated_deletes": self.coordinated_deletes,
             "replica_writes": self.replica_writes,
             "replica_reads": self.replica_reads,
             "investigations": self.investigations,

@@ -166,12 +166,10 @@ class Rebalancer:
             self.node.cache.ring.assign(vnode_id, data.decode())
             return False
         try:
-            yield from zk.set(ZkLayout.vnode(vnode_id), receiver.encode(),
-                              version=stat["version"])
+            yield from self.node.write_assignment(vnode_id, receiver,
+                                                  stat["version"])
         except (BadVersionError, NoNodeError):
             return False
-        yield from zk.create(f"{ZkLayout.CHANGELOG}/e-",
-                             str(vnode_id).encode(), sequential=True)
         self.node.cache.ring.assign(vnode_id, receiver)
         # Ship the vnode's rows donor -> receiver.
         rpc = self.node.rpc

@@ -57,9 +57,13 @@ class NetworkTap:
     """
 
     def __init__(self, network: Network,
-                 predicate: Optional[Callable[[TapRecord], bool]] = None):
+                 predicate: Optional[Callable[[TapRecord], bool]] = None,
+                 on_record: Optional[Callable[[TapRecord], None]] = None,
+                 keep_records: bool = True):
         self.network = network
         self.predicate = predicate
+        self.on_record = on_record
+        self.keep_records = keep_records
         self.records: list[TapRecord] = []
         self._attached = True
         network.add_filter(self._observe)
@@ -69,7 +73,12 @@ class NetworkTap:
         record = TapRecord(time=self.network.sim.now, src=src, dst=dst,
                            kind=kind, method=method)
         if self.predicate is None or self.predicate(record):
-            self.records.append(record)
+            if self.keep_records:
+                self.records.append(record)
+            if self.on_record is not None:
+                # Streaming hook: history recorders (repro.chaos) tally
+                # message flows without buffering every transmission.
+                self.on_record(record)
         return True  # pass-through: taps never drop traffic
 
     def detach(self) -> None:

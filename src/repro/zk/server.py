@@ -88,6 +88,8 @@ class ZkServer:
         self._pending: dict[int, dict] = {}       # proposed, not committed
         self._commit_buffer: dict[int, dict] = {}  # committed, out of order
         self._result_events: dict[int, Any] = {}   # leader: zxid -> Event
+        self._gap_healing = False                  # snapshot-sync in flight
+        self._heal_target = 0                      # committed zxid seen in beats
 
         # Leader-only counters.
         self.next_zxid = 0
@@ -327,8 +329,13 @@ class ZkServer:
                 ev = self._result_events.pop(zxid, None)
                 if ev is not None and not ev.triggered:
                     ev.fail(RpcRejected(f"quorum-failed:{err}"))
-                return
-        # Quorum met: commit locally (in order) and tell the followers.
+                # The zxid is already allocated; abandoning it would
+                # leave a permanent hole in the commit stream and wedge
+                # every member (the leader included) behind it.  Commit
+                # an explicit no-op instead — the caller already saw
+                # the quorum failure above.
+                op = {"type": "noop"}
+        # Commit locally (in order) and tell the followers.
         self._commit(zxid, op)
         for peer in self.peers:
             self.rpc.notify(peer, {"zk": "commit", "zxid": zxid, "op": op,
@@ -352,16 +359,43 @@ class ZkServer:
         if zxid <= self.applied_zxid:
             return
         known = self._pending.pop(zxid, None)
-        if known is None:
-            known = op  # commit carries the op, so gaps self-heal
-        if known is None:
+        if op is None:
+            op = known  # fall back to the proposal we logged
+        if op is None:
             self.sim.process(self._sync_from(self.leader_name))
             return
-        self._commit(zxid, known)
+        # The commit's op is authoritative over the logged proposal:
+        # a quorum-failed round is committed as a no-op, and applying
+        # the original proposal instead would diverge from the leader.
+        self._commit(zxid, op)
 
     def _commit(self, zxid: int, op: dict) -> None:
         """Buffer the commit and apply every consecutive zxid."""
         self._commit_buffer[zxid] = op
+        self._apply_ready()
+        if self._commit_buffer and not self.is_leader:
+            # A buffered commit we cannot apply means an earlier commit
+            # notify was lost (they are fire-and-forget): without
+            # intervention this member wedges at applied_zxid forever
+            # and serves permanently stale reads.  Pull a snapshot.
+            # (The leader's own buffer gaps come from rounds finishing
+            # out of order and always drain by themselves.)
+            self._start_gap_heal()
+
+    def _start_gap_heal(self) -> None:
+        if not self._gap_healing:
+            self._gap_healing = True
+            self.sim.process(self._heal_gap(), name=f"{self.name}-gap-heal")
+
+    def _behind(self) -> bool:
+        """A known commit we cannot reach by applying in order."""
+        if (self._commit_buffer
+                and min(self._commit_buffer) > self.applied_zxid + 1):
+            return True
+        return self.applied_zxid < self._heal_target
+
+    def _apply_ready(self) -> None:
+        """Apply every consecutive buffered commit."""
         while self.applied_zxid + 1 in self._commit_buffer:
             z = self.applied_zxid + 1
             todo = self._commit_buffer.pop(z)
@@ -374,6 +408,20 @@ class ZkServer:
                     ev.fail(RpcRejected(f"{type(outcome).__name__}:{outcome}"))
                 else:
                     ev.succeed(outcome)
+
+    def _heal_gap(self):
+        """Close a commit gap via snapshot sync, retrying while it lasts."""
+        try:
+            # Grace first: the missing commit usually arrives within an
+            # RTT when it was merely reordered rather than dropped.
+            yield self.sim.timeout(self.config.rpc_timeout)
+            while self.running and not self.is_leader and self._behind():
+                yield from self._sync_from(self.leader_name)
+                self._apply_ready()
+                if self._behind():
+                    yield self.sim.timeout(self.config.rpc_timeout)
+        finally:
+            self._gap_healing = False
 
     def _apply(self, zxid: int, op: dict):
         """Apply one committed txn to the replicated state.
@@ -410,6 +458,11 @@ class ZkServer:
                 for op_type, path in pending:
                     self._fire_watches(op_type, path)
                 return {"results": results}
+            if kind == "noop":
+                # Placeholder for a quorum-failed proposal: the zxid is
+                # consumed so the commit stream stays gapless, but the
+                # tree is untouched.
+                return {}
             if kind == "session_open":
                 self.sessions.open(op["session"], op["timeout"], self.sim.now)
                 return {}
@@ -474,8 +527,11 @@ class ZkServer:
     def _leader_beats(self):
         while self.running and self.is_leader:
             for peer in self.peers:
+                # ``committed`` lets a follower detect a *tail* gap — a
+                # lost commit notify with no later commit to reveal it.
                 self.rpc.notify(peer, {"zk": "beat", "epoch": self.epoch,
-                                       "leader": self.name})
+                                       "leader": self.name,
+                                       "committed": self.applied_zxid})
             yield self.sim.timeout(self.config.leader_beat_interval)
 
     def _expiry_scan(self):
@@ -603,6 +659,9 @@ class ZkServer:
                                             timeout=self.config.proposal_timeout)
         except (RpcTimeout, RpcRejected):
             return
+        # The answering leader's zxid is the authoritative committed
+        # frontier; a beat from a deposed leader may have promised more.
+        self._heal_target = min(self._heal_target, snap["zxid"])
         if snap["zxid"] > self.applied_zxid:
             self.tree = ZnodeTree.load(snap["tree"])
             self.sessions.load(snap["sessions"], self.sim.now)
@@ -621,6 +680,10 @@ class ZkServer:
             if body["epoch"] >= self.epoch:
                 self._adopt_leader_soft(body["leader"], body["epoch"])
                 self.last_beat = self.sim.now
+                committed = body.get("committed", 0)
+                if committed > self.applied_zxid and not self.is_leader:
+                    self._heal_target = max(self._heal_target, committed)
+                    self._start_gap_heal()
         elif kind == "commit":
             self._on_commit(body["zxid"], body.get("op"), body["epoch"])
         elif kind == "new_leader":

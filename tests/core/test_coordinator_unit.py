@@ -53,10 +53,11 @@ class Replica:
         self.elements: list[ValueElement] = []
         self.writes = []
         self.repairs = []
+        self.deletes = []
         self.rpc.register("replica.write", self._write)
         self.rpc.register("replica.read", self._read)
         self.rpc.register("replica.repair", self._repair)
-        self.rpc.register("replica.delete", lambda s, a: {"status": "ok"})
+        self.rpc.register("replica.delete", self._delete)
 
     def _respond(self, value):
         if self.behaviour == "refuse":
@@ -80,6 +81,10 @@ class Replica:
     def _repair(self, src, args):
         self.repairs.append(args)
         return {"status": "ok"}
+
+    def _delete(self, src, args):
+        self.deletes.append(args)
+        return self._respond({"status": "ok"})
 
 
 @pytest.fixture
@@ -181,8 +186,9 @@ class TestReadLogic:
         fresh = [ValueElement("w", 2.0, "new")]
         self._load(replicas, {"r0": fresh, "r1": fresh, "r2": fresh})
         result = drive(sim, coordinator.coordinate_read({"key": "k"}))
-        assert result == {"found": True, "value": "new", "ts": 2.0,
-                          "source": "w"}
+        assert result["found"] is True
+        assert (result["value"], result["ts"], result["source"]) == (
+            "new", 2.0, "w")
         sim.run(until=sim.now + 1.0)
         assert all(r.repairs == [] for r in replicas.values())
         assert coordinator.read_repairs == 0
@@ -229,7 +235,7 @@ class TestReadLogic:
     def test_missing_key_not_found(self, world):
         sim, coordinator, replicas, _cache, _s = world
         result = drive(sim, coordinator.coordinate_read({"key": "nope"}))
-        assert result == {"found": False}
+        assert result["found"] is False
 
     def test_read_quorum_failure(self, world):
         sim, coordinator, replicas, _cache, _s = world
@@ -248,4 +254,47 @@ class TestDeleteLogic:
     def test_delete_quorum(self, world):
         sim, coordinator, _replicas, _cache, _s = world
         result = drive(sim, coordinator.coordinate_delete({"key": "k"}))
-        assert result == {"status": "ok"}
+        assert result["status"] == "ok"
+        assert len(result["acks"]) >= 2
+        assert coordinator.coordinated_deletes == 1
+
+    def test_not_enough_replicas_rejected_upfront(self, world):
+        """Parity with the write path: a shrunken replica set must be
+        rejected before any fan-out."""
+        sim, coordinator, replicas, cache, _s = world
+        for v in range(4):
+            cache.ring.assign(v, "r0")
+
+        def go():
+            with pytest.raises(RpcRejected, match="not-enough-replicas"):
+                yield from coordinator.coordinate_delete({"key": "k"})
+            return True
+
+        assert drive(sim, go()) is True
+        assert all(r.deletes == [] for r in replicas.values()), (
+            "rejected before any fan-out")
+
+    def test_quorum_failure_invalidates_and_retries_once(self, world):
+        """Parity with the write path: a refused quorum may mean a
+        stale mapping — invalidate and retry once before failing."""
+        sim, coordinator, replicas, cache, suspects = world
+        for r in replicas.values():
+            r.behaviour = "refuse"
+
+        def go():
+            with pytest.raises(RpcRejected, match="delete-quorum-failed"):
+                yield from coordinator.coordinate_delete({"key": "k"})
+            return True
+
+        drive(sim, go())
+        assert len(cache.invalidated) >= 1, "stale-mapping retry path"
+        assert coordinator.coordinated_deletes == 2, "one retry"
+        assert set(suspects) == {"r0", "r1", "r2"}
+
+    def test_silent_laggard_suspected_after_delete(self, world):
+        sim, coordinator, replicas, _cache, suspects = world
+        replicas["r2"].behaviour = "silent"
+        result = drive(sim, coordinator.coordinate_delete({"key": "k"}))
+        assert result["status"] == "ok"
+        sim.run(until=sim.now + 1.0)  # the silence deadline passes
+        assert "r2" in suspects

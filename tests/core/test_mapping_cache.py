@@ -1,0 +1,179 @@
+"""MappingCache regression tests: changelog trimming and lease-loop
+lifecycle.
+
+Two churn bugs pinned down here:
+
+* a *trimmed* changelog entry — listed by ``get_children`` but gone by
+  the time the entry is read (the list/get race a changelog GC
+  produces) — must still advance ``last_changelog_seq``; otherwise
+  every later refresh re-lists and re-fetches the same dead entries
+  forever;
+* ``stop()`` followed by ``start_lease_loop()`` before the old loop's
+  next wakeup must not revive the old loop through the shared running
+  flag — only one sync process may run at a time.
+
+The ZooKeeper client is faked so the race interleaving is exact and
+the tests stay sub-millisecond.
+"""
+
+from types import SimpleNamespace
+
+from repro.core.cache import MappingCache, ZkLayout
+from repro.core.config import SednaConfig
+from repro.net.simulator import Simulator
+from repro.zk.znode import NoNodeError
+
+NUM_VNODES = 8
+
+
+class FakeZk:
+    """A scripted ZooKeeper client covering exactly what MappingCache
+    uses: ``get`` and ``get_children``, plus the endpoint handle the
+    lease loop checks.
+
+    ``trim(seq)`` models a changelog GC racing the refresh: the entry
+    stays in the listing but its data read raises ``NoNodeError``.
+    """
+
+    def __init__(self, sim, num_vnodes=NUM_VNODES):
+        self.sim = sim
+        self.name = "fake-zk"
+        self.rpc = SimpleNamespace(endpoint=SimpleNamespace(up=True))
+        self.vnodes = {ZkLayout.vnode(v): b"node0"
+                       for v in range(num_vnodes)}
+        self.changelog: dict[str, bytes | None] = {}
+        self.gets = 0
+        self.lists = 0
+
+    # -- test controls ------------------------------------------------
+    def add_entry(self, seq: int, vnode_id: int) -> None:
+        self.changelog[f"e-{seq:010d}"] = str(vnode_id).encode()
+
+    def trim(self, seq: int) -> None:
+        self.changelog[f"e-{seq:010d}"] = None
+
+    def set_vnode(self, vnode_id: int, owner: str) -> None:
+        self.vnodes[ZkLayout.vnode(vnode_id)] = owner.encode()
+
+    # -- the MappingCache-facing API ----------------------------------
+    def get(self, path):
+        self.gets += 1
+        yield self.sim.timeout(0.0)
+        if path.startswith(ZkLayout.CHANGELOG + "/"):
+            name = path.rsplit("/", 1)[1]
+            data = self.changelog.get(name)
+            if data is None:
+                raise NoNodeError(path)
+            return data, {"version": 0}
+        if path not in self.vnodes:
+            raise NoNodeError(path)
+        return self.vnodes[path], {"version": 0}
+
+    def get_children(self, path):
+        self.lists += 1
+        yield self.sim.timeout(0.0)
+        assert path == ZkLayout.CHANGELOG
+        return sorted(self.changelog)
+
+
+def build(sim, **cfg):
+    cfg.setdefault("num_vnodes", NUM_VNODES)
+    zk = FakeZk(sim, cfg["num_vnodes"])
+    cache = MappingCache(sim, zk, SednaConfig(**cfg), adaptive=False)
+    proc = sim.process(cache.load_full())
+    sim.run(until=proc)
+    return zk, cache
+
+
+def drive(sim, gen):
+    proc = sim.process(gen)
+    return sim.run(until=proc)
+
+
+class TestChangelogTrim:
+    def test_trimmed_tail_entry_advances_seq(self):
+        sim = Simulator()
+        zk, cache = build(sim)
+        zk.add_entry(0, 1)
+        zk.add_entry(1, 2)
+        zk.add_entry(2, 3)
+        zk.set_vnode(1, "node1")
+        zk.set_vnode(2, "node2")
+        zk.trim(2)  # GC races the refresh: listed, but data is gone
+
+        def refresh():
+            return (yield from cache.refresh())
+
+        changed = drive(sim, refresh())
+        assert changed == 2, "the two surviving entries still apply"
+        # The trimmed tail entry's sequence must be consumed too.
+        assert cache.last_changelog_seq == 2
+
+        # A second refresh re-reads nothing: no get on dead entries.
+        gets_before = zk.gets
+        assert drive(sim, refresh()) == 0
+        assert cache.last_changelog_seq == 2
+        assert zk.gets == gets_before, (
+            "refresh after a trimmed tail must not re-fetch dead entries")
+
+    def test_fully_trimmed_changelog_is_silent(self):
+        sim = Simulator()
+        zk, cache = build(sim)
+        zk.add_entry(0, 4)
+        zk.add_entry(1, 5)
+        zk.trim(0)
+        zk.trim(1)
+
+        def refresh():
+            return (yield from cache.refresh())
+
+        assert drive(sim, refresh()) == 0
+        assert cache.last_changelog_seq == 1
+        gets_before = zk.gets
+        drive(sim, refresh())
+        assert zk.gets == gets_before
+
+    def test_refresh_stays_incremental_after_trim(self):
+        """Entries appended after a trim are still picked up."""
+        sim = Simulator()
+        zk, cache = build(sim)
+        zk.add_entry(0, 1)
+        zk.trim(0)
+
+        def refresh():
+            return (yield from cache.refresh())
+
+        drive(sim, refresh())
+        zk.add_entry(1, 3)
+        zk.set_vnode(3, "node3")
+        assert drive(sim, refresh()) == 1
+        assert cache.ring.owner(3) == "node3"
+        assert cache.last_changelog_seq == 1
+
+
+class TestLeaseLoopLifecycle:
+    def test_stop_start_leaves_exactly_one_loop(self):
+        sim = Simulator()
+        _zk, cache = build(sim, lease_base=1.0)
+
+        cache.start_lease_loop()
+        sim.run(until=sim.now + 0.5)   # old loop asleep until t0 + 1.0
+        cache.stop()
+        cache.start_lease_loop()       # restart before the old wakeup
+        before = cache.incremental_refreshes
+        sim.run(until=sim.now + 4.2)
+        # One loop, one refresh per lease period: 4 wakeups in 4.2s.
+        # A revived duplicate loop would roughly double this.
+        assert cache.incremental_refreshes - before == 4
+
+    def test_plain_restart_still_syncs(self):
+        sim = Simulator()
+        _zk, cache = build(sim, lease_base=1.0)
+        cache.start_lease_loop()
+        sim.run(until=sim.now + 2.5)
+        cache.stop()
+        sim.run(until=sim.now + 2.0)   # old loop fully retired
+        refreshed = cache.incremental_refreshes
+        cache.start_lease_loop()
+        sim.run(until=sim.now + 2.2)
+        assert cache.incremental_refreshes - refreshed == 2

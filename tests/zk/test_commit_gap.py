@@ -1,0 +1,203 @@
+"""A follower that loses one commit notification must heal the gap.
+
+Commits are broadcast to followers as fire-and-forget notifies; under
+message loss a single dropped notify used to wedge the follower
+forever — every later commit piled up in its out-of-order buffer,
+``applied_zxid`` froze, and any client that rotated onto that member
+read a permanently stale tree (the chaos harness caught this as a
+mapping-cache convergence anomaly).  The fix: a buffered commit that
+cannot be applied schedules a snapshot sync from the leader.
+"""
+
+import pytest
+
+from repro.net.latency import NoLatency
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.zk.ensemble import ZkEnsemble
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    net = Network(sim, latency=NoLatency())
+    ens = ZkEnsemble(sim, net, size=3)
+    ens.start()
+    return sim, net, ens
+
+
+def run_script(sim, ens, script, name="cli"):
+    zk = ens.client(name)
+
+    def main():
+        yield from zk.connect()
+        result = yield from script(zk)
+        yield from zk.close()
+        return result
+
+    proc = sim.process(main())
+    return sim.run(until=proc)
+
+
+def drop_one_commit_to(net, victim: str):
+    """Filter dropping exactly one commit notify bound for ``victim``."""
+    dropped: list[int] = []
+
+    def fn(src, dst, payload):
+        if (dst == victim and not dropped and isinstance(payload, dict)
+                and payload.get("kind") == "notify"
+                and isinstance(payload.get("body"), dict)
+                and payload["body"].get("zk") == "commit"):
+            dropped.append(payload["body"]["zxid"])
+            return False
+        return True
+
+    net.add_filter(fn)
+    return dropped
+
+
+class TestCommitGapHealing:
+    def test_follower_resyncs_after_dropped_commit(self, world):
+        sim, net, ens = world
+
+        def seed(zk):
+            yield from zk.create("/base", b"")
+            return True
+
+        run_script(sim, ens, seed)
+
+        dropped = drop_one_commit_to(net, "zk1")
+
+        def burst(zk):
+            # The first create's commit notify to zk1 is eaten; the
+            # rest arrive out of order and used to buffer forever.
+            for i in range(5):
+                yield from zk.create(f"/k{i}", str(i).encode())
+            return True
+
+        assert run_script(sim, ens, burst, name="writer")
+        assert dropped, "the filter must have eaten one commit"
+
+        # Give the gap-heal path ample time, then compare histories.
+        sim.run(until=sim.now + 5.0)
+        leader = ens.servers[0]
+        follower = ens.server("zk1")
+        assert follower.applied_zxid == leader.applied_zxid, (
+            f"zk1 wedged at zxid {follower.applied_zxid} "
+            f"(leader at {leader.applied_zxid}, "
+            f"{len(follower._commit_buffer)} commits buffered)")
+        assert not follower._commit_buffer
+
+        # And a client reading from the healed follower sees the data.
+        def read_from_zk1(zk):
+            zk._server_idx = 1
+            data, _ = yield from zk.get("/k0")
+            return data
+
+        assert run_script(sim, ens, read_from_zk1, name="reader") == b"0"
+
+    def test_two_gaps_both_heal(self, world):
+        sim, net, ens = world
+
+        def seed(zk):
+            yield from zk.create("/base", b"")
+            return True
+
+        run_script(sim, ens, seed)
+
+        # Eat one commit notify on each follower independently.
+        drop_one_commit_to(net, "zk1")
+        drop_one_commit_to(net, "zk2")
+
+        def burst(zk):
+            for i in range(6):
+                yield from zk.create(f"/g{i}", b"")
+            return True
+
+        assert run_script(sim, ens, burst, name="writer")
+        sim.run(until=sim.now + 5.0)
+        leader = ens.servers[0]
+        for name in ("zk1", "zk2"):
+            follower = ens.server(name)
+            assert follower.applied_zxid == leader.applied_zxid, (
+                f"{name} wedged at zxid {follower.applied_zxid}")
+
+    def test_abandoned_proposal_does_not_wedge_stream(self, world):
+        """A proposal that fails quorum must not leave a zxid hole.
+
+        The leader allocates the zxid before gathering acks; if the
+        round fails it used to abandon that zxid, and every later
+        commit — on the leader itself included — buffered behind the
+        hole forever.  The fix commits an explicit no-op for the
+        failed round.
+        """
+        sim, net, ens = world
+
+        # Cut the leader off from both followers: propose calls die.
+        # Toggled from inside the script so the session handshake
+        # (itself a proposal) happens before and after the outage.
+        blocking = [False]
+
+        def fn(src, dst, payload):
+            if (blocking[0] and isinstance(payload, dict)
+                    and payload.get("kind") == "req"
+                    and payload.get("method") == "zk.propose"):
+                return False
+            return True
+
+        net.add_filter(fn)
+        outcome = {}
+
+        def script(zk):
+            yield from zk.create("/base", b"")
+            blocking[0] = True
+            try:
+                yield from zk.create("/doomed", b"")
+                outcome["doomed"] = "succeeded"
+            except Exception:
+                outcome["doomed"] = "failed"
+            blocking[0] = False
+            yield sim.timeout(3.0)
+            # Post-outage writes must commit and apply everywhere.
+            yield from zk.create("/after", b"ok")
+            data, _ = yield from zk.get("/after")
+            return data
+
+        assert run_script(sim, ens, script, name="writer") == b"ok"
+        assert outcome["doomed"] == "failed"
+        sim.run(until=sim.now + 3.0)
+        leader = ens.servers[0]
+        assert not leader._commit_buffer, (
+            f"leader wedged: applied={leader.applied_zxid}, "
+            f"{len(leader._commit_buffer)} commits buffered")
+        for name in ("zk1", "zk2"):
+            follower = ens.server(name)
+            assert follower.applied_zxid == leader.applied_zxid
+
+    def test_stale_follower_read_recovers(self, world):
+        """The user-visible symptom: a mapping-style read served by the
+        gapped follower must stop being stale once the heal runs."""
+        sim, net, ens = world
+
+        def seed(zk):
+            yield from zk.create("/vnode", b"old")
+            return True
+
+        run_script(sim, ens, seed)
+        drop_one_commit_to(net, "zk1")
+
+        def update(zk):
+            yield from zk.set("/vnode", b"new")
+            yield from zk.create("/after", b"")  # buffers behind the gap
+            return True
+
+        assert run_script(sim, ens, update, name="writer")
+        sim.run(until=sim.now + 5.0)
+
+        def read_stale_candidate(zk):
+            zk._server_idx = 1
+            data, _ = yield from zk.get("/vnode")
+            return data
+
+        assert run_script(sim, ens, read_stale_candidate,
+                          name="reader") == b"new"
