@@ -120,51 +120,94 @@ class ScheduleGenerator:
         rng = random.Random(
             f"{self.seed}/{self.profile}/{len(self.node_names)}")
         events: list[FaultEvent] = []
-        down: dict[str, float] = {}   # node -> earliest restart time
+        # Every fault is an unavailability interval: crashed nodes are
+        # down from the crash to their restart (or quiesce), islanded
+        # nodes from the cut to its heal.  The max_down cap is checked
+        # against *overlapping* intervals, so crashes and islands
+        # together never take out more than max_down nodes at once.
+        outages: list[tuple[float, float, frozenset[str]]] = []
 
-        def pick_up_node(at: float) -> str | None:
-            # A node not already down at time `at`, capacity permitting.
-            live = [n for n in self.node_names
-                    if n not in down or down[n] <= at]
-            currently_down = [n for n, until in down.items() if until > at]
-            if not live or len(currently_down) >= self.max_down:
+        def cut_off(start: float, stop: float) -> set[str]:
+            """Nodes unavailable at some instant of [start, stop)."""
+            busy: set[str] = set()
+            for a, b, members in outages:
+                if a < stop and start < b:
+                    busy |= members
+            return busy
+
+        def pick_victim(start: float, stop: float, cap: int) -> str | None:
+            """A node whose outage over [start, stop) stays within cap."""
+            busy = cut_off(start, stop)
+            if len(busy) >= cap:
                 return None
-            return rng.choice(sorted(live))
+            free = [n for n in self.node_names if n not in busy]
+            if not free:
+                return None
+            return rng.choice(sorted(free))
 
+        quiesce = self.duration + 1.0  # crash-only victims restart here
         want = self.profile
+        # The first crash is placed before everything else (the outage
+        # list is empty, so it always fits); the bounded families then
+        # work around it within the cap, and any extra crash only lands
+        # where room remains.  Each event gets a few placement attempts
+        # before being dropped.
+        extra_crashes = 0
         if want in ("crash", "mixed") and self.max_down > 0:
-            for _ in range(rng.randint(1, 2)):
-                at = rng.uniform(0.5, self.duration * 0.6)
-                victim = pick_up_node(at)
-                if victim is None:
-                    continue
-                events.append(FaultEvent(at, "crash", (victim,)))
-                down[victim] = self.duration + 1.0  # repaired at quiesce
-
-        if want in ("churn", "mixed") and self.max_down > 0:
-            cycles = rng.randint(2, 3) if want == "churn" else 1
-            for _ in range(cycles):
-                at = rng.uniform(0.5, self.duration * 0.5)
-                victim = pick_up_node(at)
-                if victim is None:
-                    continue
-                dwell = rng.uniform(self.session_expiry * 2.0,
-                                    self.session_expiry * 2.0 + 3.0)
-                back = min(at + dwell, self.duration)
-                events.append(FaultEvent(at, "crash", (victim,)))
-                events.append(FaultEvent(back, "restart", (victim,)))
-                down[victim] = back
+            extra_crashes = rng.randint(1, 2) - 1
+            at = rng.uniform(0.5, self.duration * 0.6)
+            victim = pick_victim(at, quiesce, self.max_down)
+            events.append(FaultEvent(at, "crash", (victim,)))
+            outages.append((at, quiesce, frozenset((victim,))))
 
         if want in ("partition", "mixed"):
             cuts = rng.randint(1, 2)
             for tag in range(cuts):
-                at = rng.uniform(0.5, self.duration * 0.7)
-                size = rng.randint(1, max(1, min(2, self.max_down)))
-                island = tuple(sorted(rng.sample(sorted(self.node_names),
-                                                 size)))
-                heal_at = min(at + rng.uniform(1.5, 4.0), self.duration)
-                events.append(FaultEvent(at, "partition", island, tag=tag))
-                events.append(FaultEvent(heal_at, "heal", island, tag=tag))
+                for _attempt in range(4):
+                    at = rng.uniform(0.5, self.duration * 0.7)
+                    heal_at = min(at + rng.uniform(1.5, 4.0),
+                                  self.duration)
+                    busy = cut_off(at, heal_at)
+                    room = min(2, self.max_down - len(busy),
+                               len(self.node_names) - len(busy))
+                    if room < 1:
+                        continue
+                    free = sorted(n for n in self.node_names
+                                  if n not in busy)
+                    size = rng.randint(1, room)
+                    island = tuple(sorted(rng.sample(free, size)))
+                    events.append(FaultEvent(at, "partition", island,
+                                             tag=tag))
+                    events.append(FaultEvent(heal_at, "heal", island,
+                                             tag=tag))
+                    outages.append((at, heal_at, frozenset(island)))
+                    break
+
+        if want in ("churn", "mixed") and self.max_down > 0:
+            cycles = rng.randint(2, 3) if want == "churn" else 1
+            for _ in range(cycles):
+                for _attempt in range(4):
+                    at = rng.uniform(0.5, self.duration * 0.5)
+                    dwell = rng.uniform(self.session_expiry * 2.0,
+                                        self.session_expiry * 2.0 + 3.0)
+                    back = min(at + dwell, self.duration)
+                    victim = pick_victim(at, back, self.max_down)
+                    if victim is None:
+                        continue
+                    events.append(FaultEvent(at, "crash", (victim,)))
+                    events.append(FaultEvent(back, "restart", (victim,)))
+                    outages.append((at, back, frozenset((victim,))))
+                    break
+
+        for _ in range(extra_crashes):
+            for _attempt in range(4):
+                at = rng.uniform(0.5, self.duration * 0.6)
+                victim = pick_victim(at, quiesce, self.max_down)
+                if victim is None:
+                    continue
+                events.append(FaultEvent(at, "crash", (victim,)))
+                outages.append((at, quiesce, frozenset((victim,))))
+                break
 
         if want in ("loss", "mixed"):
             windows = rng.randint(1, 2)

@@ -117,7 +117,8 @@ class AntiEntropyManager:
         return moved
 
     def _reconcile(self, vnode_id: int):
-        pulled, pushed = yield from self.node.reconcile_vnode(vnode_id)
+        pulled, pushed, _failed = yield from self.node.reconcile_vnode(
+            vnode_id)
         self.keys_pulled += pulled
         self.keys_pushed += pushed
         return pulled + pushed

@@ -233,12 +233,27 @@ class SednaNode:
         a lease period to catch up, re-pull the predecessor's rows and
         digest-sync with the other current replicas, then start
         answering reads.
+
+        The catch-up must actually *succeed* before warming clears — a
+        predecessor that crashed mid-churn would otherwise silently
+        re-open the stale-read window warming exists to close.  Any
+        write acked by the old W-quorum lives on at least one member
+        of the current set besides the predecessor, so a complete
+        digest-sync (every peer contacted) is as good as the pull.
+        Failures retry a bounded number of times before availability
+        wins and reads resume anyway.
         """
         try:
             yield self.sim.timeout(self.config.lease_base * 2)
-            if self.running:
-                yield from self._pull_vnode(vnode_id, predecessor)
-                yield from self.reconcile_vnode(vnode_id)
+            for _attempt in range(5):
+                if not self.running:
+                    return
+                pulled = yield from self._pull_vnode(vnode_id, predecessor)
+                _pl, _ps, failed_peers = yield from self.reconcile_vnode(
+                    vnode_id)
+                if pulled or failed_peers == 0:
+                    return
+                yield self.sim.timeout(self.config.lease_base)
         finally:
             status.warming = False
 
@@ -654,7 +669,10 @@ class SednaNode:
         dominate them on (newest-per-source merge both ways).  Shared
         by the anti-entropy manager's periodic passes and the active
         detector's post-recovery data repair.  Returns
-        ``(keys_pulled, keys_pushed)``.
+        ``(keys_pulled, keys_pushed, failed_peers)`` — ``failed_peers``
+        counts replicas whose state could not be (fully) pulled, so
+        callers needing a *complete* inbound sync (vnode handoff) can
+        tell success from a round of swallowed timeouts.
         """
         from .antientropy import digest_diff  # local import: no cycle
         replicas = self.cache.ring.replicas_for(vnode_id,
@@ -663,12 +681,14 @@ class SednaNode:
         mine = self.vnode_digest(vnode_id)
         pulled = 0
         pushed = 0
+        failed_peers = 0
         for peer in peers:
             try:
                 reply = yield from self.rpc.call(
                     peer, "replica.digest", {"vnode": vnode_id},
                     timeout=self.config.request_timeout)
             except (RpcTimeout, RpcRejected):
+                failed_peers += 1
                 continue
             theirs = reply["digest"]
             pull, push = digest_diff(mine, theirs)
@@ -680,6 +700,7 @@ class SednaNode:
                         timeout=self.config.request_timeout * 2)
                 except (RpcTimeout, RpcRejected):
                     fetched = None
+                    failed_peers += 1
                 if fetched is not None:
                     for key, blob in fetched["rows"].items():
                         self._merge_durably(key, unwire_elements(blob))
@@ -700,7 +721,7 @@ class SednaNode:
                         pushed += len(rows)
                     except (RpcTimeout, RpcRejected):
                         continue
-        return pulled, pushed
+        return pulled, pushed, failed_peers
 
     # ------------------------------------------------------------------
     # Introspection

@@ -22,6 +22,7 @@ Deterministic: each node draws peers from a seeded RNG.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Optional
 
 from ..net.simulator import Simulator
@@ -47,7 +48,11 @@ class GossipNode:
         self.fanout = fanout
         self.fail_after = fail_after
         self.forget_after = forget_after
-        self._rng = random.Random(rng_seed ^ hash(name) & 0xFFFF)
+        # crc32, not hash(): str hashing is randomized per process
+        # (PYTHONHASHSEED), which would make peer selection — and thus
+        # convergence timing — differ between otherwise identical runs.
+        self._rng = random.Random(
+            rng_seed ^ zlib.crc32(name.encode()) & 0xFFFF)
         self.endpoint = network.endpoint(name)
         self.endpoint.on_message(self._on_message)
         self.heartbeat = 0

@@ -16,8 +16,11 @@ ZooKeeper Atomic Broadcast):
   session's ephemerals.
 * **Failover**: the leader multicasts heartbeats; a follower that
   misses them starts an election.  The candidate with the highest
-  ``(last_zxid, name)`` among reachable members claims leadership with a
-  bumped epoch and lagging members sync a full snapshot.
+  ``(epoch, last_zxid, name)`` among reachable members claims
+  leadership with a bumped epoch and lagging members sync a full
+  snapshot.  A leader that cannot gather a proposal quorum *steps
+  down* — it may be minority-partitioned, and committing locally
+  without majority agreement would diverge from the elected history.
 
 Timing constants live in :class:`ZkConfig`; defaults are scaled to the
 paper's sub-millisecond LAN.
@@ -29,7 +32,8 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..net.latency import ZK_READ_OP
-from ..net.rpc import RpcNode, RpcRejected, RpcTimeout, gather_quorum
+from ..net.rpc import (RpcError, RpcNode, RpcRejected, RpcTimeout,
+                       gather_quorum)
 from ..net.simulator import Simulator
 from ..net.transport import Network
 from .session import SessionTable
@@ -318,28 +322,61 @@ class ZkServer:
 
     def _proposal_round(self, zxid: int, op: dict):
         acks_needed = self.majority - 1  # self counts as one ack
-        payload = {"epoch": self.epoch, "zxid": zxid, "op": op}
+        epoch = self.epoch
+        payload = {"epoch": epoch, "zxid": zxid, "op": op}
         if acks_needed > 0:
             events = [self.rpc.call_async(peer, "zk.propose", payload)
                       for peer in self.peers]
             try:
                 yield from gather_quorum(self.sim, events, acks_needed,
                                          self.config.proposal_timeout)
-            except (RpcTimeout, Exception) as err:
+            except RpcError as err:
                 ev = self._result_events.pop(zxid, None)
                 if ev is not None and not ev.triggered:
                     ev.fail(RpcRejected(f"quorum-failed:{err}"))
-                # The zxid is already allocated; abandoning it would
-                # leave a permanent hole in the commit stream and wedge
-                # every member (the leader included) behind it.  Commit
-                # an explicit no-op instead — the caller already saw
-                # the quorum failure above.
-                op = {"type": "noop"}
+                # No majority reachable: we may be on the minority side
+                # of a partition, and anything committed locally from
+                # here on could diverge from the history the majority
+                # elects.  Step down — the allocated zxid dies with
+                # this reign and the next leader reuses it in a new
+                # epoch, so the commit stream stays gapless.
+                self._step_down(f"quorum-failed:{err}")
+                return
+        if not (self.running and self.is_leader and self.epoch == epoch):
+            # Deposed (or stepped down) while this round was in flight.
+            ev = self._result_events.pop(zxid, None)
+            if ev is not None and not ev.triggered:
+                ev.fail(RpcRejected("leader-changed"))
+            return
         # Commit locally (in order) and tell the followers.
         self._commit(zxid, op)
         for peer in self.peers:
             self.rpc.notify(peer, {"zk": "commit", "zxid": zxid, "op": op,
                                    "epoch": self.epoch})
+
+    def _step_down(self, reason: str) -> None:
+        """Abdicate after losing contact with the majority.
+
+        Every caller still waiting on a round is failed, and the
+        pending/commit buffers are dropped: rounds wedged behind the
+        failed one were never observed as committed by any client, and
+        keeping them would let them apply after a new leader reuses
+        their zxids for different operations.
+        """
+        if not self.is_leader:
+            return
+        self.role = "follower"
+        self.leader_name = None
+        self.last_beat = self.sim.now
+        for zxid in list(self._result_events):
+            ev = self._result_events.pop(zxid)
+            if not ev.triggered:
+                ev.fail(RpcRejected(f"leader-stepped-down:{reason}"))
+        self._pending.clear()
+        self._commit_buffer.clear()
+        self.next_zxid = self.applied_zxid
+        self.sim.process(self._follower_watchdog(),
+                         name=f"{self.name}-watchdog")
 
     def _h_propose(self, src: str, args: Any):
         """Follower side: log the proposal and ack."""
@@ -350,13 +387,20 @@ class ZkServer:
 
     def _h_commit(self, src: str, args: Any):
         """Commit delivered as RPC (sync path); same as the notify path."""
-        self._on_commit(args["zxid"], args.get("op"), args["epoch"])
+        self._on_commit(args["zxid"], args.get("op"), args["epoch"], src)
         return "ok"
 
-    def _on_commit(self, zxid: int, op: Optional[dict], epoch: int) -> None:
+    def _on_commit(self, zxid: int, op: Optional[dict], epoch: int,
+                   src: Optional[str] = None) -> None:
         if epoch < self.epoch:
             return
         if zxid <= self.applied_zxid:
+            if epoch > self.epoch:
+                # A newer-epoch leader is committing at or below our
+                # applied frontier: our tail was earned under a deposed
+                # reign and diverged.  Snapshot sync truncates it.
+                self.sim.process(self._sync_from(src or self.leader_name,
+                                                 force=True))
             return
         known = self._pending.pop(zxid, None)
         if op is None:
@@ -365,8 +409,7 @@ class ZkServer:
             self.sim.process(self._sync_from(self.leader_name))
             return
         # The commit's op is authoritative over the logged proposal:
-        # a quorum-failed round is committed as a no-op, and applying
-        # the original proposal instead would diverge from the leader.
+        # applying a proposal the leader replaced would diverge.
         self._commit(zxid, op)
 
     def _commit(self, zxid: int, op: dict) -> None:
@@ -458,11 +501,6 @@ class ZkServer:
                 for op_type, path in pending:
                     self._fire_watches(op_type, path)
                 return {"results": results}
-            if kind == "noop":
-                # Placeholder for a quorum-failed proposal: the zxid is
-                # consumed so the commit stream stays gapless, but the
-                # tree is untouched.
-                return {}
             if kind == "session_open":
                 self.sessions.open(op["session"], op["timeout"], self.sim.now)
                 return {}
@@ -518,8 +556,10 @@ class ZkServer:
         self.leader_name = self.name
         self._electing = False
         # Continue the zxid sequence from our applied history — a fresh
-        # leader proposing from zxid 1 would never commit (ordering gap).
-        self.next_zxid = max(self.next_zxid, self.applied_zxid)
+        # leader proposing from zxid 1 would never commit (ordering
+        # gap), and zxids allocated under a previous reign of ours that
+        # died with a step-down must be reused, not skipped.
+        self.next_zxid = self.applied_zxid
         self.sessions.reset_clocks(self.sim.now)
         self.sim.process(self._leader_beats(), name=f"{self.name}-beats")
         self.sim.process(self._expiry_scan(), name=f"{self.name}-expiry")
@@ -558,7 +598,10 @@ class ZkServer:
     def _run_election(self):
         self._electing = True
         try:
-            my_vote = (self.applied_zxid, self.name)
+            # Votes compare (epoch, zxid, name): a member that followed
+            # the newest reign must win over a deposed leader whose
+            # higher zxid is an orphaned tail of an older epoch.
+            my_vote = (self.epoch, self.applied_zxid, self.name)
             calls = [self.rpc.call_async(peer, "zk.vote_req",
                                          {"candidate": self.name,
                                           "zxid": self.applied_zxid})
@@ -568,14 +611,15 @@ class ZkServer:
             reachable = 1
             for call in calls:
                 if call.triggered and call.ok:
-                    votes.append((call.value["zxid"], call.value["name"]))
+                    votes.append((call.value.get("epoch", 0),
+                                  call.value["zxid"], call.value["name"]))
                     reachable += 1
                 elif not call.triggered:
                     call.callbacks = None  # defuse the straggler
             if reachable < self.majority:
                 return  # cannot form a quorum; retry on next watchdog tick
             if max(votes) == my_vote:
-                new_epoch = self.epoch + 1
+                new_epoch = max(vote[0] for vote in votes) + 1
                 self._become_leader(new_epoch)
                 for peer in self.peers:
                     self.rpc.notify(peer, {"zk": "new_leader",
@@ -586,7 +630,8 @@ class ZkServer:
 
     def _h_vote_req(self, src: str, args: Any):
         """Answer an election poll with our own credentials."""
-        return {"zxid": self.applied_zxid, "name": self.name}
+        return {"zxid": self.applied_zxid, "name": self.name,
+                "epoch": self.epoch}
 
     def _h_new_leader(self, src: str, args: Any):
         self._adopt_leader(args["leader"], args["epoch"])
@@ -596,6 +641,15 @@ class ZkServer:
         if epoch < self.epoch:
             return
         was_leader = self.is_leader
+        crossed_reign = epoch > self.epoch
+        if crossed_reign:
+            # Proposals and buffered commits earned under an older
+            # reign are orphans; applying them after the new leader
+            # reuses their zxids would diverge.  The forced sync below
+            # (and the beats' committed frontier) re-learns anything
+            # the new reign actually kept.
+            self._pending.clear()
+            self._commit_buffer.clear()
         self.epoch = epoch
         self.leader_name = leader
         self.last_beat = self.sim.now
@@ -604,7 +658,7 @@ class ZkServer:
             if was_leader:
                 self.sim.process(self._follower_watchdog(),
                                  name=f"{self.name}-watchdog")
-            self.sim.process(self._sync_from(leader),
+            self.sim.process(self._sync_from(leader, force=crossed_reign),
                              name=f"{self.name}-sync")
 
     # ======================================================================
@@ -651,7 +705,15 @@ class ZkServer:
                 "zxid": self.applied_zxid,
                 "epoch": self.epoch}
 
-    def _sync_from(self, leader: Optional[str]):
+    def _sync_from(self, leader: Optional[str], force: bool = False):
+        """Pull and install the leader's snapshot.
+
+        ``force`` loads the snapshot even when its zxid is *not* ahead
+        of ours: crossing into a new reign means equal-or-lower zxids
+        can name different operations, so state earned under the old
+        epoch must be replaced, not kept.  The same applies whenever
+        the answering leader's epoch is newer than ours.
+        """
         if leader is None or leader == self.name:
             return
         try:
@@ -659,10 +721,19 @@ class ZkServer:
                                             timeout=self.config.proposal_timeout)
         except (RpcTimeout, RpcRejected):
             return
+        snap_epoch = snap.get("epoch", self.epoch)
+        if snap_epoch < self.epoch:
+            return  # a deposed leader answered; its snapshot is stale
         # The answering leader's zxid is the authoritative committed
         # frontier; a beat from a deposed leader may have promised more.
         self._heal_target = min(self._heal_target, snap["zxid"])
-        if snap["zxid"] > self.applied_zxid:
+        if snap_epoch > self.epoch:
+            self.epoch = snap_epoch
+            self.leader_name = leader
+            self._pending.clear()
+            self._commit_buffer.clear()
+            force = True
+        if force or snap["zxid"] > self.applied_zxid:
             self.tree = ZnodeTree.load(snap["tree"])
             self.sessions.load(snap["sessions"], self.sim.now)
             self.applied_zxid = snap["zxid"]
@@ -685,7 +756,7 @@ class ZkServer:
                     self._heal_target = max(self._heal_target, committed)
                     self._start_gap_heal()
         elif kind == "commit":
-            self._on_commit(body["zxid"], body.get("op"), body["epoch"])
+            self._on_commit(body["zxid"], body.get("op"), body["epoch"], src)
         elif kind == "new_leader":
             self._adopt_leader(body["leader"], body["epoch"])
 

@@ -88,6 +88,51 @@ class TestHandoffWarming:
         assert result["found"] and result["value"] == "fresh"
         assert elapsed >= 0.8, "read must have waited for the handoff"
 
+    def test_warming_persists_until_catchup_succeeds(self):
+        """A predecessor that crashed mid-churn must not end warming.
+
+        The delayed catch-up used to ignore its own failures: the pull
+        from the dead predecessor timed out, the digest round swallowed
+        its timeouts too, and a ``finally`` cleared ``warming`` anyway —
+        silently re-opening the stale-read window.  Now the flag only
+        clears once the pull succeeds or a digest-sync reaches *every*
+        current replica (bounded retries before availability wins).
+        """
+        cluster = build()
+        client = cluster.smart_client("c1")
+        cluster.run(client.connect())
+        key = FullKey.of("wk4").encoded()
+        vnode_id, replicas = replica_set(cluster, key)
+        cluster.run(client.coordinator.coordinate_write(
+            {"key": key, "value": "acked", "ts": 4.0, "source": "c1",
+             "mode": "latest"}))
+
+        claimer = cluster.nodes[
+            (set(cluster.nodes) - set(replicas)).pop()]
+        predecessor = replicas[0]
+        cluster.crash_node(predecessor)
+
+        status = claimer._status(vnode_id)
+        status.warming = True
+        cluster.sim.process(
+            claimer._finish_handoff(vnode_id, predecessor, status),
+            name="handoff-under-test")
+
+        # Past the old unconditional clear point (~lease*2 + pull and
+        # digest timeouts): the catch-up cannot have completed — the
+        # predecessor is down and unpullable, and the digest round
+        # cannot reach it either — so reads must still be refused.
+        cluster.settle(4.5)
+        assert status.warming, (
+            "warming cleared although the catch-up never succeeded")
+
+        # Once the predecessor is back a retry completes the sync.
+        cluster.restart_node(predecessor)
+        cluster.settle(8.0)
+        assert not status.warming
+        assert claimer.store.read_all(key), (
+            "catch-up ended without the acked value")
+
     def test_writes_accepted_while_warming(self):
         cluster = build()
         client = cluster.smart_client("c1")

@@ -128,8 +128,10 @@ class TestCommitGapHealing:
         The leader allocates the zxid before gathering acks; if the
         round fails it used to abandon that zxid, and every later
         commit — on the leader itself included — buffered behind the
-        hole forever.  The fix commits an explicit no-op for the
-        failed round.
+        hole forever.  The fix: the leader *steps down* (it cannot
+        reach a majority, so it may be minority-partitioned), the
+        allocated zxid dies with its reign, and the next leader reuses
+        it in a new epoch — the stream stays gapless.
         """
         sim, net, ens = world
 

@@ -1,0 +1,197 @@
+"""A leader that loses its quorum must step down, not self-commit.
+
+Regression suite for the minority-partitioned-leader family of bugs:
+an earlier fix committed an explicit no-op when a proposal failed its
+quorum, which let a cut-off leader inflate its own ``applied_zxid``
+with unacked no-ops (its expiry scan keeps proposing), keep a
+divergent tree after the heal (snapshot sync only loaded snapshots
+with a *higher* zxid), and even win a later election on its inflated
+zxid — replacing committed state ensemble-wide.
+
+The fixes under test:
+
+* a leader whose proposal round cannot reach a majority steps down;
+* elections compare ``(epoch, zxid, name)`` so a deposed reign's
+  orphaned tail cannot outrank the majority's history;
+* snapshot sync is epoch-aware: crossing into a newer reign replaces
+  local state even when the local zxid is equal or ahead.
+"""
+
+import pytest
+
+from repro.net.failure import FailureInjector
+from repro.net.latency import LanGigabit
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.zk.ensemble import ZkEnsemble
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    net = Network(sim, latency=LanGigabit(seed=29))
+    ens = ZkEnsemble(sim, net, size=3)
+    ens.start()
+    inj = FailureInjector(net)
+    return sim, net, ens, inj
+
+
+def drop_commits_from(net, leader_name: str) -> dict:
+    """Togglable filter eating every commit notify ``leader_name`` sends."""
+    state = {"on": False}
+
+    def fn(src, dst, payload):
+        if (state["on"] and src == leader_name
+                and isinstance(payload, dict)
+                and payload.get("kind") == "notify"
+                and isinstance(payload.get("body"), dict)
+                and payload["body"].get("zk") == "commit"):
+            return False
+        return True
+
+    net.add_filter(fn)
+    return state
+
+
+class TestMinorityLeaderStepdown:
+    def test_quorum_loss_freezes_applied_zxid(self, world):
+        """The review scenario: a cut-off leader's expiry scan keeps
+        proposing; pre-fix each failed round self-committed a no-op and
+        inflated applied_zxid without any majority agreement."""
+        sim, net, ens, inj = world
+        zk = ens.client("doomed")
+
+        def main():
+            yield from zk.connect()
+            yield from zk.create("/eph", b"", ephemeral=True)
+            yield from zk.create("/data", b"keep")
+            return True
+
+        proc = sim.process(main())
+        assert sim.run(until=proc) is True
+        zk.crash()  # pings stop; the session will expire everywhere
+
+        z0 = ens.server("zk0")
+        applied_before = z0.applied_zxid
+        part = inj.partition(["zk0"], ["zk1", "zk2"])
+        # Long enough for several expiry-scan proposal rounds to fail.
+        sim.run(until=sim.now + 6.0)
+
+        assert z0.applied_zxid == applied_before, (
+            "minority leader advanced its applied_zxid without a quorum")
+        assert not z0.is_leader, "leader must step down after quorum loss"
+        majority = [s for s in ens.servers[1:] if s.is_leader and s.running]
+        assert len(majority) == 1
+        assert majority[0].epoch > 1
+        # The majority expired the dead session on its own.
+        assert majority[0].tree.exists("/eph") is None
+
+        part.heal()
+        sim.run(until=sim.now + 5.0)
+        leaders = [s for s in ens.servers if s.is_leader and s.running]
+        assert len(leaders) == 1
+        for server in ens.servers:
+            assert server.applied_zxid == leaders[0].applied_zxid, \
+                server.name
+            assert server.tree.dump() == leaders[0].tree.dump(), server.name
+        assert z0.tree.exists("/eph") is None
+        assert z0.tree.exists("/data") is not None
+
+
+class TestDivergedTailTruncation:
+    def _diverge_zk0(self, sim, net, ens, inj):
+        """Leave zk0 applied *ahead* of the majority on an orphan tail.
+
+        Two creates commit on the leader (the followers acked the
+        proposals, so quorum was met and the client saw success) but
+        their commit notifies are eaten; zk0 is then cut off before
+        the next beat reveals the gap.  Returns the partition.
+        """
+        state = drop_commits_from(net, "zk0")
+        zk = ens.client("w")
+
+        def main():
+            yield from zk.connect()
+            yield from zk.create("/base", b"")
+            state["on"] = True
+            yield from zk.create("/orphan-0", b"")
+            yield from zk.create("/orphan-1", b"")
+            return True
+
+        proc = sim.process(main())
+        assert sim.run(until=proc) is True
+        part = inj.partition(["zk0"], ["zk1", "zk2"])
+        state["on"] = False
+        zk.crash()
+        return part
+
+    def test_newer_epoch_snapshot_truncates_orphan_tail(self, world):
+        sim, net, ens, inj = world
+        part = self._diverge_zk0(sim, net, ens, inj)
+        z0 = ens.server("zk0")
+        orphan_zxid = z0.applied_zxid
+
+        sim.run(until=sim.now + 6.0)
+        majority = [s for s in ens.servers[1:] if s.is_leader and s.running]
+        assert len(majority) == 1
+        new_leader = majority[0]
+        # The majority moved on without the orphans and stayed behind
+        # zk0's inflated frontier — pre-fix, the zxid-only snapshot
+        # check would therefore never heal zk0.
+        assert new_leader.applied_zxid <= orphan_zxid
+        assert new_leader.tree.exists("/orphan-0") is None
+        assert z0.tree.exists("/orphan-0") is not None
+
+        part.heal()
+        sim.run(until=sim.now + 5.0)
+        assert z0.tree.exists("/orphan-0") is None, \
+            "deposed leader kept its divergent tail after the heal"
+        assert z0.tree.exists("/orphan-1") is None
+
+        # Post-heal writes reach every member, zk0 included.
+        zk = ens.client("late")
+        zk._server_idx = 1
+
+        def late():
+            yield from zk.connect()
+            yield from zk.create("/replacement", b"")
+            yield from zk.close()
+            return True
+
+        proc = sim.process(late())
+        assert sim.run(until=proc) is True
+        sim.run(until=sim.now + 3.0)
+        leaders = [s for s in ens.servers if s.is_leader and s.running]
+        assert len(leaders) == 1
+        for server in ens.servers:
+            assert server.tree.exists("/replacement") is not None, \
+                server.name
+            assert server.tree.dump() == leaders[0].tree.dump(), server.name
+
+    def test_election_prefers_newer_epoch_over_higher_zxid(self, world):
+        """A deposed reign's orphaned tail must not win an election:
+        pre-fix votes compared bare zxids, so the diverged ex-leader
+        replaced the majority's committed history ensemble-wide."""
+        sim, net, ens, inj = world
+        part = self._diverge_zk0(sim, net, ens, inj)
+        z0 = ens.server("zk0")
+
+        sim.run(until=sim.now + 6.0)
+        majority = [s for s in ens.servers[1:] if s.is_leader and s.running]
+        assert len(majority) == 1
+        survivor = next(s for s in ens.servers[1:]
+                        if s is not majority[0])
+        assert z0.applied_zxid > survivor.applied_zxid  # diverged ahead
+
+        ens.crash(majority[0].name)
+        part.heal()
+        sim.run(until=sim.now + 8.0)
+
+        leaders = [s for s in ens.servers if s.is_leader and s.running]
+        assert len(leaders) == 1
+        assert leaders[0].name == survivor.name, (
+            "the diverged ex-leader out-voted the newer epoch's history")
+        assert leaders[0].tree.exists("/orphan-0") is None
+        assert z0.tree.exists("/orphan-0") is None
+        assert z0.applied_zxid == leaders[0].applied_zxid
+        assert z0.tree.dump() == leaders[0].tree.dump()
