@@ -1,0 +1,134 @@
+"""Batched vs per-key quorum pipeline throughput.
+
+The batched pipeline amortizes RPC round-trips across keys: grouping a
+multi-key operation by vnode issues one ``replica.mwrite``/``mread``
+per replica per vnode-group instead of one full N-replica fan-out per
+key.  This bench measures
+
+* **simulated ops/sec** — operations per simulated second over a LAN
+  latency model; this is the quantity the paper's Fig. 7/8 throughput
+  claims are about, and the batched pipeline must beat the per-key
+  loop by >= 3x (ISSUE 2 acceptance criterion);
+* **wallclock events/sec** — kernel events executed per wallclock
+  second while the workload runs (substrate cost of the pipeline);
+* **kernel events/sec** — the bare DES-kernel throughput of
+  ``test_kernel_overhead.py``, asserted against an absolute floor so a
+  pipeline change that bloats the hot loop fails here.
+
+Results land in ``benchmarks/results/BENCH_batch.json`` — the first
+data point of the perf trajectory; later PRs diff against it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.cluster import SednaCluster
+from repro.core.config import SednaConfig
+from repro.net.simulator import Simulator
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_KEYS = 192
+KERNEL_EVENTS = 20_000
+# Conservative wallclock floor for the bare kernel (events/sec).  The
+# unloaded loop does ~10x this on the slowest CI hardware observed;
+# dipping below means the kernel hot path itself regressed badly.
+KERNEL_FLOOR = 100_000.0
+
+
+def _events_executed(sim: Simulator) -> int:
+    """Scheduling sequence counter ~ events pushed through the kernel."""
+    return next(sim._seq)
+
+
+def _fresh_cluster(seed: int) -> SednaCluster:
+    cluster = SednaCluster(n_nodes=3, zk_size=1,
+                           config=SednaConfig(num_vnodes=3), seed=seed)
+    cluster.start()
+    return cluster
+
+
+def _measure(workload_factory):
+    """(simulated ops/sec, wallclock events/sec, rpcs) for a workload.
+
+    ``workload_factory(cluster, smart)`` returns a generator performing
+    ``2 * N_KEYS`` client operations (writes then reads).
+    """
+    cluster = _fresh_cluster(seed=23)
+    smart = cluster.smart_client("bench")
+    cluster.run(smart.connect())
+    sim_start = cluster.sim.now
+    rpc_start = smart.rpc.calls_issued
+    events_start = _events_executed(cluster.sim)
+    wall_start = time.perf_counter()
+    cluster.run(workload_factory(cluster, smart))
+    wall = time.perf_counter() - wall_start
+    sim_elapsed = cluster.sim.now - sim_start
+    events = _events_executed(cluster.sim) - events_start
+    ops = 2 * N_KEYS
+    return {
+        "ops": ops,
+        "sim_seconds": round(sim_elapsed, 6),
+        "sim_ops_per_sec": round(ops / sim_elapsed, 1),
+        "wall_events_per_sec": round(events / wall, 1),
+        "replica_rpcs": smart.rpc.calls_issued - rpc_start,
+    }
+
+
+def _per_key_workload(cluster, smart):
+    for i in range(N_KEYS):
+        yield from smart.write_latest(f"bench-{i}", f"v{i}")
+    for i in range(N_KEYS):
+        value = yield from smart.read_latest(f"bench-{i}")
+        assert value == f"v{i}"
+
+
+def _batched_workload(cluster, smart):
+    statuses = yield from smart.multi_write(
+        {f"bench-{i}": f"v{i}" for i in range(N_KEYS)})
+    assert all(s == "ok" for s in statuses.values())
+    values = yield from smart.multi_read([f"bench-{i}"
+                                          for i in range(N_KEYS)])
+    assert values == {f"bench-{i}": f"v{i}" for i in range(N_KEYS)}
+
+
+def _kernel_events_per_sec() -> float:
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(KERNEL_EVENTS):
+            yield sim.timeout(0.001)
+
+    sim.process(ticker())
+    wall_start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - wall_start
+    return _events_executed(sim) / wall
+
+
+def test_batch_throughput_baseline():
+    per_key = _measure(_per_key_workload)
+    batched = _measure(_batched_workload)
+    kernel = _kernel_events_per_sec()
+    speedup = batched["sim_ops_per_sec"] / per_key["sim_ops_per_sec"]
+    report = {
+        "bench": "batch_throughput",
+        "n_keys": N_KEYS,
+        "cluster": {"nodes": 3, "vnodes": 3, "replicas": 3},
+        "per_key": per_key,
+        "batched": batched,
+        "sim_speedup": round(speedup, 2),
+        "kernel_events_per_sec": round(kernel, 1),
+    }
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print("\n" + text)
+    (RESULTS_DIR / "BENCH_batch.json").write_text(text + "\n")
+
+    # Acceptance: batching amortizes round-trips >= 3x at equal
+    # correctness (both workloads assert every read's value).
+    assert speedup >= 3.0, f"batched speedup only {speedup:.2f}x"
+    # Same-data RPC budget sanity: batched must be far under per-key.
+    assert batched["replica_rpcs"] * 10 <= per_key["replica_rpcs"]
+    # Kernel hot loop did not regress past the absolute floor.
+    assert kernel >= KERNEL_FLOOR, f"kernel at {kernel:.0f} ev/s"

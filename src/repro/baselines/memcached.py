@@ -41,6 +41,8 @@ class MemcachedServer:
         self.rpc = RpcNode(network, name, service_time=MEMCACHED_OP)
         self.rpc.register("mc.set", self._h_set)
         self.rpc.register("mc.get", self._h_get)
+        self.rpc.register("mc.mget", self._h_mget)
+        self.rpc.register("mc.mset", self._h_mset)
         self.rpc.register("mc.delete", self._h_delete)
         self.rpc.register("mc.stats", self._h_stats)
 
@@ -52,6 +54,13 @@ class MemcachedServer:
     def _h_get(self, src: str, args: Any):
         value = self.store.get(args["key"])
         return {"value": value}
+
+    def _h_mget(self, src: str, args: Any):
+        """``get k1 k2 ...`` — many keys, one round-trip."""
+        return {"values": self.store.get_multi(args["keys"])}
+
+    def _h_mset(self, src: str, args: Any):
+        return {"results": self.store.set_multi(args["pairs"])}
 
     def _h_delete(self, src: str, args: Any):
         return self.store.delete(args["key"])

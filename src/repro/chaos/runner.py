@@ -251,24 +251,50 @@ class ChaosRunner:
             counter += 1
             value = f"{client.name}:{counter}"
             roll = rng.random()
-            if roll < 0.30:
+            if roll < 0.24:
                 key = f"{self.LW_PREFIX}-{rng.randrange(self.n_lw_keys)}"
                 yield from self._op_write(client, "write_latest", key, value)
-            elif roll < 0.42:
+            elif roll < 0.34:
                 key = f"{self.VA_PREFIX}-{rng.randrange(self.n_va_keys)}"
                 yield from self._op_write(client, "write_all", key, value)
-            elif roll < 0.72:
+            elif roll < 0.42:
+                if rng.random() < 0.5:
+                    keys = self._sample_keys(rng, self.LW_PREFIX,
+                                             self.n_lw_keys)
+                    yield from self._op_multi_write(client, "latest", keys,
+                                                    value)
+                else:
+                    keys = self._sample_keys(rng, self.VA_PREFIX,
+                                             self.n_va_keys)
+                    yield from self._op_multi_write(client, "all", keys,
+                                                    value)
+            elif roll < 0.62:
                 key = f"{self.LW_PREFIX}-{rng.randrange(self.n_lw_keys)}"
                 yield from self._op_read_latest(client, key)
-            elif roll < 0.84:
+            elif roll < 0.72:
                 key = f"{self.VA_PREFIX}-{rng.randrange(self.n_va_keys)}"
                 yield from self._op_read_all(client, key)
-            elif roll < 0.92:
+            elif roll < 0.82:
+                keys = self._sample_keys(rng, self.LW_PREFIX,
+                                         self.n_lw_keys)
+                yield from self._op_multi_read(client, keys)
+            elif roll < 0.90:
                 key = f"{self.DEL_PREFIX}-{rng.randrange(self.n_del_keys)}"
                 yield from self._op_write(client, "write_latest", key, value)
-            else:
+            elif roll < 0.96:
                 key = f"{self.DEL_PREFIX}-{rng.randrange(self.n_del_keys)}"
                 yield from self._op_delete(client, key)
+            else:
+                keys = self._sample_keys(rng, self.DEL_PREFIX,
+                                         self.n_del_keys)
+                yield from self._op_multi_delete(client, keys)
+
+    def _sample_keys(self, rng: random.Random, prefix: str,
+                     pool: int) -> list[str]:
+        """2-4 distinct keys of one pool, deterministically sampled."""
+        count = rng.randint(2, min(4, pool))
+        return [f"{prefix}-{i}" for i in sorted(rng.sample(range(pool),
+                                                           count))]
 
     @property
     def sim(self):
@@ -345,6 +371,93 @@ class ChaosRunner:
             return
         self.history.complete(record, self.sim.now, result["status"],
                               acks=tuple(result.get("acks", ())))
+
+    def _op_multi_write(self, client, mode: str, keys: list[str],
+                        value_base: str):
+        """One batched write; history gets one per-key record of the
+        matching single-op kind, so every invariant (durability,
+        freshness, replication, value lists) covers batch writes with
+        zero checker changes."""
+        self._count("multi_write")
+        kind = "write_latest" if mode == "latest" else "write_all"
+        entries = []
+        records = []
+        for i, key in enumerate(keys):
+            encoded = FullKey.of(key).encoded()
+            value = f"{value_base}.{i}"
+            ts = client._timestamp()
+            entries.append({"key": encoded, "value": value, "ts": ts,
+                            "source": client.name, "mode": mode})
+            records.append(self.history.begin(client.name, kind, encoded,
+                                              self.sim.now, value=value,
+                                              ts=ts))
+        try:
+            result = yield from client.coordinator.coordinate_multi_write(
+                {"entries": entries})
+        except (RpcTimeout, RpcRejected):
+            for record in records:
+                self.history.complete(record, self.sim.now, "failure")
+            return
+        results = result["results"]
+        for record, entry in zip(records, entries):
+            per_key = results.get(entry["key"], {})
+            self.history.complete(record, self.sim.now,
+                                  per_key.get("status", "failure"),
+                                  acks=tuple(per_key.get("acks", ())))
+
+    def _op_multi_read(self, client, keys: list[str]):
+        """One batched read; per-key ``read_latest`` history records."""
+        self._count("multi_read")
+        encoded_keys = [FullKey.of(key).encoded() for key in keys]
+        records = [self.history.begin(client.name, "read_latest", encoded,
+                                      self.sim.now)
+                   for encoded in encoded_keys]
+        try:
+            result = yield from client.coordinator.coordinate_multi_read(
+                {"keys": encoded_keys, "mode": "latest"})
+        except (RpcTimeout, RpcRejected):
+            for record in records:
+                self.history.complete(record, self.sim.now, "failure")
+            return
+        results = result["results"]
+        for record, encoded in zip(records, encoded_keys):
+            per_key = results.get(encoded)
+            if per_key is None or per_key.get("status") != "ok":
+                self.history.complete(
+                    record, self.sim.now, "failure",
+                    responders=tuple((per_key or {}).get("responders", ())))
+            elif per_key.get("found"):
+                self.history.complete(
+                    record, self.sim.now, "found",
+                    responders=tuple(per_key["responders"]),
+                    result_ts=per_key["ts"],
+                    result_source=per_key["source"],
+                    result_value=per_key["value"])
+            else:
+                self.history.complete(
+                    record, self.sim.now, "miss",
+                    responders=tuple(per_key["responders"]))
+
+    def _op_multi_delete(self, client, keys: list[str]):
+        """One batched delete; per-key ``delete`` records taint keys."""
+        self._count("multi_delete")
+        encoded_keys = [FullKey.of(key).encoded() for key in keys]
+        records = [self.history.begin(client.name, "delete", encoded,
+                                      self.sim.now)
+                   for encoded in encoded_keys]
+        try:
+            result = yield from client.coordinator.coordinate_multi_delete(
+                {"keys": encoded_keys})
+        except (RpcTimeout, RpcRejected):
+            for record in records:
+                self.history.complete(record, self.sim.now, "failure")
+            return
+        results = result["results"]
+        for record, encoded in zip(records, encoded_keys):
+            per_key = results.get(encoded, {})
+            self.history.complete(record, self.sim.now,
+                                  per_key.get("status", "failure"),
+                                  acks=tuple(per_key.get("acks", ())))
 
     def _supervised_restart(self, node):
         """``node.restart()`` hardened against open fault windows.

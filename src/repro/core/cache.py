@@ -81,8 +81,18 @@ class MappingCache:
 
     # -- full load ---------------------------------------------------------
     def load_full(self):
-        """Read the entire assignment (boot path; §III.E situation 1)."""
+        """Read the entire assignment (boot path; §III.E situation 1).
+
+        The changelog position is recorded *before* the vnode sweep: a
+        reassignment that commits mid-sweep may or may not be visible
+        in the vnodes we read, but its changelog sequence is strictly
+        newer than the recorded one, so the next refresh re-reads it.
+        Recording the position after the sweep loses exactly that
+        window — the entry's sequence is consumed while the sweep still
+        returned the old owner, and no refresh ever looks again.
+        """
         self.full_loads += 1
+        seq = yield from self._newest_changelog_seq()
         for vnode_id in range(self.config.num_vnodes):
             try:
                 data, _stat = yield from self.zk.get(ZkLayout.vnode(vnode_id))
@@ -90,7 +100,6 @@ class MappingCache:
                 self.ring.assign(vnode_id, data.decode())
             except NoNodeError:
                 self.ring.assign(vnode_id, Ring.UNASSIGNED)
-        seq = yield from self._newest_changelog_seq()
         self.last_changelog_seq = seq
         self.loaded = True
 

@@ -185,6 +185,86 @@ class SednaClient:
             self.failures += 1
             return False
 
+    # -- batch APIs (docs/protocols.md §12) -----------------------------------
+    def multi_write(self, items: dict, mode: str = "latest",
+                    table: str = DEFAULT_TABLE,
+                    dataset: str = DEFAULT_DATASET):
+        """Batched write: {key: value} in, {key: ok/outdated/failure} out.
+
+        The coordinator groups keys by virtual node and issues one
+        ``replica.mwrite`` per replica per vnode-group, so the N-way
+        round-trip cost is paid per *group*, not per key.
+        """
+        enc = {self._encode(k, table, dataset): k for k in items}
+        entries = [{"key": ek, "value": items[uk], "ts": self._timestamp(),
+                    "source": self.name, "mode": mode}
+                   for ek, uk in enc.items()]
+        t0 = self.sim.now
+        try:
+            reply = yield from self._request("sedna.mwrite",
+                                             {"entries": entries})
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            self.write_latencies.append(self.sim.now - t0)
+            return {uk: WriteOutcome.FAILURE for uk in items}
+        self.write_latencies.append(self.sim.now - t0)
+        results = reply["results"]
+        return {uk: results.get(ek, {}).get("status", WriteOutcome.FAILURE)
+                for ek, uk in enc.items()}
+
+    def multi_read(self, keys, table: str = DEFAULT_TABLE,
+                   dataset: str = DEFAULT_DATASET):
+        """Batched ``read_latest``: {key: value or None (miss/failure)}."""
+        enc = {self._encode(k, table, dataset): k for k in keys}
+        t0 = self.sim.now
+        try:
+            reply = yield from self._request(
+                "sedna.mread", {"keys": list(enc), "mode": "latest"})
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            self.read_latencies.append(self.sim.now - t0)
+            return {uk: None for uk in enc.values()}
+        self.read_latencies.append(self.sim.now - t0)
+        out = {}
+        for ek, uk in enc.items():
+            r = reply["results"].get(ek)
+            out[uk] = r["value"] if r and r.get("found") else None
+        return out
+
+    def multi_read_all(self, keys, table: str = DEFAULT_TABLE,
+                       dataset: str = DEFAULT_DATASET):
+        """Batched ``read_all``: {key: [ValueElement, ...]}."""
+        enc = {self._encode(k, table, dataset): k for k in keys}
+        t0 = self.sim.now
+        try:
+            reply = yield from self._request(
+                "sedna.mread", {"keys": list(enc), "mode": "all"})
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            self.read_latencies.append(self.sim.now - t0)
+            return {uk: [] for uk in enc.values()}
+        self.read_latencies.append(self.sim.now - t0)
+        out = {}
+        for ek, uk in enc.items():
+            r = reply["results"].get(ek) or {}
+            out[uk] = [ValueElement(s, ts, v)
+                       for s, ts, v in r.get("elements", [])]
+        return out
+
+    def multi_delete(self, keys, table: str = DEFAULT_TABLE,
+                     dataset: str = DEFAULT_DATASET):
+        """Batched delete: {key: True/False} per-key success."""
+        enc = {self._encode(k, table, dataset): k for k in keys}
+        try:
+            reply = yield from self._request("sedna.mdelete",
+                                             {"keys": list(enc)})
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            return {uk: False for uk in enc.values()}
+        results = reply["results"]
+        return {uk: results.get(ek, {}).get("status") == "ok"
+                for ek, uk in enc.items()}
+
 
 class SmartSednaClient:
     """Zero-hop client: coordinates quorums itself (§VII).
@@ -327,3 +407,80 @@ class SmartSednaClient:
         if not result.get("found"):
             return None
         return ValueElement(result["source"], result["ts"], result["value"])
+
+    # -- batch APIs (docs/protocols.md §12) -----------------------------------
+    def multi_write(self, items: dict, mode: str = "latest",
+                    table: str = DEFAULT_TABLE,
+                    dataset: str = DEFAULT_DATASET):
+        """Batched write, coordinated client-side: {key: value} in,
+        {key: ok/outdated/failure} out — one ``replica.mwrite`` per
+        replica per vnode-group."""
+        enc = {self._encode(k, table, dataset): k for k in items}
+        entries = [{"key": ek, "value": items[uk], "ts": self._timestamp(),
+                    "source": self.name, "mode": mode}
+                   for ek, uk in enc.items()]
+        t0 = self.sim.now
+        try:
+            reply = yield from self.coordinator.coordinate_multi_write(
+                {"entries": entries})
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            self.write_latencies.append(self.sim.now - t0)
+            return {uk: WriteOutcome.FAILURE for uk in items}
+        self.write_latencies.append(self.sim.now - t0)
+        results = reply["results"]
+        return {uk: results.get(ek, {}).get("status", WriteOutcome.FAILURE)
+                for ek, uk in enc.items()}
+
+    def multi_read(self, keys, table: str = DEFAULT_TABLE,
+                   dataset: str = DEFAULT_DATASET):
+        """Batched ``read_latest``: {key: value or None (miss/failure)}."""
+        enc = {self._encode(k, table, dataset): k for k in keys}
+        t0 = self.sim.now
+        try:
+            reply = yield from self.coordinator.coordinate_multi_read(
+                {"keys": list(enc), "mode": "latest"})
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            self.read_latencies.append(self.sim.now - t0)
+            return {uk: None for uk in enc.values()}
+        self.read_latencies.append(self.sim.now - t0)
+        out = {}
+        for ek, uk in enc.items():
+            r = reply["results"].get(ek)
+            out[uk] = r["value"] if r and r.get("found") else None
+        return out
+
+    def multi_read_all(self, keys, table: str = DEFAULT_TABLE,
+                       dataset: str = DEFAULT_DATASET):
+        """Batched ``read_all``: {key: [ValueElement, ...]}."""
+        enc = {self._encode(k, table, dataset): k for k in keys}
+        t0 = self.sim.now
+        try:
+            reply = yield from self.coordinator.coordinate_multi_read(
+                {"keys": list(enc), "mode": "all"})
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            self.read_latencies.append(self.sim.now - t0)
+            return {uk: [] for uk in enc.values()}
+        self.read_latencies.append(self.sim.now - t0)
+        out = {}
+        for ek, uk in enc.items():
+            r = reply["results"].get(ek) or {}
+            out[uk] = [ValueElement(s, ts, v)
+                       for s, ts, v in r.get("elements", [])]
+        return out
+
+    def multi_delete(self, keys, table: str = DEFAULT_TABLE,
+                     dataset: str = DEFAULT_DATASET):
+        """Batched delete: {key: True/False} per-key success."""
+        enc = {self._encode(k, table, dataset): k for k in keys}
+        try:
+            reply = yield from self.coordinator.coordinate_multi_delete(
+                {"keys": list(enc)})
+        except (RpcTimeout, RpcRejected):
+            self.failures += 1
+            return {uk: False for uk in enc.values()}
+        results = reply["results"]
+        return {uk: results.get(ek, {}).get("status") == "ok"
+                for ek, uk in enc.items()}

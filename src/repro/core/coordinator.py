@@ -14,15 +14,29 @@ places:
   §VI.A.1).
 
 :class:`QuorumCoordinator` encapsulates it once for both.
+
+Throughput machinery (docs/protocols.md §12):
+
+* every fan-out waits on a callback-counted
+  :class:`~repro.net.rpc.QuorumWait` instead of re-scanning pending
+  calls on each wakeup;
+* ``coordinate_multi_read`` / ``coordinate_multi_write`` /
+  ``coordinate_multi_delete`` group keys by virtual node and issue
+  **one** ``replica.mread``/``mwrite``/``mdelete`` RPC per replica per
+  vnode-group, with the per-vnode quorums running concurrently
+  (Keyspace/Spinnaker-style batching: the per-message and per-quorum
+  overhead is amortized over the whole group);
+* concurrent single-key reads of the same key coalesce onto shared
+  fan-out rounds (thundering-herd protection).
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from ..net.rpc import RpcError, RpcNode, RpcRejected, RpcTimeout
-from ..net.simulator import AnyOf, Event, Simulator
-from ..storage.versioned import ValueElement, VersionedStore, WriteOutcome
+from ..net.rpc import QuorumWait, RpcError, RpcNode, RpcRejected, RpcTimeout
+from ..net.simulator import Event, Simulator
+from ..storage.versioned import (ValueElement, VersionedStore, WriteOutcome)
 from .cache import MappingCache
 from .config import SednaConfig
 
@@ -37,6 +51,22 @@ def wire_elements(elements: list[ValueElement]) -> list[tuple]:
 def unwire_elements(blob: list[tuple]) -> list[ValueElement]:
     """Inverse of :func:`wire_elements`."""
     return [ValueElement(source, ts, value) for source, ts, value in blob]
+
+
+class _InflightRead:
+    """One in-flight read round in the coalescing map.
+
+    ``done`` carries the round's result to followers; ``started`` is
+    the simulated instant the round's fan-out was issued — the
+    freshness-safety watermark followers compare their own invocation
+    time against.
+    """
+
+    __slots__ = ("done", "started")
+
+    def __init__(self, done: Event, started: float):
+        self.done = done
+        self.started = started
 
 
 class QuorumCoordinator:
@@ -68,10 +98,16 @@ class QuorumCoordinator:
         self.local_name = local_name
         self.local_dispatch = local_dispatch
         self.on_suspect = on_suspect
+        # In-flight read rounds, keyed by (key, mode), for coalescing.
+        self._inflight_reads: dict[tuple[str, str], _InflightRead] = {}
         # Stats.
         self.coordinated_writes = 0
         self.coordinated_reads = 0
         self.coordinated_deletes = 0
+        self.coordinated_multi_writes = 0
+        self.coordinated_multi_reads = 0
+        self.coordinated_multi_deletes = 0
+        self.coalesced_reads = 0
         self.read_repairs = 0
 
     # -- plumbing -----------------------------------------------------------
@@ -83,39 +119,6 @@ class QuorumCoordinator:
         if replica == self.local_name and self.local_dispatch is not None:
             return self.local_dispatch(method, args)
         return self.rpc.call_async(replica, method, args)
-
-    def _quorum_fanout(self, calls: list[tuple[str, Event]], needed: int,
-                       timeout: float):
-        """Wait for ``needed`` successes with replica attribution.
-
-        Returns ``(oks, fails)`` as ``[(name, value)]`` /
-        ``[(name, exception)]``; raises :class:`RpcTimeout` on deadline
-        and :class:`RpcError` when too many replicas failed.
-        """
-        deadline = self.sim.timeout(timeout)
-        oks: list[tuple[str, Any]] = []
-        fails: list[tuple[str, BaseException]] = []
-        pending = dict(calls)
-        while True:
-            for name, ev in list(pending.items()):
-                if ev.triggered:
-                    del pending[name]
-                    if ev.ok:
-                        oks.append((name, ev.value))
-                    else:
-                        fails.append((name, ev.value))
-            if len(oks) >= needed:
-                return oks, fails
-            if len(oks) + len(pending) < needed:
-                raise RpcError(f"quorum unreachable: {len(fails)} failures")
-            if deadline.processed:
-                raise RpcTimeout(
-                    f"quorum {needed} not met; {len(oks)} ok so far")
-            try:
-                yield AnyOf(self.sim,
-                            tuple(ev for ev in pending.values()) + (deadline,))
-            except RpcError:
-                pass  # loop re-scans and attributes the failure
 
     def _post_quorum_watch(self, calls: list[tuple[str, Event]],
                            vnode_id: int, already_ok: set[str]) -> None:
@@ -153,7 +156,13 @@ class QuorumCoordinator:
             vnode_id, replicas = self.cache.replicas_for_key(key)
         return vnode_id, replicas
 
-    # -- operations -----------------------------------------------------------
+    def _warm_wait_limit(self) -> int:
+        """How many request_timeout periods a warming replica is worth
+        waiting out (two lease periods: the stale-cache window)."""
+        return int(self.config.lease_base * 2
+                   / self.config.request_timeout) + 2
+
+    # -- single-key operations ----------------------------------------------
     def coordinate_write(self, args: Any):
         """Parallel N-way replica write; returns at W acks (§III.C/F)."""
         self.coordinated_writes += 1
@@ -167,9 +176,10 @@ class QuorumCoordinator:
                    "mode": args["mode"]}
         calls = [(r, self._replica_call(r, "replica.write", payload))
                  for r in replicas]
+        wait = QuorumWait(self.sim, calls, cfg.write_quorum,
+                          cfg.request_timeout)
         try:
-            oks, fails = yield from self._quorum_fanout(
-                calls, cfg.write_quorum, cfg.request_timeout)
+            oks, fails = yield from wait.wait()
         except (RpcTimeout, RpcError) as err:
             self._post_quorum_watch(calls, vnode_id, set())
             if not args.get("_retried"):
@@ -191,7 +201,56 @@ class QuorumCoordinator:
                 "acks": [name for name, _v in oks]}
 
     def coordinate_read(self, args: Any):
-        """Parallel read from all replicas, waiting for R agreeing copies.
+        """Quorum read entry point; coalesces concurrent readers.
+
+        Concurrent reads of the same ``(key, mode)`` share fan-out
+        rounds instead of each paying its own N-way RPC storm
+        (thundering-herd protection).  Sharing is *freshness-safe*: a
+        follower only adopts a result whose fan-out started at or after
+        the follower's own invocation — every write acked before the
+        follower invoked is then visible in the shared result through
+        the R+W>N overlap.  Followers that arrive while an older round
+        is in flight wait it out and share the *next* round, so a herd
+        of K concurrent readers costs at most two fan-outs.  When a
+        round fails, its followers detach safely: each loops to either
+        share a round a sibling just started or lead its own.
+        """
+        key = args["key"]
+        mode = args.get("mode", "latest")
+        token = (key, mode)
+        invoked = self.sim.now
+        while True:
+            entry = self._inflight_reads.get(token)
+            if entry is None:
+                break
+            self.coalesced_reads += 1
+            try:
+                shared = yield entry.done
+            except RpcError:
+                shared = None  # the round's leader failed: detach
+            if shared is not None and entry.started >= invoked:
+                return dict(shared)
+            # The settled round predates us (its replica responses may
+            # miss writes acked before we invoked) or failed: loop.
+        entry = _InflightRead(self.sim.event(), self.sim.now)
+        # Observable, never mandatory: every follower may have detached
+        # by the time the round settles.
+        entry.done.callbacks.append(lambda _e: None)
+        self._inflight_reads[token] = entry
+        try:
+            result = yield from self._read_once(args)
+        except BaseException as err:
+            self._inflight_reads.pop(token, None)
+            if isinstance(err, Exception) and not entry.done.triggered:
+                entry.done.fail(err)
+            raise
+        self._inflight_reads.pop(token, None)
+        if not entry.done.triggered:
+            entry.done.succeed(result)
+        return result
+
+    def _read_once(self, args: Any):
+        """One read round: parallel fan-out waiting for R agreeing copies.
 
         §III.C: "requests all the corresponding real nodes to get data
         with timestamp, then checks for R equality."  When fewer than R
@@ -209,33 +268,31 @@ class QuorumCoordinator:
         payload = {"vnode": vnode_id, "key": key}
         calls = [(r, self._replica_call(r, "replica.read", payload))
                  for r in replicas]
+        wait = QuorumWait(self.sim, calls, cfg.read_quorum,
+                          cfg.request_timeout)
         try:
-            oks, fails = yield from self._quorum_fanout(
-                calls, cfg.read_quorum, cfg.request_timeout)
+            oks, fails = yield from wait.wait()
         except (RpcTimeout, RpcError) as err:
             self._post_quorum_watch(calls, vnode_id, set())
             warming = any(isinstance(exc, RpcRejected)
                           and "warming" in str(exc)
-                          for _n, exc in ((n, ev.value) for n, ev in calls
-                                          if ev.triggered and not ev.ok))
+                          for _n, exc in wait.fails)
             if warming:
                 # A freshly claimed replica refuses reads until its
                 # handoff catch-up finishes; that is transient, so wait
                 # it out instead of failing the read.
                 waits = args.get("_warm_waits", 0)
-                limit = int(self.config.lease_base * 2
-                            / cfg.request_timeout) + 2
-                if waits < limit:
+                if waits < self._warm_wait_limit():
                     yield self.sim.timeout(cfg.request_timeout)
                     retry = dict(args)
                     retry["_warm_waits"] = waits + 1
-                    result = yield from self.coordinate_read(retry)
+                    result = yield from self._read_once(retry)
                     return result
             if not args.get("_retried"):
                 yield from self.cache.invalidate(vnode_id)
                 retry = dict(args)
                 retry["_retried"] = True
-                result = yield from self.coordinate_read(retry)
+                result = yield from self._read_once(retry)
                 return result
             raise RpcRejected(f"read-quorum-failed:{err}")
         for name, _exc in fails:
@@ -256,25 +313,18 @@ class QuorumCoordinator:
             # on a replica that has not answered yet (its quorum-set
             # overlap shrank while the mapping moved).  Cheap insurance:
             # wait out the remaining replies before concluding.
-            deadline = self.sim.timeout(cfg.request_timeout)
-            answered = set(responses)
-            pending = {name: ev for name, ev in calls
-                       if name not in answered}
-            while pending and not deadline.processed:
-                for name, ev in list(pending.items()):
-                    if ev.triggered:
-                        del pending[name]
-                        if ev.ok:
-                            elements = unwire_elements(ev.value["elements"])
-                            responses[name] = elements
-                            merged.merge_elements(key, elements)
-                if not pending:
-                    break
-                try:
-                    yield AnyOf(self.sim,
-                                tuple(pending.values()) + (deadline,))
-                except RpcError:
-                    pass
+            pending = [(name, ev) for name, ev in calls
+                       if name not in responses]
+            laggards = QuorumWait(self.sim, pending, len(pending),
+                                  cfg.request_timeout, fail_fast=False)
+            try:
+                yield from laggards.wait()
+            except (RpcTimeout, RpcError):
+                pass
+            for name, value in laggards.oks:
+                elements = unwire_elements(value["elements"])
+                responses[name] = elements
+                merged.merge_elements(key, elements)
             merged_elements = merged.read_all(key)
             latest = merged.read_latest(key)
 
@@ -305,10 +355,11 @@ class QuorumCoordinator:
             self.read_repairs += 1
             needed = cfg.read_quorum - agree_count()
             if needed > 0:
+                repair_wait = QuorumWait(self.sim, repair_calls,
+                                         min(needed, len(repair_calls)),
+                                         cfg.request_timeout)
                 try:
-                    yield from self._quorum_fanout(
-                        repair_calls, min(needed, len(repair_calls)),
-                        cfg.request_timeout)
+                    yield from repair_wait.wait()
                 except (RpcTimeout, RpcError) as err:
                     raise RpcRejected(f"read-repair-failed:{err}")
         self._post_quorum_watch(calls, vnode_id, {n for n, _v in oks})
@@ -365,9 +416,10 @@ class QuorumCoordinator:
         payload = {"vnode": vnode_id, "key": key}
         calls = [(r, self._replica_call(r, "replica.delete", payload))
                  for r in replicas]
+        wait = QuorumWait(self.sim, calls, cfg.write_quorum,
+                          cfg.request_timeout)
         try:
-            oks, fails = yield from self._quorum_fanout(
-                calls, cfg.write_quorum, cfg.request_timeout)
+            oks, fails = yield from wait.wait()
         except (RpcTimeout, RpcError) as err:
             self._post_quorum_watch(calls, vnode_id, set())
             if not args.get("_retried"):
@@ -382,3 +434,357 @@ class QuorumCoordinator:
             self._suspect(name, vnode_id)
         return {"status": "ok", "vnode": vnode_id,
                 "acks": [name for name, _v in oks]}
+
+    # -- batched operations ---------------------------------------------------
+    def _group_by_vnode(self, keys):
+        """Group keys by their virtual node via the mapping cache.
+
+        Returns ``(groups, replica_sets)`` where ``groups`` maps
+        vnode_id to the keys hashing there and ``replica_sets`` the
+        corresponding cached replica lists.
+        """
+        groups: dict[int, list] = {}
+        replica_sets: dict[int, list[str]] = {}
+        for key in keys:
+            vnode_id, replicas = yield from self._replica_set(key)
+            groups.setdefault(vnode_id, []).append(key)
+            replica_sets[vnode_id] = replicas
+        return groups, replica_sets
+
+    def coordinate_multi_write(self, args: Any):
+        """Batched quorum write: one ``replica.mwrite`` per replica per
+        vnode-group, per-vnode quorums in parallel, per-key statuses.
+
+        ``args["entries"]`` is a list of the single-write argument
+        dicts (key/value/ts/source/mode).  A group whose quorum fails
+        on a stale mapping is invalidated and retried alone — entries
+        of groups that already met their quorum are **not** re-sent.
+        """
+        self.coordinated_multi_writes += 1
+        entries = args["entries"]
+        groups, replica_sets = yield from self._group_by_vnode(
+            [e["key"] for e in entries])
+        by_key = {}
+        for entry in entries:
+            by_key.setdefault(entry["key"], []).append(entry)
+        results: dict[str, Any] = {}
+        procs = [self.sim.process(
+            self._mwrite_group(
+                vnode_id,
+                [e for k in groups[vnode_id] for e in by_key[k]],
+                replica_sets[vnode_id], results),
+            name=f"mwrite-v{vnode_id}")
+            for vnode_id in sorted(groups)]
+        for proc in procs:
+            yield proc
+        return {"results": results}
+
+    def _mwrite_group(self, vnode_id: int, entries: list[dict],
+                      replicas: list[str], out: dict, attempt: int = 0):
+        """One vnode-group of a batched write; fills ``out`` per key."""
+        cfg = self.config
+        retry_key = entries[0]["key"]
+        if len(replicas) < cfg.write_quorum:
+            if attempt == 0:
+                yield from self.cache.invalidate(vnode_id)
+                _v, fresh = self.cache.replicas_for_key(retry_key)
+                yield from self._mwrite_group(vnode_id, entries, fresh,
+                                              out, attempt=1)
+                return
+            for e in entries:
+                out[e["key"]] = {"status": WriteOutcome.FAILURE, "acks": []}
+            return
+        payload = {"vnode": vnode_id,
+                   "entries": [{"key": e["key"], "value": e["value"],
+                                "ts": e["ts"], "source": e["source"],
+                                "mode": e["mode"]} for e in entries]}
+        calls = [(r, self._replica_call(r, "replica.mwrite", payload))
+                 for r in replicas]
+        wait = QuorumWait(self.sim, calls, cfg.write_quorum,
+                          cfg.request_timeout)
+        try:
+            oks, fails = yield from wait.wait()
+        except (RpcTimeout, RpcError) as err:
+            self._post_quorum_watch(calls, vnode_id, set())
+            if attempt == 0:
+                # Stale mapping: invalidate and retry this group only —
+                # already-acked groups are never re-applied.
+                yield from self.cache.invalidate(vnode_id)
+                _v, fresh = self.cache.replicas_for_key(retry_key)
+                yield from self._mwrite_group(vnode_id, entries, fresh,
+                                              out, attempt=1)
+                return
+            for e in entries:
+                out[e["key"]] = {"status": WriteOutcome.FAILURE, "acks": [],
+                                 "error": f"write-quorum-failed:{err}"}
+            return
+        for name, _exc in fails:
+            self._suspect(name, vnode_id)
+        self._post_quorum_watch(calls, vnode_id, {n for n, _v in oks})
+        acks = [name for name, _v in oks]
+        for e in entries:
+            key = e["key"]
+            statuses = [value["statuses"].get(key) for _n, value in oks]
+            outcome = (WriteOutcome.OK if WriteOutcome.OK in statuses
+                       else WriteOutcome.OUTDATED)
+            out[key] = {"status": outcome, "acks": acks}
+
+    def coordinate_multi_read(self, args: Any):
+        """Batched quorum read: one ``replica.mread`` per replica per
+        vnode-group, per-vnode quorums in parallel, per-key results.
+
+        A 64-key batch spanning 3 vnodes with N=3 costs at most 9
+        replica RPCs instead of 192 — the headline amortization of the
+        batch pipeline.
+        """
+        self.coordinated_multi_reads += 1
+        mode = args.get("mode", "latest")
+        keys = list(dict.fromkeys(args["keys"]))
+        groups, replica_sets = yield from self._group_by_vnode(keys)
+        results: dict[str, Any] = {}
+        procs = [self.sim.process(
+            self._mread_group(vnode_id, groups[vnode_id],
+                              replica_sets[vnode_id], mode, results),
+            name=f"mread-v{vnode_id}")
+            for vnode_id in sorted(groups)]
+        for proc in procs:
+            yield proc
+        return {"results": results}
+
+    def _mread_group(self, vnode_id: int, keys: list[str],
+                     replicas: list[str], mode: str, out: dict,
+                     attempt: int = 0, warm_waits: int = 0):
+        """One vnode-group of a batched read; fills ``out`` per key.
+
+        Preserves every single-read semantic per key: R-equality with
+        read repair (batched per stale replica through
+        ``replica.install``), the churn-insurance laggard wait on an
+        apparent miss, warming-retry, stale-mapping retry, and laggard
+        watching/suspicion.
+        """
+        cfg = self.config
+
+        def fail_group(reason: str) -> None:
+            for k in keys:
+                out[k] = {"status": "failure", "found": False,
+                          "error": reason, "responders": []}
+
+        if len(replicas) < cfg.read_quorum:
+            if attempt == 0:
+                yield from self.cache.invalidate(vnode_id)
+                _v, fresh = self.cache.replicas_for_key(keys[0])
+                yield from self._mread_group(vnode_id, keys, fresh, mode,
+                                             out, attempt=1,
+                                             warm_waits=warm_waits)
+                return
+            fail_group("not-enough-replicas")
+            return
+        payload = {"vnode": vnode_id, "keys": list(keys)}
+        calls = [(r, self._replica_call(r, "replica.mread", payload))
+                 for r in replicas]
+        wait = QuorumWait(self.sim, calls, cfg.read_quorum,
+                          cfg.request_timeout)
+        try:
+            oks, fails = yield from wait.wait()
+        except (RpcTimeout, RpcError) as err:
+            self._post_quorum_watch(calls, vnode_id, set())
+            warming = any(isinstance(exc, RpcRejected)
+                          and "warming" in str(exc)
+                          for _n, exc in wait.fails)
+            if warming and warm_waits < self._warm_wait_limit():
+                yield self.sim.timeout(cfg.request_timeout)
+                _v, fresh = self.cache.replicas_for_key(keys[0])
+                yield from self._mread_group(vnode_id, keys, fresh, mode,
+                                             out, attempt=attempt,
+                                             warm_waits=warm_waits + 1)
+                return
+            if attempt == 0:
+                yield from self.cache.invalidate(vnode_id)
+                _v, fresh = self.cache.replicas_for_key(keys[0])
+                yield from self._mread_group(vnode_id, keys, fresh, mode,
+                                             out, attempt=1,
+                                             warm_waits=warm_waits)
+                return
+            fail_group(f"read-quorum-failed:{err}")
+            return
+        for name, _exc in fails:
+            self._suspect(name, vnode_id)
+        merged = VersionedStore()
+        responses: dict[str, dict[str, list[ValueElement]]] = {}
+
+        def absorb(name: str, reply: dict) -> None:
+            rows = {k: unwire_elements(blob)
+                    for k, blob in reply["rows"].items()}
+            responses[name] = rows
+            for k in keys:
+                merged.merge_elements(k, rows.get(k, []))
+
+        for name, value in oks:
+            absorb(name, value)
+        if (len(responses) < len(calls)
+                and any(merged.read_latest(k) is None for k in keys)):
+            # Churn insurance, as in the single-key read: an apparent
+            # miss answered by the first R (empty) replies can hide a
+            # write living only on a replica that has not answered yet.
+            pending = [(name, ev) for name, ev in calls
+                       if name not in responses]
+            laggards = QuorumWait(self.sim, pending, len(pending),
+                                  cfg.request_timeout, fail_fast=False)
+            try:
+                yield from laggards.wait()
+            except (RpcTimeout, RpcError):
+                pass
+            for name, value in laggards.oks:
+                absorb(name, value)
+        responders = sorted(responses)
+        latest_by_key: dict[str, Optional[ValueElement]] = {}
+        rows_by_key: dict[str, list[tuple]] = {}
+        agree_by_key: dict[str, int] = {}
+        repair_rows: dict[str, dict[str, list[tuple]]] = {}
+        for k in keys:
+            latest = merged.read_latest(k)
+            merged_elements = merged.read_all(k)
+            latest_by_key[k] = latest
+            if merged_elements:
+                rows_by_key[k] = wire_elements(merged_elements)
+            agree = 0
+            for name in responders:
+                els = responses[name].get(k, [])
+                if latest is None:
+                    if not els:
+                        agree += 1
+                elif any(e.source == latest.source
+                         and e.timestamp == latest.timestamp for e in els):
+                    agree += 1
+                elif merged_elements:
+                    repair_rows.setdefault(name, {})[k] = rows_by_key[k]
+            agree_by_key[k] = agree
+            if mode == "all":
+                out[k] = {"status": "ok",
+                          "elements": rows_by_key.get(k, []),
+                          "responders": responders}
+            elif latest is None:
+                out[k] = {"status": "ok", "found": False,
+                          "responders": responders}
+            else:
+                out[k] = {"status": "ok", "found": True,
+                          "value": latest.value, "ts": latest.timestamp,
+                          "source": latest.source, "responders": responders}
+        # Batched read repair: one replica.install per stale replica
+        # carrying every key it lacked.
+        repaired_keys = {k for rows in repair_rows.values() for k in rows}
+        self.read_repairs += len(repaired_keys)
+        install_calls: dict[str, Event] = {}
+        for name in sorted(repair_rows):
+            install_calls[name] = self._replica_call(
+                name, "replica.install",
+                {"vnode": vnode_id, "rows": repair_rows[name]})
+        # R-equality per key: where fewer than R copies agree on the
+        # freshest, wait for enough repair acks before answering (the
+        # same rule as the single-key read; failure is per key).
+        deficient = [k for k in keys
+                     if latest_by_key[k] is not None
+                     and agree_by_key[k] < cfg.read_quorum]
+        repair_waits = []
+        for k in deficient:
+            kcalls = [(name, install_calls[name])
+                      for name in sorted(install_calls)
+                      if k in repair_rows[name]]
+            needed = min(cfg.read_quorum - agree_by_key[k], len(kcalls))
+            if needed <= 0:
+                continue
+            repair_waits.append((k, QuorumWait(self.sim, kcalls, needed,
+                                               cfg.request_timeout)))
+        for k, repair_wait in repair_waits:
+            try:
+                yield from repair_wait.wait()
+            except (RpcTimeout, RpcError) as err:
+                out[k] = {"status": "failure", "found": False,
+                          "error": f"read-repair-failed:{err}",
+                          "responders": responders}
+        self._post_quorum_watch(calls, vnode_id, set(responses))
+
+        # Laggards that answer after the quorum may still be stale:
+        # check against the merged snapshot and repair fire-and-forget,
+        # batched per replica.
+        def late_check(done_ev: Event, name: str) -> None:
+            if not done_ev.ok:
+                return
+            rows = done_ev.value["rows"]
+            lacking = {}
+            for k, latest in latest_by_key.items():
+                if latest is None or k not in rows_by_key:
+                    continue
+                els = unwire_elements(rows.get(k, []))
+                if not any(e.source == latest.source
+                           and e.timestamp == latest.timestamp
+                           for e in els):
+                    lacking[k] = rows_by_key[k]
+            if lacking:
+                self._replica_call(name, "replica.install",
+                                   {"vnode": vnode_id, "rows": lacking})
+
+        for name, ev in calls:
+            if name in responses:
+                continue
+            if ev.callbacks is None:
+                late_check(ev, name)
+            else:
+                ev.callbacks.append(
+                    lambda done_ev, _n=name: late_check(done_ev, _n))
+
+    def coordinate_multi_delete(self, args: Any):
+        """Batched quorum delete: one ``replica.mdelete`` per replica
+        per vnode-group, per-key statuses."""
+        self.coordinated_multi_deletes += 1
+        keys = list(dict.fromkeys(args["keys"]))
+        groups, replica_sets = yield from self._group_by_vnode(keys)
+        results: dict[str, Any] = {}
+        procs = [self.sim.process(
+            self._mdelete_group(vnode_id, groups[vnode_id],
+                                replica_sets[vnode_id], results),
+            name=f"mdelete-v{vnode_id}")
+            for vnode_id in sorted(groups)]
+        for proc in procs:
+            yield proc
+        return {"results": results}
+
+    def _mdelete_group(self, vnode_id: int, keys: list[str],
+                       replicas: list[str], out: dict, attempt: int = 0):
+        """One vnode-group of a batched delete; fills ``out`` per key."""
+        cfg = self.config
+        if len(replicas) < cfg.write_quorum:
+            if attempt == 0:
+                yield from self.cache.invalidate(vnode_id)
+                _v, fresh = self.cache.replicas_for_key(keys[0])
+                yield from self._mdelete_group(vnode_id, keys, fresh, out,
+                                               attempt=1)
+                return
+            for k in keys:
+                out[k] = {"status": "failure", "acks": []}
+            return
+        payload = {"vnode": vnode_id, "keys": list(keys)}
+        calls = [(r, self._replica_call(r, "replica.mdelete", payload))
+                 for r in replicas]
+        wait = QuorumWait(self.sim, calls, cfg.write_quorum,
+                          cfg.request_timeout)
+        try:
+            oks, fails = yield from wait.wait()
+        except (RpcTimeout, RpcError) as err:
+            self._post_quorum_watch(calls, vnode_id, set())
+            if attempt == 0:
+                yield from self.cache.invalidate(vnode_id)
+                _v, fresh = self.cache.replicas_for_key(keys[0])
+                yield from self._mdelete_group(vnode_id, keys, fresh, out,
+                                               attempt=1)
+                return
+            for k in keys:
+                out[k] = {"status": "failure", "acks": [],
+                          "error": f"delete-quorum-failed:{err}"}
+            return
+        for name, _exc in fails:
+            self._suspect(name, vnode_id)
+        self._post_quorum_watch(calls, vnode_id, {n for n, _v in oks})
+        acks = [name for name, _v in oks]
+        for k in keys:
+            out[k] = {"status": "ok", "acks": acks}

@@ -93,10 +93,16 @@ class SednaNode:
         r("sedna.write", self._h_write)
         r("sedna.read", self._h_read)
         r("sedna.delete", self._h_delete)
+        r("sedna.mwrite", self._h_mwrite)
+        r("sedna.mread", self._h_mread)
+        r("sedna.mdelete", self._h_mdelete)
         # Replica-to-replica API.
         r("replica.write", self._h_replica_write)
         r("replica.read", self._h_replica_read)
         r("replica.delete", self._h_replica_delete)
+        r("replica.mwrite", self._h_replica_mwrite)
+        r("replica.mread", self._h_replica_mread)
+        r("replica.mdelete", self._h_replica_mdelete)
         r("replica.transfer", self._h_replica_transfer)
         r("replica.install", self._h_replica_install)
         r("replica.repair", self._h_replica_repair)
@@ -417,6 +423,64 @@ class SednaNode:
             keys.discard(args["key"])
         return {"status": "ok"}
 
+    def _h_replica_mwrite(self, src: str, args: Any):
+        """Batched replica.write: one ownership check and one
+        persistence flush for the whole vnode-group, per-key outcomes.
+        """
+        vnode_id = args["vnode"]
+        if self.cache.loaded and not self._owns(vnode_id):
+            self.sim.process(self.cache.invalidate(vnode_id))
+            raise RpcRejected("not-owner")
+        entries = args["entries"]
+        self.replica_writes += len(entries)
+        self._status(vnode_id).writes += len(entries)
+        statuses = self.store.write_multi(
+            (e["key"], e["value"], e["ts"], e["source"], e["mode"])
+            for e in entries)
+        for e in entries:
+            key = e["key"]
+            self._index_key(key)
+            if statuses[key] == WriteOutcome.OK:
+                self.persistence.on_write(
+                    key, ValueElement(e["source"], e["ts"], e["value"]))
+        delay = self.persistence.write_delay()
+        if delay > 0.0:
+            ev = self.sim.event()
+            self.sim.schedule_callback(
+                delay, lambda: ev.succeed({"statuses": statuses}))
+            return ev
+        return {"statuses": statuses}
+
+    def _h_replica_mread(self, src: str, args: Any):
+        """Batched replica.read: one ownership/warming check, one
+        round-trip; keys with no row are absent from ``rows``."""
+        vnode_id = args["vnode"]
+        if self.cache.loaded and not self._owns(vnode_id):
+            self.sim.process(self.cache.invalidate(vnode_id))
+            raise RpcRejected("not-owner")
+        status = self.vnode_status.get(vnode_id)
+        if status is not None and status.warming:
+            raise RpcRejected("warming")
+        keys = args["keys"]
+        self.replica_reads += len(keys)
+        self._status(vnode_id).reads += len(keys)
+        rows = {key: wire_elements(elements)
+                for key, elements in self.store.read_multi(keys).items()
+                if elements}
+        return {"rows": rows}
+
+    def _h_replica_mdelete(self, src: str, args: Any):
+        """Batched replica.delete with per-key outcomes."""
+        vnode_id = args["vnode"]
+        keys = self.vnode_keys.get(vnode_id)
+        statuses = {}
+        for key in args["keys"]:
+            existed = self.store.delete(key)
+            if keys is not None:
+                keys.discard(key)
+            statuses[key] = "ok" if existed else "missing"
+        return {"statuses": statuses}
+
     def _h_replica_transfer(self, src: str, args: Any):
         """Ship every row of one vnode (re-duplication / rebalance)."""
         vnode_id = args["vnode"]
@@ -529,6 +593,18 @@ class SednaNode:
         return self._deferred(self.coordinator.coordinate_delete(args),
                               "coord-delete")
 
+    def _h_mwrite(self, src: str, args: Any) -> Event:
+        return self._deferred(self.coordinator.coordinate_multi_write(args),
+                              "coord-mwrite")
+
+    def _h_mread(self, src: str, args: Any) -> Event:
+        return self._deferred(self.coordinator.coordinate_multi_read(args),
+                              "coord-mread")
+
+    def _h_mdelete(self, src: str, args: Any) -> Event:
+        return self._deferred(self.coordinator.coordinate_multi_delete(args),
+                              "coord-mdelete")
+
     # ------------------------------------------------------------------
     # Lazy failure recovery (§III.C–D)
     # ------------------------------------------------------------------
@@ -579,19 +655,26 @@ class SednaNode:
             return
         counts = self.cache.ring.load_counts()
         candidates.sort(key=lambda n: (counts.get(n, 0), n))
+        # Rewriting a position shifts the successor chain of *every*
+        # vnode whose replica walk crosses it, not just this one's: a
+        # node can enter vnode Q's replica set because position P≠Q
+        # changed hands.  Snapshot all replica sets first, so each
+        # vnode's rows follow each of its new members — a member left
+        # empty here later satisfies read quorums with no data, which
+        # breaks R/W intersection for writes the old set acked.
+        before = {v: set(self.cache.ring.replicas_for(v,
+                                                      self.config.replicas))
+                  for v in range(self.config.num_vnodes)}
         for position in dead_positions:
             replacement = candidates[0]
             moved = yield from self._reassign(position, dead, replacement)
             if moved:
                 self.recoveries += 1
-        # Whoever newly entered *this vnode's* replica set needs this
-        # vnode's rows — not the rows of the reassigned position: when
-        # the dead node was a successor replica, the two differ.
-        new_replicas = self.cache.ring.replicas_for(vnode_id,
-                                                    self.config.replicas)
-        for member in new_replicas:
-            if member not in old_members:
-                yield from self._reduplicate(vnode_id, member)
+        for v in range(self.config.num_vnodes):
+            for member in self.cache.ring.replicas_for(
+                    v, self.config.replicas):
+                if member not in before[v]:
+                    yield from self._reduplicate(v, member)
 
     def _reassign(self, vnode_id: int, expected_owner: str,
                   replacement: str):
@@ -751,6 +834,10 @@ class SednaNode:
             "coordinated_writes": self.coordinated_writes,
             "coordinated_reads": self.coordinated_reads,
             "coordinated_deletes": self.coordinated_deletes,
+            "coordinated_multi_writes": self.coordinator.coordinated_multi_writes,
+            "coordinated_multi_reads": self.coordinator.coordinated_multi_reads,
+            "coordinated_multi_deletes": self.coordinator.coordinated_multi_deletes,
+            "coalesced_reads": self.coordinator.coalesced_reads,
             "replica_writes": self.replica_writes,
             "replica_reads": self.replica_reads,
             "investigations": self.investigations,

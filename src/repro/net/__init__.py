@@ -9,7 +9,8 @@ from .simulator import (AllOf, AnyOf, Event, Interrupt, Process,
                         SimulationError, Simulator, Timeout)
 from .latency import LanGigabit, LatencyModel, NoLatency, UniformLatency
 from .transport import Endpoint, Message, Network, estimate_size
-from .rpc import RpcError, RpcNode, RpcRejected, RpcTimeout, gather_quorum
+from .rpc import (QuorumWait, RpcError, RpcNode, RpcRejected, RpcTimeout,
+                  gather_quorum)
 from .failure import FailureInjector, MessageLoss, Partition
 from .tap import NetworkTap, TapRecord
 
@@ -18,7 +19,8 @@ __all__ = [
     "Simulator", "Timeout",
     "LanGigabit", "LatencyModel", "NoLatency", "UniformLatency",
     "Endpoint", "Message", "Network", "estimate_size",
-    "RpcError", "RpcNode", "RpcRejected", "RpcTimeout", "gather_quorum",
+    "QuorumWait", "RpcError", "RpcNode", "RpcRejected", "RpcTimeout",
+    "gather_quorum",
     "FailureInjector", "MessageLoss", "Partition",
     "NetworkTap", "TapRecord",
 ]

@@ -22,7 +22,8 @@ from typing import Any, Callable, Optional
 from .simulator import AnyOf, Event, Simulator
 from .transport import Message, Network
 
-__all__ = ["RpcError", "RpcTimeout", "RpcRejected", "RpcNode", "gather_quorum"]
+__all__ = ["RpcError", "RpcTimeout", "RpcRejected", "RpcNode", "QuorumWait",
+           "gather_quorum"]
 
 
 class RpcError(Exception):
@@ -75,6 +76,9 @@ class RpcNode:
         self._handlers: dict[str, Callable[[str, Any], Any]] = {}
         self._notify_handler: Optional[Callable[[str, Any], None]] = None
         self._pending: dict[int, Event] = {}
+        # Reverse map (event -> call id) so a timed-out call is forgotten
+        # in O(1) instead of scanning every pending call.
+        self._event_ids: dict[Event, int] = {}
         self._ids = itertools.count(1)
         # Stats
         self.calls_issued = 0
@@ -95,6 +99,8 @@ class RpcNode:
                 self._notify_handler(msg.src, msg.payload["body"])
         elif kind == _RESP:
             ev = self._pending.pop(msg.payload["id"], None)
+            if ev is not None:
+                self._event_ids.pop(ev, None)
             if ev is not None and not ev.triggered:
                 status = msg.payload["status"]
                 if status == "ok":
@@ -177,6 +183,7 @@ class RpcNode:
         # the kernel's unhandled-failure alarm.
         ev.callbacks.append(lambda _e: None)
         self._pending[call_id] = ev
+        self._event_ids[ev] = call_id
         self.calls_issued += 1
         self.endpoint.send(dst, {
             "kind": _REQ, "id": call_id, "method": method, "args": args,
@@ -198,11 +205,139 @@ class RpcNode:
             raise ev.value
         # Timed out: forget the pending call so a late reply is ignored.
         self.calls_timed_out += 1
-        for cid, pend in list(self._pending.items()):
-            if pend is ev:
-                del self._pending[cid]
+        call_id = self._event_ids.pop(ev, None)
+        if call_id is not None:
+            self._pending.pop(call_id, None)
         ev.callbacks = None  # defuse
         raise RpcTimeout(f"{method} to {dst} after {timeout}s")
+
+
+class QuorumWait:
+    """Callback-driven quorum fan-in: count completions, never rescan.
+
+    This is the primitive behind Sedna's R/W quorum fan-out: requests
+    are issued to all N replicas in parallel and the coordinator returns
+    as soon as the quorum is met (§III.C).  Each call's completion runs
+    one O(1) callback; the old pattern (re-scan every pending call and
+    allocate a fresh ``AnyOf`` tuple on every wakeup) cost O(pending)
+    per event on the hot path.
+
+    Parameters
+    ----------
+    calls:
+        ``[(name, event), ...]`` — the in-flight replica calls with
+        attribution (``name`` may be ``None`` for anonymous waits).
+    needed:
+        Successes required before :attr:`done` succeeds.
+    timeout:
+        Deadline in simulated seconds; :attr:`done` fails with
+        :class:`RpcTimeout` when it passes first.
+    fail_fast:
+        When True (default), :attr:`done` fails with :class:`RpcError`
+        as soon as too many calls failed for the quorum to ever be met.
+        When False, failures only count once every call has resolved —
+        the collect-the-laggards mode (gather as many late replies as
+        possible until the deadline).
+
+    Attributes
+    ----------
+    oks / fails:
+        ``[(name, value)]`` / ``[(name, exception)]`` as recorded up to
+        the instant the wait settled (late completions are not added).
+    done:
+        Event succeeding with ``(oks, fails)`` or failing with
+        :class:`RpcTimeout` / :class:`RpcError`.  Use :meth:`wait` from
+        a process.
+
+    The settle is deferred by one zero-delay callback so every reply
+    arriving at the *same simulated instant* as the deciding one is
+    still absorbed — a quorum met at t also reports the third ack that
+    landed at t, which keeps repair/ack accounting identical to a
+    coordinator that drains its mailbox before deciding.
+    """
+
+    __slots__ = ("sim", "needed", "fail_fast", "oks", "fails", "done",
+                 "_outstanding", "_settled", "_armed", "_pending_exc")
+
+    def __init__(self, sim: Simulator, calls, needed: int, timeout: float,
+                 fail_fast: bool = True):
+        self.sim = sim
+        self.needed = needed
+        self.fail_fast = fail_fast
+        self.oks: list[tuple[Any, Any]] = []
+        self.fails: list[tuple[Any, BaseException]] = []
+        self.done = sim.event()
+        # The wait is observable, never mandatory: a waiter that went
+        # away (coalesced follower, fire-and-forget repair) must not
+        # trip the kernel's unhandled-failure alarm.
+        self.done.callbacks.append(lambda _e: None)
+        self._settled = False
+        self._armed = False
+        self._pending_exc: Optional[RpcError] = None
+        calls = list(calls)
+        self._outstanding = len(calls)
+        for name, ev in calls:
+            if ev.callbacks is None:
+                self._on_reply(name, ev)
+            else:
+                ev.callbacks.append(
+                    lambda done_ev, _n=name: self._on_reply(_n, done_ev))
+        if not self._armed:
+            deadline = sim.timeout(timeout)
+            deadline.callbacks.append(self._on_deadline)
+
+    def _impossible(self) -> bool:
+        if self.fail_fast:
+            return len(self.oks) + self._outstanding < self.needed
+        return self._outstanding == 0 and len(self.oks) < self.needed
+
+    def _on_reply(self, name: Any, ev: Event) -> None:
+        if self._settled:
+            return
+        self._outstanding -= 1
+        if ev.ok:
+            self.oks.append((name, ev.value))
+            if len(self.oks) >= self.needed:
+                self._arm(None)
+        else:
+            self.fails.append((name, ev.value))
+            if self._impossible():
+                self._arm(RpcError(
+                    f"quorum unreachable: {len(self.oks)} ok, "
+                    f"{len(self.fails)} failed, needed {self.needed}"))
+
+    def _on_deadline(self, _ev: Event) -> None:
+        if not self._settled:
+            self._arm(RpcTimeout(
+                f"quorum {self.needed} not met; {len(self.oks)} ok so far"))
+
+    def _arm(self, exc: Optional[RpcError]) -> None:
+        """Schedule the settle one zero-delay callback out, so replies
+        landing at the same instant are still counted."""
+        if self._armed:
+            return
+        self._armed = True
+        self._pending_exc = exc
+        self.sim.schedule_callback(0.0, self._finalize)
+
+    def _finalize(self) -> None:
+        if self._settled:
+            return
+        self._settled = True
+        if len(self.oks) >= self.needed:
+            self.done.succeed((self.oks, self.fails))
+        else:
+            self.done.fail(self._pending_exc)
+
+    @property
+    def settled(self) -> bool:
+        """True once the wait reached an outcome."""
+        return self._settled
+
+    def wait(self):
+        """Process helper: ``oks, fails = yield from qw.wait()``."""
+        result = yield self.done
+        return result
 
 
 def gather_quorum(sim: Simulator, events: list[Event], needed: int,
@@ -215,32 +350,9 @@ def gather_quorum(sim: Simulator, events: list[Event], needed: int,
     first, and :class:`RpcError` when too many events failed for the
     quorum to ever be reached.
 
-    This is the primitive behind Sedna's R/W quorum fan-out: requests
-    are issued to all N replicas in parallel and the coordinator returns
-    as soon as the quorum is met (§III.C).
+    Thin anonymous wrapper over :class:`QuorumWait` (the attributed
+    form the quorum coordinator uses).
     """
-    deadline = sim.timeout(timeout)
-    successes: list[Any] = []
-    failures: list[BaseException] = []
-    pending = set(ev for ev in events)
-    while True:
-        for ev in list(pending):
-            if ev.triggered:
-                pending.discard(ev)
-                if ev.ok:
-                    successes.append(ev.value)
-                else:
-                    failures.append(ev.value)
-        if len(successes) >= needed:
-            return successes, failures
-        if len(successes) + len(pending) < needed:
-            raise RpcError(
-                f"quorum unreachable: {len(successes)} ok, "
-                f"{len(failures)} failed, needed {needed}")
-        if deadline.processed:
-            raise RpcTimeout(f"quorum {needed}/{len(events)} not met in time")
-        try:
-            yield AnyOf(sim, tuple(pending) + (deadline,))
-        except RpcError:
-            # A replica refused; loop re-scans and counts it as a failure.
-            pass
+    wait = QuorumWait(sim, [(None, ev) for ev in events], needed, timeout)
+    oks, fails = yield from wait.wait()
+    return [value for _n, value in oks], [exc for _n, exc in fails]

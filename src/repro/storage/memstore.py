@@ -234,6 +234,16 @@ class MemStore:
                 out[key] = value
         return out
 
+    # Protocol-facing name (memcached ``get k1 k2 ...`` retrieves many
+    # keys in one round-trip).
+    get_multi = get_many
+
+    def set_multi(self, pairs: dict[bytes, bytes], flags: int = 0,
+                  ttl: float = 0) -> dict[bytes, str]:
+        """Batch :meth:`set`: one result per key, applied in order."""
+        return {key: self.set(key, value, flags, ttl)
+                for key, value in pairs.items()}
+
     def delete(self, key: bytes) -> str:
         """Remove ``key``."""
         item = self._live(self.table.get(key))

@@ -149,6 +149,23 @@ class VersionedStore:
         self.writes_ok += 1
         return WriteOutcome.OK
 
+    def write_multi(self, entries) -> dict[str, str]:
+        """Apply a batch of writes in order; one outcome per key.
+
+        ``entries`` yields ``(key, value, timestamp, source, mode)``
+        tuples where ``mode`` is ``"latest"`` or ``"all"``.  The store
+        side of the batched replication round (``replica.mwrite``):
+        the whole group is applied under one handler dispatch.  With
+        duplicate keys the last entry's outcome wins.
+        """
+        out: dict[str, str] = {}
+        for key, value, timestamp, source, mode in entries:
+            if mode == "latest":
+                out[key] = self.write_latest(key, value, timestamp, source)
+            else:
+                out[key] = self.write_all(key, value, timestamp, source)
+        return out
+
     def delete(self, key: str) -> bool:
         """Remove a row entirely; True when it existed."""
         existed = self.rows.pop(key, None) is not None
@@ -167,6 +184,15 @@ class VersionedStore:
         self.reads += 1
         row = self.rows.get(key)
         return list(row.elements) if row is not None else []
+
+    def read_multi(self, keys) -> dict[str, list[ValueElement]]:
+        """Batch :meth:`read_all`; absent keys map to empty lists.
+
+        The store side of the batched quorum read
+        (``replica.mread``): one dict per group instead of one lookup
+        round per key.
+        """
+        return {key: self.read_all(key) for key in keys}
 
     def row(self, key: str) -> Optional[Row]:
         """The raw row (monitors/dirty included); None when absent."""

@@ -79,6 +79,15 @@ class ZkClient:
         self.session_timeout = self.config.session_timeout
         self.expired = False
         self._server_idx = 0
+        # Monotonic-read frontier: the newest (epoch, zxid) any read has
+        # observed.  Sent with every read so a member that lags behind
+        # it refuses to serve us (real ZooKeeper pins a session to its
+        # last-seen zxid on reconnect).  Without this, rotating to a
+        # lagging follower mid-refresh can un-happen state we already
+        # saw — e.g. a changelog child listed by one member vanishing
+        # on the next ``get``.
+        self.last_epoch = 0
+        self.last_zxid = 0
         self._watch_callbacks: dict[str, list[Callable[[dict], None]]] = {}
         self._ping_proc = None
         # Stats for the ZK-usage benches.
@@ -113,7 +122,8 @@ class ZkClient:
                 last = err
                 self._rotate()
             except RpcRejected as rej:
-                if rej.reason in ("no-leader", "leader-timeout", "not-leader"):
+                if rej.reason in ("no-leader", "leader-timeout", "not-leader",
+                                  "server-behind"):
                     last = rej
                     self._rotate()
                     yield self.sim.timeout(self.config.rpc_timeout)
@@ -230,11 +240,19 @@ class ZkClient:
         result = yield from self._write({"type": "multi", "ops": list(ops)})
         return result["results"]
 
+    def _advance_frontier(self, result: dict) -> None:
+        """Adopt the answering member's (epoch, zxid) if it is newer."""
+        seen = (result.get("epoch", 0), result.get("zxid", 0))
+        if seen > (self.last_epoch, self.last_zxid):
+            self.last_epoch, self.last_zxid = seen
+
     def get(self, path: str, watch: Optional[Callable[[dict], None]] = None):
         """(data, stat) with an optional one-shot data watch."""
         args = {"op": "get", "path": path, "watch": watch is not None,
-                "watcher": self.name}
+                "watcher": self.name, "epoch": self.last_epoch,
+                "zxid": self.last_zxid}
         result = yield from self._call("zk.read", args)
+        self._advance_frontier(result)
         if watch is not None:
             self._watch_callbacks.setdefault(path, []).append(watch)
         return result["data"], result["stat"]
@@ -242,8 +260,10 @@ class ZkClient:
     def exists(self, path: str, watch: Optional[Callable[[dict], None]] = None):
         """Stat dict or None, with an optional one-shot watch."""
         args = {"op": "exists", "path": path, "watch": watch is not None,
-                "watcher": self.name}
+                "watcher": self.name, "epoch": self.last_epoch,
+                "zxid": self.last_zxid}
         result = yield from self._call("zk.read", args)
+        self._advance_frontier(result)
         if watch is not None:
             self._watch_callbacks.setdefault(path, []).append(watch)
         return result["stat"]
@@ -252,8 +272,10 @@ class ZkClient:
                      watch: Optional[Callable[[dict], None]] = None):
         """Sorted child names, with an optional one-shot child watch."""
         args = {"op": "get_children", "path": path, "watch": watch is not None,
-                "watcher": self.name}
+                "watcher": self.name, "epoch": self.last_epoch,
+                "zxid": self.last_zxid}
         result = yield from self._call("zk.read", args)
+        self._advance_frontier(result)
         if watch is not None:
             self._watch_callbacks.setdefault(path, []).append(watch)
         return result["children"]

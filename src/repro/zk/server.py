@@ -236,28 +236,40 @@ class ZkServer:
                                     "session": args["session"]})
 
     def _h_read(self, src: str, args: Any):
-        """Serve get/exists/get_children locally; register watches."""
+        """Serve get/exists/get_children locally; register watches.
+
+        A client whose read frontier (epoch, zxid) is ahead of our
+        applied state is refused with ``server-behind`` — serving it
+        would un-happen data it already observed (the session-level
+        monotonic-read guarantee real ZooKeeper enforces on
+        reconnect).  The client rotates to a caught-up member.
+        """
+        if ((args.get("epoch", 0), args.get("zxid", 0))
+                > (self.epoch, self.applied_zxid)):
+            raise RpcRejected("server-behind")
         self.reads_served += 1
         op = args["op"]
         path = args["path"]
         watch = args.get("watch", False)
         watcher = args.get("watcher", src)
+        frontier = {"epoch": self.epoch, "zxid": self.applied_zxid}
         try:
             if op == "get":
                 data, stat = self.tree.get(path)
                 if watch:
                     self.watches.add_data(path, watcher)
-                return {"data": data, "stat": vars(stat).copy()}
+                return {"data": data, "stat": vars(stat).copy(), **frontier}
             if op == "exists":
                 stat = self.tree.exists(path)
                 if watch:
                     self.watches.add_data(path, watcher)
-                return {"stat": vars(stat).copy() if stat else None}
+                return {"stat": vars(stat).copy() if stat else None,
+                        **frontier}
             if op == "get_children":
                 children = self.tree.get_children(path)
                 if watch:
                     self.watches.add_child(path, watcher)
-                return {"children": children}
+                return {"children": children, **frontier}
         except ZkError as err:
             raise RpcRejected(f"{type(err).__name__}:{err}")
         raise RpcRejected(f"unknown-read-op:{op}")

@@ -20,7 +20,8 @@ class TestChaosSmoke:
         assert report.crashes >= 1
         assert {"partition", "heal"} <= report.schedule.kinds
         for kind in ("write_latest", "write_all", "read_latest",
-                     "read_all", "delete"):
+                     "read_all", "delete", "multi_write", "multi_read",
+                     "multi_delete"):
             assert report.op_counts.get(kind, 0) > 0, kind
         assert len(report.history) > 50
 

@@ -1,0 +1,89 @@
+"""Store-side batch primitives backing the replica.m* handlers.
+
+``VersionedStore.write_multi``/``read_multi`` serve ``replica.mwrite``
+and ``replica.mread``; ``MemStore.get_multi``/``set_multi`` are the
+cache-engine counterparts (memcached's multi-key round-trip).
+"""
+
+from repro.storage.memstore import MemStore, StoreResult
+from repro.storage.versioned import VersionedStore, WriteOutcome
+
+
+class TestVersionedWriteMulti:
+    def test_one_outcome_per_key(self):
+        store = VersionedStore()
+        statuses = store.write_multi([
+            ("a", "va", 1.0, "s1", "latest"),
+            ("b", "vb", 2.0, "s1", "latest"),
+        ])
+        assert statuses == {"a": WriteOutcome.OK, "b": WriteOutcome.OK}
+        assert store.read_latest("a").value == "va"
+        assert store.read_latest("b").value == "vb"
+
+    def test_outdated_entries_flagged_individually(self):
+        store = VersionedStore()
+        store.write_latest("a", "new", 5.0, "s1")
+        statuses = store.write_multi([
+            ("a", "stale", 1.0, "s1", "latest"),
+            ("b", "fresh", 1.0, "s1", "latest"),
+        ])
+        assert statuses["a"] == WriteOutcome.OUTDATED
+        assert statuses["b"] == WriteOutcome.OK
+        assert store.read_latest("a").value == "new"
+
+    def test_duplicate_key_last_entry_wins(self):
+        store = VersionedStore()
+        statuses = store.write_multi([
+            ("k", "first", 2.0, "s1", "latest"),
+            ("k", "stale", 1.0, "s1", "latest"),
+        ])
+        # Second entry is outdated against the first; its outcome is
+        # the one reported.
+        assert statuses["k"] == WriteOutcome.OUTDATED
+        assert store.read_latest("k").value == "first"
+
+    def test_mixed_modes_in_one_batch(self):
+        store = VersionedStore()
+        statuses = store.write_multi([
+            ("k", "x", 1.0, "src-a", "all"),
+            ("k", "y", 1.5, "src-b", "all"),
+        ])
+        assert statuses["k"] == WriteOutcome.OK
+        assert {e.source for e in store.read_all("k")} == {"src-a", "src-b"}
+
+
+class TestVersionedReadMulti:
+    def test_absent_keys_map_to_empty_lists(self):
+        store = VersionedStore()
+        store.write_latest("a", "va", 1.0, "s1")
+        rows = store.read_multi(["a", "missing"])
+        assert [e.value for e in rows["a"]] == ["va"]
+        assert rows["missing"] == []
+
+    def test_matches_per_key_read_all(self):
+        store = VersionedStore()
+        for i in range(5):
+            store.write_all(f"k{i}", f"v{i}", float(i), f"src{i}")
+        rows = store.read_multi([f"k{i}" for i in range(5)])
+        for i in range(5):
+            assert rows[f"k{i}"] == store.read_all(f"k{i}")
+
+
+class TestMemStoreBatch:
+    def test_get_multi_skips_misses(self):
+        store = MemStore()
+        store.set(b"a", b"1")
+        store.set(b"b", b"2")
+        assert store.get_multi([b"a", b"b", b"ghost"]) == {
+            b"a": b"1", b"b": b"2"}
+
+    def test_set_multi_one_result_per_key(self):
+        store = MemStore()
+        results = store.set_multi({b"a": b"1", b"b": b"2"})
+        assert results == {b"a": StoreResult.STORED,
+                           b"b": StoreResult.STORED}
+        assert store.get(b"a") == b"1"
+        assert store.get(b"b") == b"2"
+
+    def test_get_multi_is_protocol_alias_of_get_many(self):
+        assert MemStore.get_multi is MemStore.get_many
