@@ -1,0 +1,16 @@
+"""Repository-root pytest configuration.
+
+Makes ``src/`` importable without an installed package (tier-1 runs
+with ``PYTHONPATH=src``, but IDE/CI invocations may not) and loads the
+determinism-lint plugin so every session checks ``src/repro`` before
+tests run (docs/protocols.md §13).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+pytest_plugins = ("repro.analysis.pytest_plugin",)

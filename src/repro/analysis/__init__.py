@@ -1,0 +1,50 @@
+"""Determinism tooling for the simulation kernel.
+
+Every result in this reproduction — the quorum safety argument
+(R+W>N, W>N/2), the chaos invariants, the batch-throughput numbers —
+rests on the simulation being *deterministic*: same seed, same
+schedule, same history.  This package enforces that instead of hoping
+for it:
+
+* :mod:`repro.analysis.lint` — an AST-based static checker
+  (stdlib ``ast``, no dependencies) with eight rules targeting the
+  codebase's determinism invariants: no wall-clock reads, no unseeded
+  randomness, no builtin-``hash`` ordering, no bare-``set`` iteration
+  on fan-out paths, timeouts on every RPC, generator discipline for
+  processes and callbacks, no swallow-everything excepts.
+  Run as ``python -m repro.analysis.lint src``.
+
+* :mod:`repro.analysis.hazards` — an opt-in dynamic detector that
+  instruments the :class:`~repro.net.simulator.Simulator`, builds a
+  happens-before graph over event-trigger and process-resume edges,
+  logs same-timestep shared-state accesses, and flags *tie hazards*:
+  two events at identical ``(time, priority)`` whose relative order
+  changes observable state.  Enabled with ``ChaosRunner(...,
+  hazards=True)`` or ``python -m repro.chaos --hazards``.
+
+* :mod:`repro.analysis.pytest_plugin` — runs the lint automatically
+  at the start of every pytest session (tier-1 included), so a stray
+  ``time.time()`` fails the build before it flakes a replay.
+
+See docs/protocols.md §13 for the rule catalogue and the waiver
+syntax (``# repro: allow[rule-id]``).
+"""
+
+__all__ = ["LintReport", "Violation", "lint_paths",
+           "HazardDetector", "TieHazard"]
+
+_EXPORTS = {
+    "LintReport": "lint", "Violation": "lint", "lint_paths": "lint",
+    "HazardDetector": "hazards", "TieHazard": "hazards",
+}
+
+
+def __getattr__(name: str):
+    # Lazy so ``python -m repro.analysis.lint`` does not import the
+    # module twice (runpy warns when the package pre-imports it).
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(name)
+    import importlib
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, name)

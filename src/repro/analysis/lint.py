@@ -1,0 +1,569 @@
+"""Determinism lint: an AST checker for the simulation codebase.
+
+Stdlib-only (``ast`` + ``tokenize``), because the reproduction must
+not grow dependencies.  The rules are not generic style checks — each
+one encodes an invariant the deterministic kernel relies on, learned
+the hard way (PR 1 shipped a process-randomized ``hash()`` in gossip
+peer selection; PR 2's recovery bug was a tie-order artifact):
+
+``wall-clock``
+    No ``time.time``/``time.monotonic``/``time.perf_counter`` /
+    ``datetime.now`` inside sim code: simulated time is ``sim.now``.
+``unseeded-random``
+    No module-level ``random.*`` or ``uuid.uuid1/uuid4``: every RNG
+    must be a ``random.Random(seed)`` instance derived from the run
+    seed.
+``builtin-hash``
+    No builtin ``hash()``: str hashing is randomized per process
+    (PYTHONHASHSEED), so any order or choice derived from it differs
+    between otherwise identical runs.  Use ``zlib.crc32``.
+``set-iteration``
+    No iteration over bare ``set``s (fan-out loops, row shipping):
+    set order is hash order.  Iterate ``sorted(...)``.
+``rpc-timeout``
+    Every ``rpc.call(...)`` carries a timeout (4th positional or
+    ``timeout=``): a call that can block forever deadlocks the run
+    and hides dead replicas from suspicion.
+``process-not-generator``
+    ``sim.process(f(...))`` targets must be generator functions; a
+    plain function "runs" at registration time, silently out of
+    order.
+``callback-yields``
+    ``sim.schedule_callback(d, fn)`` targets must be plain callables:
+    a generator ``fn`` never executes, and a callback that re-enters
+    ``sim.run`` corrupts the loop.
+``naked-except``
+    No ``except``/``except Exception`` whose body is just ``pass``:
+    swallowing everything hides determinism bugs (and kernel
+    misuse) on coordinate paths.
+
+Waive a finding with a ``# repro: allow[rule-id]`` comment on the
+flagged line or the line directly above it (``allow[*]`` waives all
+rules for that line); add a reason after ``--``.
+
+CLI::
+
+    python -m repro.analysis.lint src [--format text|json]
+
+Exit status is the number of unwaived violations (0 = clean).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+__all__ = ["RULES", "Violation", "LintReport", "lint_source",
+           "lint_file", "lint_paths", "main"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: rule-id -> one-line description (the catalogue; docs/protocols.md §13).
+RULES: dict[str, str] = {
+    "wall-clock":
+        "wall-clock read in sim code; use sim.now",
+    "unseeded-random":
+        "process-global randomness; use a seeded random.Random instance",
+    "builtin-hash":
+        "builtin hash() is randomized per process; use zlib.crc32",
+    "set-iteration":
+        "iteration over a bare set is hash-ordered; wrap in sorted()",
+    "rpc-timeout":
+        "rpc call without an explicit timeout",
+    "process-not-generator":
+        "sim.process target is not a generator function",
+    "callback-yields":
+        "schedule_callback target yields or re-enters sim.run",
+    "naked-except":
+        "except clause swallows everything with a bare pass",
+}
+
+_WAIVER_RE = re.compile(r"#\s*repro:\s*allow\[([\w*-]+(?:\s*,\s*[\w*-]+)*)\]")
+
+_WALL_CLOCK_SUFFIXES = (
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+)
+
+_GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "getrandbits", "gauss", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "normalvariate",
+    "lognormvariate", "paretovariate", "weibullvariate", "seed",
+    "randbytes",
+})
+
+_UUID_FNS = frozenset({"uuid1", "uuid4"})
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    waived: bool = False
+
+    def render(self) -> str:
+        tag = " (waived)" if self.waived else ""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] " \
+               f"{self.message}{tag}"
+
+
+@dataclass
+class LintReport:
+    """All violations of one run, waived findings included."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> list[Violation]:
+        """Violations that were not waived inline."""
+        return [v for v in self.violations if not v.waived]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+    def render(self) -> str:
+        lines = [v.render() for v in self.violations]
+        lines.append(f"{self.files_checked} file(s) checked, "
+                     f"{len(self.active)} violation(s)"
+                     f" ({len(self.violations) - len(self.active)} waived)")
+        return "\n".join(lines)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_generator_fn(fn: FunctionNode) -> bool:
+    """True when ``fn``'s own body (nested defs excluded) yields."""
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)) and node is not fn:
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            # ast.walk descends into nested defs; re-check ownership.
+            if _owning_function(fn, node) is fn:
+                return True
+    return False
+
+
+def _owning_function(root: FunctionNode,
+                     target: ast.AST) -> Optional[ast.AST]:
+    """The innermost def/lambda of ``root`` containing ``target``."""
+    owner: Optional[ast.AST] = None
+
+    def visit(node: ast.AST, current: Optional[ast.AST]) -> None:
+        nonlocal owner
+        if node is target:
+            owner = current
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            current = node
+        for child in ast.iter_child_nodes(node):
+            visit(child, current)
+
+    visit(root, root)
+    return owner
+
+
+class _Scope:
+    """Per-function tracking of names bound to set-valued expressions."""
+
+    __slots__ = ("set_names",)
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+
+
+class _Checker(ast.NodeVisitor):
+    """One file's worth of rule evaluation."""
+
+    def __init__(self, path: str, tree: ast.Module, source: str):
+        self.path = path
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.violations: list[Violation] = []
+        # Name -> def for module-level and nested functions in scope.
+        self._functions: dict[str, FunctionNode] = {}
+        # Class methods, per enclosing class: name -> def.
+        self._methods: list[dict[str, FunctionNode]] = []
+        # Attribute names assigned set-valued expressions (``self.x =
+        # set()``), per enclosing class.
+        self._set_attrs: list[set[str]] = []
+        self._scopes: list[_Scope] = []
+        self._collect()
+
+    # -- context collection ------------------------------------------------
+    def _collect(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._functions[node.name] = node
+
+    def _class_context(self, cls: ast.ClassDef) -> tuple[
+            dict[str, FunctionNode], set[str]]:
+        methods: dict[str, FunctionNode] = {}
+        set_attrs: set[str] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.setdefault(node.name, node)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    attr = self._self_attr(target)
+                    if attr and self._is_set_expr(node.value, None):
+                        set_attrs.add(attr)
+            elif isinstance(node, ast.AnnAssign):
+                attr = self._self_attr(node.target)
+                if attr and self._is_set_annotation(node.annotation):
+                    set_attrs.add(attr)
+        return methods, set_attrs
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> Optional[str]:
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return node.attr
+        return None
+
+    @staticmethod
+    def _is_set_annotation(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in ("set", "frozenset", "Set", "FrozenSet",
+                              "MutableSet")
+        if isinstance(node, ast.Subscript):
+            return _Checker._is_set_annotation(node.value)
+        if isinstance(node, ast.Attribute):
+            return node.attr in ("Set", "FrozenSet", "MutableSet")
+        return False
+
+    # -- reporting ---------------------------------------------------------
+    def _waived(self, rule: str, line: int) -> bool:
+        for lineno in (line, line - 1):
+            if 1 <= lineno <= len(self.lines):
+                match = _WAIVER_RE.search(self.lines[lineno - 1])
+                if match:
+                    allowed = {part.strip()
+                               for part in match.group(1).split(",")}
+                    if rule in allowed or "*" in allowed:
+                        return True
+        return False
+
+    def _flag(self, rule: str, node: ast.AST, detail: str = "") -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        message = RULES[rule] + (f": {detail}" if detail else "")
+        self.violations.append(Violation(
+            rule=rule, path=self.path, line=line, col=col,
+            message=message, waived=self._waived(rule, line)))
+
+    # -- scope plumbing ----------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods, set_attrs = self._class_context(node)
+        self._methods.append(methods)
+        self._set_attrs.append(set_attrs)
+        self.generic_visit(node)
+        self._methods.pop()
+        self._set_attrs.pop()
+
+    def _visit_function(self, node: FunctionNode) -> None:
+        for name, child in ((n.name, n) for n in node.body
+                            if isinstance(n, (ast.FunctionDef,
+                                              ast.AsyncFunctionDef))):
+            self._functions.setdefault(name, child)
+        self._scopes.append(_Scope())
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- set-ness inference ------------------------------------------------
+    def _is_set_expr(self, node: ast.AST,
+                     scope: Optional[_Scope]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                    "set", "frozenset"):
+                return True
+            # ``mapping.get(key, set())``: the default documents the
+            # value type, so the returned object is a set either way.
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "get"
+                    and len(node.args) == 2
+                    and self._is_set_expr(node.args[1], scope)):
+                return True
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("union", "intersection",
+                                           "difference",
+                                           "symmetric_difference")
+                    and self._is_set_expr(node.func.value, scope)):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return (self._is_set_expr(node.left, scope)
+                    or self._is_set_expr(node.right, scope))
+        if isinstance(node, ast.Name) and scope is not None:
+            return node.id in scope.set_names
+        attr = self._self_attr(node)
+        if attr is not None and self._set_attrs:
+            return attr in self._set_attrs[-1]
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._scopes:
+            scope = self._scopes[-1]
+            is_set = self._is_set_expr(node.value, scope)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if is_set:
+                        scope.set_names.add(target.id)
+                    else:
+                        scope.set_names.discard(target.id)
+        self.generic_visit(node)
+
+    # -- the rules ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_wall_clock(node)
+        self._check_unseeded_random(node)
+        self._check_builtin_hash(node)
+        self._check_rpc_timeout(node)
+        self._check_process_target(node)
+        self._check_callback_target(node)
+        self._check_set_consumer(node)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        for suffix in _WALL_CLOCK_SUFFIXES:
+            if dotted == suffix or dotted.endswith("." + suffix):
+                self._flag("wall-clock", node, dotted)
+                return
+
+    def _check_unseeded_random(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        if dotted.startswith("random.") and \
+                dotted.split(".", 1)[1] in _GLOBAL_RANDOM_FNS:
+            self._flag("unseeded-random", node, dotted)
+        elif dotted.startswith("uuid.") and \
+                dotted.split(".", 1)[1] in _UUID_FNS:
+            self._flag("unseeded-random", node, dotted)
+
+    def _check_builtin_hash(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            self._flag("builtin-hash", node)
+
+    def _check_rpc_timeout(self, node: ast.Call) -> None:
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "call"):
+            return
+        dotted = _dotted(node.func.value)
+        if dotted is None or "rpc" not in dotted.split("."):
+            return
+        if len(node.args) >= 4:
+            return
+        if any(kw.arg == "timeout" for kw in node.keywords):
+            return
+        self._flag("rpc-timeout", node, f"{dotted}.call")
+
+    def _resolve_callable(self,
+                          node: ast.AST) -> Optional[FunctionNode]:
+        """A same-file def for ``node`` (Name or ``self.method``)."""
+        if isinstance(node, ast.Name):
+            return self._functions.get(node.id)
+        attr = self._self_attr(node)
+        if attr is not None and self._methods:
+            return self._methods[-1].get(attr)
+        return None
+
+    def _check_process_target(self, node: ast.Call) -> None:
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "process" and node.args):
+            return
+        dotted = _dotted(node.func.value)
+        if dotted is None or "sim" not in dotted.split("."):
+            return
+        target = node.args[0]
+        if not isinstance(target, ast.Call):
+            return
+        fn = self._resolve_callable(target.func)
+        if fn is not None and not _is_generator_fn(fn):
+            self._flag("process-not-generator", node,
+                       f"{fn.name}() never yields")
+
+    def _check_callback_target(self, node: ast.Call) -> None:
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "schedule_callback"):
+            return
+        target: Optional[ast.AST] = None
+        if len(node.args) >= 2:
+            target = node.args[1]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "fn":
+                    target = kw.value
+        if target is None:
+            return
+        fn = self._resolve_callable(target)
+        if fn is None:
+            return
+        if _is_generator_fn(fn):
+            self._flag("callback-yields", node,
+                       f"{fn.name}() is a generator; it will never run")
+            return
+        for inner in ast.walk(fn):
+            if isinstance(inner, ast.Call):
+                dotted = _dotted(inner.func)
+                if dotted is not None and dotted.endswith("sim.run"):
+                    self._flag("callback-yields", node,
+                               f"{fn.name}() re-enters sim.run")
+                    return
+
+    def _check_set_consumer(self, node: ast.Call) -> None:
+        """``list(s)`` / ``tuple(s)`` over a set is ordered consumption."""
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and len(node.args) == 1
+                and self._is_set_expr(node.args[0],
+                                      self._scopes[-1]
+                                      if self._scopes else None)):
+            self._flag("set-iteration", node,
+                       f"{node.func.id}() over a set")
+
+    def _check_iteration(self, iter_node: ast.AST,
+                         where: ast.AST) -> None:
+        scope = self._scopes[-1] if self._scopes else None
+        if self._is_set_expr(iter_node, scope):
+            self._flag("set-iteration", where)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for comp in getattr(node, "generators", ()):
+            self._check_iteration(comp.iter, node)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set *from* a set is order-free; only check nested
+        # non-set consumption inside the comprehension body.
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._swallows_everything(node.type) and \
+                len(node.body) == 1 and isinstance(node.body[0], ast.Pass):
+            self._flag("naked-except", node)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _swallows_everything(type_node: Optional[ast.AST]) -> bool:
+        if type_node is None:
+            return True
+        names: Iterable[ast.AST]
+        if isinstance(type_node, ast.Tuple):
+            names = type_node.elts
+        else:
+            names = (type_node,)
+        for name in names:
+            dotted = _dotted(name)
+            if dotted in ("Exception", "BaseException"):
+                return True
+        return False
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Violation]:
+    """Lint one source string; returns every violation (waived too)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [Violation(rule="parse-error", path=path,
+                          line=err.lineno or 0, col=err.offset or 0,
+                          message=f"unparseable file: {err.msg}")]
+    checker = _Checker(path, tree, source)
+    checker.visit(tree)
+    return sorted(checker.violations,
+                  key=lambda v: (v.path, v.line, v.col, v.rule))
+
+
+def lint_file(path: Path) -> list[Violation]:
+    """Lint one file."""
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def _iter_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Sequence[Union[str, Path]]) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (dirs recurse)."""
+    report = LintReport()
+    for file_path in _iter_files(paths):
+        report.files_checked += 1
+        report.violations.extend(lint_file(file_path))
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Determinism lint for the simulation codebase.")
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to check")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--show-waived", action="store_true",
+                        help="list waived findings too")
+    args = parser.parse_args(argv)
+    report = lint_paths(args.paths)
+    shown = report.violations if args.show_waived else report.active
+    if args.format == "json":
+        print(json.dumps([v.__dict__ for v in shown], indent=2))
+    else:
+        for violation in shown:
+            print(violation.render())
+        print(f"{report.files_checked} file(s) checked, "
+              f"{len(report.active)} violation(s), "
+              f"{len(report.violations) - len(report.active)} waived")
+    return min(len(report.active), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

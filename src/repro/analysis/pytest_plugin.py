@@ -1,0 +1,85 @@
+"""Pytest plugin: run the determinism lint on every test session.
+
+Loaded from the repository's root ``conftest.py`` via
+``pytest_plugins``, so tier-1 (``python -m pytest -x -q``) fails fast
+when sim code grows a wall-clock read, an unseeded RNG or a bare-set
+fan-out — before the flake it would cause ever reaches a chaos replay.
+
+Options
+-------
+``--no-repro-lint``
+    Skip the session lint (e.g. while iterating on a known-dirty
+    tree).
+``--repro-lint-paths``
+    Comma-separated roots to lint; defaults to the installed
+    ``repro`` package source.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import pytest
+
+from .lint import LintReport, lint_paths
+
+
+def _default_paths() -> list[str]:
+    import repro
+    pkg_file = getattr(repro, "__file__", None)
+    if pkg_file is None:  # pragma: no cover - namespace-package edge
+        return []
+    return [str(Path(pkg_file).parent)]
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    group = parser.getgroup("repro-analysis")
+    group.addoption("--no-repro-lint", action="store_true",
+                    default=False,
+                    help="skip the determinism lint at session start")
+    group.addoption("--repro-lint-paths", default="",
+                    help="comma-separated paths to lint instead of "
+                         "the repro package")
+
+
+class _LintSession:
+    """Holds the session's lint result for the terminal summary."""
+
+    def __init__(self) -> None:
+        self.report: Optional[LintReport] = None
+
+
+_STATE = _LintSession()
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if config.getoption("--no-repro-lint"):
+        return
+    # Workers of xdist-style runs or nested sessions: lint once.
+    if getattr(config, "workerinput", None) is not None:
+        return
+    raw = config.getoption("--repro-lint-paths")
+    paths = ([p for p in raw.split(",") if p] if raw
+             else _default_paths())
+    if not paths:
+        return
+    report = lint_paths(paths)
+    _STATE.report = report
+    if not report.ok:
+        lines = [v.render() for v in report.active]
+        raise pytest.UsageError(
+            "determinism lint failed "
+            f"({len(report.active)} violation(s); see "
+            "docs/protocols.md §13, waive with '# repro: "
+            "allow[rule-id]'):\n" + "\n".join(lines))
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    report = _STATE.report
+    if report is None:
+        return
+    waived = len(report.violations) - len(report.active)
+    terminalreporter.write_line(
+        f"repro determinism lint: {report.files_checked} file(s) "
+        f"clean, {waived} waived finding(s)")

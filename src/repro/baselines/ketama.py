@@ -87,7 +87,7 @@ class KetamaRing:
 
     def distribution(self, keys: Iterable[bytes]) -> dict[str, int]:
         """Key counts per server (balance diagnostics)."""
-        counts: dict[str, int] = {s: 0 for s in self._servers}
+        counts: dict[str, int] = {s: 0 for s in sorted(self._servers)}
         for key in keys:
             counts[self.node_for(key)] += 1
         return counts

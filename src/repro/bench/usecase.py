@@ -127,7 +127,7 @@ class MicroblogSearchEngine:
             def action(self, key, values, result):
                 for blob in values:
                     tweet = Tweet.decode(key.key, blob)
-                    for term in set(tweet.text.split()):
+                    for term in sorted(set(tweet.text.split())):
                         plist = self.postings.setdefault(term, [])
                         if tweet.tweet_id not in plist:
                             plist.append(tweet.tweet_id)

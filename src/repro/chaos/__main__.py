@@ -1,0 +1,71 @@
+"""CLI for one-off chaos runs.
+
+Examples::
+
+    python -m repro.chaos --seed 7 --profile mixed
+    python -m repro.chaos --seed 7 --hazards        # tie-hazard scan
+    python -m repro.chaos --seeds 0-9 --hazards     # sweep
+
+Exit status: 0 when every run held all invariants (and, with
+``--hazards``, surfaced no tie hazard), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .runner import ChaosRunner
+from .schedule import PROFILES
+
+
+def _parse_seeds(spec: str) -> list[int]:
+    seeds: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if "-" in part[1:]:
+            lo, hi = part.split("-", 1)
+            seeds.extend(range(int(lo), int(hi) + 1))
+        else:
+            seeds.append(int(part))
+    return seeds
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Run seeded chaos experiments against the "
+                    "simulated Sedna cluster.")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="single seed to run (default 1)")
+    parser.add_argument("--seeds", type=str, default=None,
+                        help="comma/range list, e.g. '0-9' or '1,4,7'; "
+                             "overrides --seed")
+    parser.add_argument("--profile", choices=sorted(PROFILES),
+                        default="mixed")
+    parser.add_argument("--duration", type=float, default=8.0,
+                        help="simulated seconds of faulted workload")
+    parser.add_argument("--nodes", type=int, default=6)
+    parser.add_argument("--hazards", action="store_true",
+                        help="attach the tie-hazard detector "
+                             "(repro.analysis.hazards) to the run")
+    args = parser.parse_args(argv)
+
+    seeds = _parse_seeds(args.seeds) if args.seeds else [args.seed]
+    failed = 0
+    for seed in seeds:
+        report = ChaosRunner(seed=seed, profile=args.profile,
+                             duration=args.duration,
+                             n_nodes=args.nodes,
+                             hazards=args.hazards).run()
+        print(report.describe())
+        if not report.ok or report.hazards:
+            failed += 1
+    if len(seeds) > 1:
+        print(f"{len(seeds) - failed}/{len(seeds)} runs clean")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,11 @@ class ChaosReport:
     crashes: int = 0
     restarts: int = 0
     op_counts: dict = field(default_factory=dict)
+    # Tie hazards found by the opt-in detector (hazards=True); empty
+    # both when clean and when detection was off — check
+    # ``hazard_report`` for whether it ran.
+    hazards: list = field(default_factory=list)
+    hazard_report: str = ""
 
     @property
     def ok(self) -> bool:
@@ -84,6 +89,8 @@ class ChaosReport:
             lines.extend(f"    {a}" for a in self.anomalies)
         else:
             lines.append("  all invariants held")
+        if self.hazard_report:
+            lines.append("  " + self.hazard_report.replace("\n", "\n  "))
         return "\n".join(lines)
 
 
@@ -120,7 +127,8 @@ class ChaosRunner:
                  n_del_keys: int = 3,
                  max_down: int = 2,
                  config: Optional[SednaConfig] = None,
-                 zk_config: Optional[ZkConfig] = None):
+                 zk_config: Optional[ZkConfig] = None,
+                 hazards: bool = False):
         self.seed = seed
         self.profile = profile
         self.duration = duration
@@ -135,6 +143,8 @@ class ChaosRunner:
             num_vnodes=num_vnodes)
         self.zk_config = zk_config if zk_config is not None else ZkConfig(
             session_timeout=1.0)
+        self.hazards = hazards
+        self.hazard_detector = None
         self.history = History()
         self.cluster: Optional[SednaCluster] = None
         self.clients: list = []
@@ -150,8 +160,16 @@ class ChaosRunner:
         self.cluster = SednaCluster(
             n_nodes=self.n_nodes, zk_size=self.zk_size, seed=self.seed,
             config=self.config, zk_config=self.zk_config)
-        self.cluster.start()
         sim = self.cluster.sim
+        if self.hazards:
+            # Local import: repro.analysis depends on repro.net only,
+            # and plain chaos runs must not pay the tracer.
+            from ..analysis.hazards import HazardDetector
+            self.hazard_detector = HazardDetector().attach(sim)
+            for name in sorted(self.cluster.nodes):
+                node = self.cluster.nodes[name]
+                self.hazard_detector.track_store(name, node.store)
+        self.cluster.start()
         tap = NetworkTap(self.cluster.network, on_record=self.history.tally,
                          keep_records=False)
         # Production maintenance, minus the rebalancer: the assignment
@@ -184,12 +202,19 @@ class ChaosRunner:
         state = self._collect()
         anomalies = check_all(self.history, state)
         tap.detach()
+        hazards: list = []
+        hazard_report = ""
+        if self.hazard_detector is not None:
+            self.hazard_detector.detach()
+            hazards = list(self.hazard_detector.hazards)
+            hazard_report = self.hazard_detector.report()
         return ChaosReport(seed=self.seed, profile=self.profile,
                            schedule=schedule, history=self.history,
                            anomalies=anomalies, state=state,
                            end_time=sim.now, crashes=self._crashes,
                            restarts=self._restarts,
-                           op_counts=dict(sorted(self._op_counts.items())))
+                           op_counts=dict(sorted(self._op_counts.items())),
+                           hazards=hazards, hazard_report=hazard_report)
 
     # -- fault execution --------------------------------------------------
     def _execute(self, schedule: Schedule, t0: float):
@@ -470,6 +495,11 @@ class ChaosRunner:
         while True:
             try:
                 yield from node.restart()
+                if self.hazard_detector is not None:
+                    # restart() built a fresh store; wrapping is per
+                    # instance, so re-track the new one.
+                    self.hazard_detector.track_store(node.name,
+                                                     node.store)
                 return
             except (RpcTimeout, RpcRejected):
                 node.crash()

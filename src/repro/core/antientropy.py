@@ -36,8 +36,7 @@ def digest_diff(mine: dict, theirs: dict) -> tuple[list[str], list[str]]:
     """
     pull: list[str] = []
     push: list[str] = []
-    keys = set(mine) | set(theirs)
-    for key in keys:
+    for key in sorted(set(mine) | set(theirs)):
         my_versions = {src: ts for src, ts in mine.get(key, [])}
         their_versions = {src: ts for src, ts in theirs.get(key, [])}
         if any(ts > my_versions.get(src, float("-inf"))

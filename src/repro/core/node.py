@@ -484,9 +484,10 @@ class SednaNode:
     def _h_replica_transfer(self, src: str, args: Any):
         """Ship every row of one vnode (re-duplication / rebalance)."""
         vnode_id = args["vnode"]
-        keys = self.vnode_keys.get(vnode_id, set())
         rows = {}
-        for key in keys:
+        # sorted(): set order is hash order, and the row dict's order
+        # is wire-visible (replay identity across PYTHONHASHSEEDs).
+        for key in sorted(self.vnode_keys.get(vnode_id, set())):
             elements = self.store.read_all(key)
             if elements:
                 rows[key] = wire_elements(elements)
@@ -511,7 +512,7 @@ class SednaNode:
         whole vnodes, so a quiet cluster syncs for metadata cost only.
         """
         digest: dict[str, list[tuple]] = {}
-        for key in self.vnode_keys.get(vnode_id, set()):
+        for key in sorted(self.vnode_keys.get(vnode_id, set())):
             elements = self.store.read_all(key)
             if elements:
                 digest[key] = sorted((e.source, e.timestamp)
@@ -712,7 +713,7 @@ class SednaNode:
         keys = self.vnode_keys.get(vnode_id, set())
         if keys:
             rows = {}
-            for key in keys:
+            for key in sorted(keys):
                 elements = self.store.read_all(key)
                 if elements:
                     rows[key] = wire_elements(elements)

@@ -14,7 +14,7 @@ All randomness is seeded, so failure schedules replay identically.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 from .transport import Network
 
@@ -29,14 +29,14 @@ class Partition:
     """
 
     def __init__(self, network: Network, group_a: Iterable[str],
-                 group_b: Iterable[str]):
+                 group_b: Iterable[str]) -> None:
         self.network = network
         self.group_a = frozenset(group_a)
         self.group_b = frozenset(group_b)
         self._active = True
         network.add_filter(self._filter)
 
-    def _filter(self, src: str, dst: str, payload) -> bool:
+    def _filter(self, src: str, dst: str, payload: Any) -> bool:
         if not self._active:
             return True
         crosses = ((src in self.group_a and dst in self.group_b)
@@ -63,7 +63,7 @@ class MessageLoss:
     """
 
     def __init__(self, network: Network, rate: float, seed: int = 0,
-                 scope: Optional[Iterable[str]] = None):
+                 scope: Optional[Iterable[str]] = None) -> None:
         if not 0.0 <= rate <= 1.0:
             raise ValueError("loss rate must be within [0, 1]")
         self.network = network
@@ -73,7 +73,7 @@ class MessageLoss:
         self.dropped = 0
         network.add_filter(self._filter)
 
-    def _filter(self, src: str, dst: str, payload) -> bool:
+    def _filter(self, src: str, dst: str, payload: Any) -> bool:
         if self.scope is not None and src not in self.scope and dst not in self.scope:
             return True
         if self._rng.random() < self.rate:
@@ -89,7 +89,7 @@ class MessageLoss:
 class FailureInjector:
     """Convenience facade bundling crash, partition and loss controls."""
 
-    def __init__(self, network: Network):
+    def __init__(self, network: Network) -> None:
         self.network = network
         self.partitions: list[Partition] = []
 

@@ -47,7 +47,7 @@ class LatencyModel:
     seed: int = 0
     _rng: random.Random = field(init=False, repr=False, compare=False, default=None)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
 
     def delay(self, size_bytes: int) -> float:

@@ -17,7 +17,7 @@ Handlers may answer synchronously (return a value), raise
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional
 
 from .simulator import AnyOf, Event, Simulator
 from .transport import Message, Network
@@ -41,7 +41,7 @@ class RpcRejected(RpcError):
     after a rebalance moved a virtual node away.
     """
 
-    def __init__(self, reason: str = ""):
+    def __init__(self, reason: str = "") -> None:
         super().__init__(reason)
         self.reason = reason
 
@@ -65,7 +65,8 @@ class RpcNode:
         modelling request decode/dispatch (paper testbed calibration).
     """
 
-    def __init__(self, network: Network, name: str, service_time: float = 0.0):
+    def __init__(self, network: Network, name: str,
+                 service_time: float = 0.0) -> None:
         self.network = network
         self.sim: Simulator = network.sim
         self.name = name
@@ -190,7 +191,8 @@ class RpcNode:
         })
         return ev
 
-    def call(self, dst: str, method: str, args: Any, timeout: float):
+    def call(self, dst: str, method: str, args: Any,
+             timeout: float) -> Generator[Event, Any, Any]:
         """Process helper: ``result = yield from node.call(...)``.
 
         Raises :class:`RpcTimeout` when no response arrives in
@@ -259,8 +261,9 @@ class QuorumWait:
     __slots__ = ("sim", "needed", "fail_fast", "oks", "fails", "done",
                  "_outstanding", "_settled", "_armed", "_pending_exc")
 
-    def __init__(self, sim: Simulator, calls, needed: int, timeout: float,
-                 fail_fast: bool = True):
+    def __init__(self, sim: Simulator, calls: Iterable[Event],
+                 needed: int, timeout: float,
+                 fail_fast: bool = True) -> None:
         self.sim = sim
         self.needed = needed
         self.fail_fast = fail_fast
@@ -334,14 +337,14 @@ class QuorumWait:
         """True once the wait reached an outcome."""
         return self._settled
 
-    def wait(self):
+    def wait(self) -> Generator[Event, Any, Any]:
         """Process helper: ``oks, fails = yield from qw.wait()``."""
         result = yield self.done
         return result
 
 
 def gather_quorum(sim: Simulator, events: list[Event], needed: int,
-                  timeout: float):
+                  timeout: float) -> Generator[Event, Any, Any]:
     """Process helper: wait until ``needed`` of ``events`` succeed.
 
     Returns ``(successes, failures)`` where successes is a list of

@@ -53,7 +53,7 @@ class Interrupt(Exception):
     The ``cause`` attribute carries the value passed to ``interrupt``.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -74,7 +74,7 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_scheduled")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = None
@@ -140,7 +140,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         super().__init__(sim)
@@ -157,7 +157,7 @@ class _Initialize(Event):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", process: "Process"):
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
         super().__init__(sim)
         self._ok = True
         self._value = None
@@ -175,7 +175,7 @@ class Process(Event):
 
     __slots__ = ("_generator", "_target", "name")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
         super().__init__(sim)
         self._generator = generator
         self._target: Optional[Event] = None
@@ -260,7 +260,7 @@ class _Condition(Event):
 
     __slots__ = ("events", "_count")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events = tuple(events)
         for ev in self.events:
@@ -341,11 +341,15 @@ class Simulator:
         assert sim.now == 1.0 and proc.value == "done"
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: list = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        # Opt-in observation hook (repro.analysis.hazards).  When set,
+        # the kernel reports every schedule and step; the plain path
+        # pays one ``is None`` check per operation.
+        self.tracer: Optional[Any] = None
 
     # -- factories ----------------------------------------------------------
     def event(self) -> Event:
@@ -375,6 +379,8 @@ class Simulator:
         event._scheduled = True
         heapq.heappush(self._queue,
                        (self.now + delay, priority, next(self._seq), event))
+        if self.tracer is not None:
+            self.tracer.on_schedule(event, priority, self.now + delay)
 
     def schedule_callback(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run ``fn()`` after ``delay`` without spawning a process."""
@@ -388,12 +394,24 @@ class Simulator:
         when, _prio, _seq, event = heapq.heappop(self._queue)
         self.now = when
         event._triggered = True
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_step(event, when, _prio)
         callbacks = event.callbacks
         if callbacks is None:
+            if tracer is not None:
+                tracer.on_step_done(event)
             return  # defused: a waiter explicitly abandoned this event
         event.callbacks = None
-        for cb in callbacks:
-            cb(event)
+        if tracer is None:
+            for cb in callbacks:
+                cb(event)
+        else:
+            try:
+                for cb in callbacks:
+                    cb(event)
+            finally:
+                tracer.on_step_done(event)
         if event._ok is False and not callbacks and not isinstance(event, Process):
             # A failed event nobody waited for: surface the error loudly
             # instead of losing it (mirrors SimPy semantics).

@@ -59,7 +59,7 @@ class NetworkTap:
     def __init__(self, network: Network,
                  predicate: Optional[Callable[[TapRecord], bool]] = None,
                  on_record: Optional[Callable[[TapRecord], None]] = None,
-                 keep_records: bool = True):
+                 keep_records: bool = True) -> None:
         self.network = network
         self.predicate = predicate
         self.on_record = on_record

@@ -102,7 +102,7 @@ class Endpoint:
     messages to a down endpoint vanish, and sends from it raise.
     """
 
-    def __init__(self, network: "Network", name: str):
+    def __init__(self, network: "Network", name: str) -> None:
         self.network = network
         self.name = name
         self.up = True
@@ -176,7 +176,8 @@ class Network:
         paper-calibrated gigabit LAN.
     """
 
-    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None):
+    def __init__(self, sim: Simulator,
+                 latency: Optional[LatencyModel] = None) -> None:
         self.sim = sim
         self.latency = latency if latency is not None else LanGigabit()
         self.endpoints: dict[str, Endpoint] = {}

@@ -1,0 +1,5 @@
+"""Fixture: builtin hash() is PYTHONHASHSEED-randomized."""
+
+
+def bucket(key: str, buckets: int) -> int:
+    return hash(key) % buckets

@@ -1,0 +1,14 @@
+"""Fixture: schedule_callback targets that cannot work."""
+
+
+def tick(sim):
+    yield sim.timeout(1.0)
+
+
+def drain(sim):
+    sim.run(until=5.0)
+
+
+def boot(sim):
+    sim.schedule_callback(0.5, tick)
+    sim.schedule_callback(0.5, drain)

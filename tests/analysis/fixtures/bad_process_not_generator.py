@@ -1,0 +1,9 @@
+"""Fixture: sim.process target that never yields."""
+
+
+def worker(sim):
+    sim.now
+
+
+def boot(sim):
+    sim.process(worker(sim))

@@ -1,0 +1,9 @@
+"""Fixture: rpc call that can block forever."""
+
+
+class Client:
+    def __init__(self, rpc):
+        self.rpc = rpc
+
+    def ping(self, dst):
+        return self.rpc.call(dst, "ping", {})

@@ -1,0 +1,29 @@
+"""Fixture: fan-out loops over bare sets (hash order)."""
+
+
+def send(member):
+    return member
+
+
+def fan_out_literal():
+    for member in {"a", "b", "c"}:
+        send(member)
+
+
+def fan_out_variable(names):
+    members = set(names)
+    for member in members:
+        send(member)
+
+
+def ship_rows():
+    rows = {"r1", "r2"}
+    return list(rows)
+
+
+class Tracker:
+    def __init__(self):
+        self.peers: set[str] = set()
+
+    def broadcast(self):
+        return [send(p) for p in self.peers]

@@ -1,0 +1,12 @@
+"""Fixture: module-global RNG, shared across every run."""
+
+import random
+import uuid
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def fresh_id():
+    return uuid.uuid4()

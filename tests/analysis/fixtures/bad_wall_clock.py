@@ -1,0 +1,7 @@
+"""Fixture: reads the host clock inside sim code."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,7 @@
+"""Fixture: stable hashing via zlib.crc32."""
+
+import zlib
+
+
+def bucket(key: str, buckets: int) -> int:
+    return zlib.crc32(key.encode()) % buckets

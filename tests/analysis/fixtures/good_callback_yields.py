@@ -1,0 +1,9 @@
+"""Fixture: schedule_callback targets are plain callables."""
+
+
+def fire(log):
+    log.append("fired")
+
+
+def boot(sim, log):
+    sim.schedule_callback(0.5, fire)

@@ -1,0 +1,14 @@
+"""Fixture: sim.process targets are generator functions."""
+
+
+def worker(sim):
+    yield sim.timeout(1.0)
+
+
+def delegating(sim):
+    yield from worker(sim)
+
+
+def boot(sim):
+    sim.process(worker(sim))
+    sim.process(delegating(sim))

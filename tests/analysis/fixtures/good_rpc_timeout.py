@@ -1,0 +1,12 @@
+"""Fixture: every rpc call carries a timeout."""
+
+
+class Client:
+    def __init__(self, rpc):
+        self.rpc = rpc
+
+    def ping_kw(self, dst):
+        return self.rpc.call(dst, "ping", {}, timeout=1.0)
+
+    def ping_pos(self, dst):
+        return self.rpc.call(dst, "ping", {}, 1.0)

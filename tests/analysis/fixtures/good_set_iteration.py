@@ -1,0 +1,20 @@
+"""Fixture: set fan-out goes through sorted()."""
+
+
+def send(member):
+    return member
+
+
+def fan_out(peers: set):
+    for member in sorted(peers):
+        send(member)
+
+
+def ship_rows():
+    rows = {"r1", "r2"}
+    return sorted(rows)
+
+
+def membership_only(peers: set, name: str) -> bool:
+    # Membership tests and set algebra are order-free: not flagged.
+    return name in peers and bool(peers & {"a"})

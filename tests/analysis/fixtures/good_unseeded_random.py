@@ -1,0 +1,11 @@
+"""Fixture: every RNG is a seeded instance."""
+
+import random
+
+
+def pick(rng: random.Random, items):
+    return rng.choice(items)
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)

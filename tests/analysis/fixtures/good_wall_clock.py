@@ -1,0 +1,5 @@
+"""Fixture: simulated time comes from the kernel."""
+
+
+def stamp(sim):
+    return sim.now

@@ -1,0 +1,8 @@
+"""Fixture: a real violation carrying an inline waiver."""
+
+import time
+
+
+def host_profile():
+    # repro: allow[wall-clock] -- host-only profiling helper
+    return time.time()

@@ -1,0 +1,133 @@
+"""Dynamic tie-hazard detector: seeded races, suppression, neutrality.
+
+The core scenario: two callbacks scheduled for the same simulated
+instant from *different* source lines, both writing one tracked key.
+Neither is an ancestor of the other, so their relative order is a
+sequence-number accident — the detector must flag exactly that pair,
+with both scheduling sites, and produce a byte-identical report when
+the identical program runs again.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hazards import HazardDetector
+from repro.chaos import ChaosRunner
+from repro.net.simulator import Simulator
+from repro.storage.versioned import VersionedStore
+
+
+def _race() -> HazardDetector:
+    sim = Simulator()
+    detector = HazardDetector().attach(sim)
+    shared = detector.tracked_dict("shared")
+
+    def writer_a():
+        shared["k"] = "a"
+
+    def writer_b():
+        shared["k"] = "b"
+
+    sim.schedule_callback(1.0, writer_a)
+    sim.schedule_callback(1.0, writer_b)
+    sim.run(until=2.0)
+    detector.detach()
+    return detector
+
+
+class TestTieHazard:
+    def test_same_instant_writers_are_flagged_with_both_sites(self):
+        detector = _race()
+        assert len(detector.hazards) == 1
+        hazard = detector.hazards[0]
+        assert hazard.time == 1.0
+        assert hazard.state_key == "shared['k']"
+        assert "write" in hazard.first_access
+        assert "write" in hazard.second_access
+        # Both event sites point at the two distinct schedule lines here.
+        assert "test_hazard_detector.py" in hazard.first_site
+        assert "test_hazard_detector.py" in hazard.second_site
+        assert hazard.first_site != hazard.second_site
+
+    def test_report_is_deterministic_across_identical_runs(self):
+        first, second = _race(), _race()
+        assert first.report() == second.report()
+        assert [h.key() for h in first.hazards] == \
+               [h.key() for h in second.hazards]
+
+    def test_causally_ordered_same_instant_is_not_a_hazard(self):
+        sim = Simulator()
+        detector = HazardDetector().attach(sim)
+        shared = detector.tracked_dict("shared")
+
+        def second():
+            shared["k"] = 2
+
+        def first():
+            shared["k"] = 1
+            sim.schedule_callback(0.0, second)  # child: same instant
+
+        sim.schedule_callback(1.0, first)
+        sim.run(until=2.0)
+        detector.detach()
+        assert detector.ok, detector.report()
+
+    def test_different_instants_are_not_a_hazard(self):
+        sim = Simulator()
+        detector = HazardDetector().attach(sim)
+        shared = detector.tracked_dict("shared")
+        sim.schedule_callback(1.0, lambda: shared.__setitem__("k", 1))
+        sim.schedule_callback(2.0, lambda: shared.__setitem__("k", 2))
+        sim.run(until=3.0)
+        detector.detach()
+        assert detector.ok, detector.report()
+
+    def test_concurrent_reads_are_not_a_hazard(self):
+        sim = Simulator()
+        detector = HazardDetector().attach(sim)
+        shared = detector.tracked_dict("shared", {"k": 0})
+        sim.schedule_callback(1.0, lambda: shared.get("k"))
+        sim.schedule_callback(1.0, lambda: shared.get("k"))
+        sim.run(until=2.0)
+        detector.detach()
+        assert detector.ok, detector.report()
+
+    def test_read_write_race_is_flagged(self):
+        sim = Simulator()
+        detector = HazardDetector().attach(sim)
+        shared = detector.tracked_dict("shared", {"k": 0})
+        sim.schedule_callback(1.0, lambda: shared.get("k"))
+        sim.schedule_callback(1.0, lambda: shared.__setitem__("k", 1))
+        sim.run(until=2.0)
+        detector.detach()
+        assert len(detector.hazards) == 1
+        accesses = {detector.hazards[0].first_access.split(" ")[0],
+                    detector.hazards[0].second_access.split(" ")[0]}
+        assert accesses == {"read", "write"}
+
+
+class TestStoreTracking:
+    def test_tracked_store_reports_per_key(self):
+        sim = Simulator()
+        detector = HazardDetector().attach(sim)
+        store = detector.track_store("node0", VersionedStore())
+
+        sim.schedule_callback(1.0,
+                              lambda: store.write_latest("k", b"a", 1.0,
+                                                         "src1"))
+        sim.schedule_callback(1.0,
+                              lambda: store.write_latest("k", b"b", 1.0,
+                                                         "src2"))
+        sim.run(until=2.0)
+        detector.detach()
+        assert len(detector.hazards) == 1
+        assert detector.hazards[0].state_key == "node0/k"
+
+
+class TestNeutrality:
+    def test_tracing_does_not_perturb_the_run(self):
+        plain = ChaosRunner(seed=3, profile="mixed", duration=3.0).run()
+        traced = ChaosRunner(seed=3, profile="mixed", duration=3.0,
+                             hazards=True).run()
+        assert traced.digest == plain.digest
+        assert traced.end_time == plain.end_time
+        assert traced.op_counts == plain.op_counts

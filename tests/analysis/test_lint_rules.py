@@ -1,0 +1,90 @@
+"""Per-rule fixtures for the determinism lint.
+
+Every rule has a ``bad_<rule>.py`` fixture it must fire on (and fire
+*alone* — fixtures are single-rule by construction) and a
+``good_<rule>.py`` fixture it must stay quiet on.  Plus: inline
+waivers, parse errors, CLI exit status, and the meta-check that the
+shipped source tree itself lints clean.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (LintReport, RULES, lint_file, lint_paths,
+                                 lint_source, main)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _slug(rule: str) -> str:
+    return rule.replace("-", "_")
+
+
+@pytest.mark.parametrize("rule", sorted(RULES))
+class TestPerRuleFixtures:
+    def test_fires_on_bad_fixture(self, rule):
+        violations = lint_file(FIXTURES / f"bad_{_slug(rule)}.py")
+        hits = [v for v in violations if v.rule == rule]
+        assert hits, f"{rule} did not fire on its bad fixture"
+        assert not any(v.waived for v in hits)
+        # Fixtures are single-rule: nothing else may fire.
+        assert {v.rule for v in violations} == {rule}, violations
+
+    def test_quiet_on_good_fixture(self, rule):
+        violations = lint_file(FIXTURES / f"good_{_slug(rule)}.py")
+        assert violations == [], [v.render() for v in violations]
+
+
+class TestWaivers:
+    def test_waiver_suppresses_but_is_recorded(self):
+        violations = lint_file(FIXTURES / "waived.py")
+        assert len(violations) == 1
+        assert violations[0].rule == "wall-clock"
+        assert violations[0].waived
+        report = LintReport(violations=violations, files_checked=1)
+        assert report.ok and report.active == []
+
+    def test_waiver_on_same_line(self):
+        src = "import time\nts = time.time()  # repro: allow[wall-clock]\n"
+        (violation,) = lint_source(src)
+        assert violation.waived
+
+    def test_wildcard_waiver(self):
+        src = "import time\n# repro: allow[*]\nts = time.time()\n"
+        (violation,) = lint_source(src)
+        assert violation.waived
+
+    def test_waiver_for_other_rule_does_not_apply(self):
+        src = "import time\n# repro: allow[builtin-hash]\nts = time.time()\n"
+        (violation,) = lint_source(src)
+        assert not violation.waived
+
+
+class TestHarness:
+    def test_parse_error_is_a_finding_not_a_crash(self):
+        (violation,) = lint_source("def broken(:\n", path="x.py")
+        assert violation.rule == "parse-error"
+
+    def test_source_tree_is_clean(self):
+        report = lint_paths([SRC])
+        assert report.files_checked > 50
+        assert report.ok, report.render()
+
+    def test_cli_exit_status_counts_violations(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n\nts = time.time()\n",
+                       encoding="utf-8")
+        assert main([str(bad)]) == 1
+        assert main([str(FIXTURES / "good_wall_clock.py")]) == 0
+        capsys.readouterr()
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("h = hash('k')\n", encoding="utf-8")
+        assert main([str(bad), "--format", "json"]) == 1
+        out = capsys.readouterr().out
+        assert '"builtin-hash"' in out

@@ -11,9 +11,11 @@ from repro.chaos.schedule import PROFILES, ScheduleGenerator
 
 
 class TestChaosSmoke:
-    def test_mixed_run_holds_invariants(self):
-        report = ChaosRunner(seed=1, profile="mixed", duration=8.0).run()
+    def test_mixed_run_holds_invariants_and_is_hazard_clean(self):
+        report = ChaosRunner(seed=1, profile="mixed", duration=8.0,
+                             hazards=True).run()
         assert report.ok, "\n".join(str(a) for a in report.anomalies)
+        assert not report.hazards, report.hazard_report
 
     def test_run_exercises_real_faults_and_ops(self):
         report = ChaosRunner(seed=1, profile="mixed", duration=8.0).run()
