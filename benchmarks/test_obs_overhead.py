@@ -1,0 +1,164 @@
+"""Observability overhead: instrumented-off and -on vs plain kernel.
+
+The obs layer (ISSUE 4) is wired unconditionally through every
+component — stores, caches, coordinators, RPC endpoints — so its
+*disabled* cost is paid by every simulation: one shared no-op metric
+handle per call site and one ``is None`` tracer check per kernel
+operation.  This bench pins that cost: the obs-disabled configuration
+must stay **within 3x of the plain kernel's events/sec** on a
+kernel-shaped workload.
+
+Workload: four staggered processes mixing the event types the kernel
+actually executes — timeouts at varying delays (heap depth), event
+chains resolved via ``succeed``, and deferred callbacks — with metric
+bumps (counter + histogram) at the density real components emit them
+(a few per event).  A bare ``yield timeout`` spin would overstate the
+ratio; that adversarial number is still measured and recorded as
+``microbench_*`` for the record, but the acceptance bound is asserted
+on the representative mix.
+
+Three configurations:
+
+* **plain** — no obs objects anywhere; ``sim.tracer`` is None.
+* **disabled** (the default shipped configuration): every site calls
+  the shared no-op handle from the ``DISABLED`` registry; tracer
+  checks all fail fast.  This is the mode the 3x bound applies to.
+* **enabled** — live registry plus an attached ``SpanTracer`` minting
+  one trace per worker iteration (kernel hooks active, spans
+  recorded).  Informational: chaos/debug runs opt into this.
+
+Trials are interleaved (round-robin) and the best-of rate per mode is
+used: best-of discards scheduler noise, which on shared CI boxes
+dwarfs the differences under test.
+
+Results land in ``benchmarks/results/BENCH_obs.json``.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.net.simulator import Simulator
+from repro.obs.metrics import DISABLED, MetricsRegistry
+from repro.obs.trace import SpanTracer
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+MAX_SLOWDOWN = 3.0
+N_TICKS = 6_000      # per worker; ~34k kernel events per run
+MICRO_EVENTS = 30_000
+TRIALS = 7
+
+
+def _events_executed(sim: Simulator) -> int:
+    """Scheduling sequence counter ~ events pushed through the kernel."""
+    return next(sim._seq)
+
+
+def _handles(mode: str):
+    """(counter, histogram, tracer) for one configuration."""
+    if mode == "plain":
+        return None, None, None
+    registry = MetricsRegistry() if mode == "enabled" else DISABLED
+    counter = registry.counter("bench.ops", node="w")
+    histogram = registry.histogram("bench.lat", node="w")
+    tracer = SpanTracer() if mode == "enabled" else None
+    return counter, histogram, tracer
+
+
+def _build_mixed_workload(sim, counter, histogram, tracer) -> None:
+    """Kernel-shaped mix: timeouts, succeed-chains, callbacks, metrics."""
+
+    def worker(wid: int):
+        for i in range(N_TICKS):
+            span = None
+            if tracer is not None and i % 5 == 0:
+                span = tracer.start_trace("bench.op", node=f"w{wid}")
+            yield sim.timeout(0.001 + wid * 0.0003)
+            if counter is not None:
+                counter.inc()
+                histogram.observe(0.001 * (i % 7))
+            if i % 5 == 0:
+                ev = sim.event()
+                sim.schedule_callback(0.0005, lambda e=ev: e.succeed())
+                yield ev
+            if tracer is not None:
+                tracer.finish(span)
+
+    for wid in range(4):
+        sim.process(worker(wid), name=f"w{wid}")
+
+
+def _build_microbench(sim, counter, histogram, tracer) -> None:
+    """Adversarial spin: cheapest possible event + metric bumps each."""
+
+    def ticker():
+        for i in range(MICRO_EVENTS):
+            yield sim.timeout(0.001)
+            if counter is not None:
+                counter.inc()
+                histogram.observe(0.0005)
+
+    sim.process(ticker(), name="ticker")
+
+
+def _run(build, mode: str) -> tuple[float, int]:
+    """One measured run; returns (wallclock seconds, kernel events)."""
+    sim = Simulator()
+    counter, histogram, tracer = _handles(mode)
+    if tracer is not None:
+        tracer.attach(sim)
+    build(sim, counter, histogram, tracer)
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    if tracer is not None:
+        tracer.detach()
+    return elapsed, _events_executed(sim)
+
+
+def _measure(build) -> dict:
+    """Interleaved best-of rates for plain/disabled/enabled."""
+    rates: dict[str, list[float]] = {"plain": [], "disabled": [],
+                                     "enabled": []}
+    for _ in range(TRIALS):
+        for mode in rates:
+            elapsed, events = _run(build, mode)
+            rates[mode].append(events / elapsed)
+    best = {mode: max(vals) for mode, vals in rates.items()}
+    return {
+        "events_per_sec": {m: round(r) for m, r in best.items()},
+        "median_events_per_sec": {
+            m: round(statistics.median(v)) for m, v in rates.items()},
+        "slowdown": {m: round(best["plain"] / r, 3)
+                     for m, r in best.items()},
+    }
+
+
+class TestObsOverhead:
+    def test_disabled_obs_within_3x_of_plain(self):
+        mixed = _measure(_build_mixed_workload)
+        micro = _measure(_build_microbench)
+
+        report = {
+            "bound_max_slowdown": MAX_SLOWDOWN,
+            "workload": mixed,
+            "microbench_worst_case": micro,
+            "trials": TRIALS,
+            "notes": (
+                "workload = 4-process mix of timeouts/succeed-chains/"
+                "callbacks with counter+histogram bumps per event (the "
+                "asserted bound applies to the 'disabled' mode — shared "
+                "no-op handles, no tracer); 'enabled' adds a live "
+                "registry and span tracer and is informational; "
+                "microbench = timeout spin with metric bumps per event "
+                "(worst case, cheapest possible baseline event)."),
+        }
+        text = json.dumps(report, indent=2, sort_keys=True)
+        print("\n" + text)
+        (RESULTS_DIR / "BENCH_obs.json").write_text(text + "\n")
+
+        # The shipped default — obs wired but disabled — must hold the
+        # bound on the representative mix.
+        assert mixed["slowdown"]["disabled"] < MAX_SLOWDOWN, report

@@ -12,7 +12,17 @@ Five invariants, matching the promises the cluster actually makes:
    newer one.
 2. **freshness** — R + W > N: a ``read_latest`` invoked after an acked
    write completed returns that write or newer, never an older value
-   and never a miss.
+   and never a miss.  One carve-out: quorum intersection only promises
+   freshness while at least one acker still *has* the write.  Sedna is
+   memory-first (§IV: persistence is asynchronous; "the most fresh
+   data matters most"), so when every node that acked a write crashes
+   before the read — wiping the value from memory before any flush —
+   the newest acked version is provably gone from the cluster and no
+   read protocol could return it.  Such reads are reported as
+   *expected* ``durability-loss`` anomalies (visible in the report,
+   not a failure); staleness while any acker survived is still a hard
+   freshness violation.  The checker needs the fault timeline for
+   this, passed as ``crashes=[(time, node), ...]``.
 3. **replication** — every written key is back on all N replicas of
    its (post-churn) authoritative replica set; orphan copies GC'd off
    former owners don't count against this.
@@ -41,14 +51,21 @@ __all__ = ["Anomaly", "FinalState", "check_all", "check_durability",
 
 @dataclass(frozen=True)
 class Anomaly:
-    """One invariant violation."""
+    """One invariant violation.
+
+    ``expected`` marks anomalies the modeled system genuinely cannot
+    avoid (e.g. a durability loss after the whole ack set crashed);
+    they are surfaced in reports but do not fail the run.
+    """
 
     invariant: str
     key: str
     detail: str
+    expected: bool = False
 
     def __str__(self) -> str:
-        return f"[{self.invariant}] {self.key}: {self.detail}"
+        tag = " (expected)" if self.expected else ""
+        return f"[{self.invariant}]{tag} {self.key}: {self.detail}"
 
 
 @dataclass
@@ -112,8 +129,29 @@ def check_durability(history: History, state: FinalState) -> list[Anomaly]:
     return anomalies
 
 
-def check_freshness(history: History, state: FinalState) -> list[Anomaly]:
-    """Invariant 2: reads after acked writes return them or newer."""
+def _ack_set_lost(write, read, crashes) -> bool:
+    """True when every acker of ``write`` crashed (memory wiped)
+    between the write's ack and the read's invocation."""
+    if not write.acks:
+        return False
+    for acker in write.acks:
+        if not any(node == acker and write.completed < t < read.invoked
+                   for t, node in crashes):
+            return False
+    return True
+
+
+def check_freshness(history: History, state: FinalState,
+                    crashes: tuple = ()) -> list[Anomaly]:
+    """Invariant 2: reads after acked writes return them or newer.
+
+    ``crashes`` is the run's crash timeline ``[(time, node), ...]``.
+    A write whose entire ack set crashed before the read is excused
+    from the staleness comparison (the value is provably gone from
+    every live memory; asynchronous persistence may not have flushed
+    it) and reported as an *expected* ``durability-loss`` anomaly
+    instead — see the module docstring.
+    """
     anomalies = []
     tainted = history.deleted_keys()
     for read in history.ops(kind="read_latest"):
@@ -125,20 +163,44 @@ def check_freshness(history: History, state: FinalState) -> list[Anomaly]:
         if not acked:
             continue
         winner = max(acked, key=lambda r: (r.ts, r.client))
+        surviving = [w for w in acked
+                     if not _ack_set_lost(w, read, crashes)]
+        survivor = (max(surviving, key=lambda r: (r.ts, r.client))
+                    if surviving else None)
         if read.status == "miss":
+            if survivor is None:
+                anomalies.append(Anomaly(
+                    "durability-loss", read.key,
+                    f"op#{read.op_id} ({read.client}) missed: every "
+                    f"acked write's ack set crashed before the read",
+                    expected=True))
+                continue
             anomalies.append(Anomaly(
                 "freshness", read.key,
                 f"op#{read.op_id} ({read.client}) missed despite write "
-                f"ts={winner.ts} acked at t={winner.completed:.3f} before "
-                f"read at t={read.invoked:.3f}"))
+                f"ts={survivor.ts} acked at t={survivor.completed:.3f} "
+                f"before read at t={read.invoked:.3f}"))
         elif (read.result_ts, read.result_source) < (winner.ts,
                                                      winner.client):
-            anomalies.append(Anomaly(
-                "freshness", read.key,
-                f"op#{read.op_id} ({read.client}) returned stale "
-                f"ts={read.result_ts} (src={read.result_source}); acked "
-                f"write ts={winner.ts} (src={winner.client}) completed "
-                f"earlier"))
+            if survivor is None or (read.result_ts, read.result_source) \
+                    >= (survivor.ts, survivor.client):
+                # Fresh against everything that could have survived;
+                # the newer acked write died with its whole ack set.
+                anomalies.append(Anomaly(
+                    "durability-loss", read.key,
+                    f"op#{read.op_id} ({read.client}) returned "
+                    f"ts={read.result_ts}; newer acked write "
+                    f"ts={winner.ts} (acks={list(winner.acks)}) lost — "
+                    f"all ackers crashed before the read",
+                    expected=True))
+            else:
+                anomalies.append(Anomaly(
+                    "freshness", read.key,
+                    f"op#{read.op_id} ({read.client}) returned stale "
+                    f"ts={read.result_ts} (src={read.result_source}); "
+                    f"acked write ts={survivor.ts} "
+                    f"(src={survivor.client}) completed earlier and an "
+                    f"acker survived"))
     return anomalies
 
 
@@ -211,9 +273,15 @@ CHECKS = (check_durability, check_freshness, check_replication,
           check_value_lists, check_cache_convergence)
 
 
-def check_all(history: History, state: FinalState) -> list[Anomaly]:
-    """Run every invariant; empty list == the run was safe."""
+def check_all(history: History, state: FinalState,
+              crashes: tuple = ()) -> list[Anomaly]:
+    """Run every invariant; no unexpected anomalies == the run was
+    safe.  ``crashes`` feeds the freshness checker's durability-loss
+    carve-out."""
     anomalies: list[Anomaly] = []
     for check in CHECKS:
-        anomalies.extend(check(history, state))
+        if check is check_freshness:
+            anomalies.extend(check(history, state, crashes=crashes))
+        else:
+            anomalies.extend(check(history, state))
     return anomalies

@@ -63,11 +63,16 @@ class ChaosReport:
     # ``hazard_report`` for whether it ran.
     hazards: list = field(default_factory=list)
     hazard_report: str = ""
+    # Metrics snapshot from the opt-in observability bundle (obs=True);
+    # empty dict when obs was off.
+    obs_snapshot: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        """True when every invariant held."""
-        return not self.anomalies
+        """True when every invariant held (expected anomalies — e.g.
+        durability losses after a whole ack set crashed — don't fail
+        the run; see ``repro.chaos.invariants``)."""
+        return not [a for a in self.anomalies if not a.expected]
 
     @property
     def digest(self) -> str:
@@ -84,11 +89,16 @@ class ChaosReport:
             f"  ops: " + ", ".join(f"{k}={v}" for k, v
                                    in sorted(self.op_counts.items())),
         ]
-        if self.anomalies:
-            lines.append(f"  ANOMALIES ({len(self.anomalies)}):")
-            lines.extend(f"    {a}" for a in self.anomalies)
+        hard = [a for a in self.anomalies if not a.expected]
+        expected = [a for a in self.anomalies if a.expected]
+        if hard:
+            lines.append(f"  ANOMALIES ({len(hard)}):")
+            lines.extend(f"    {a}" for a in hard)
         else:
             lines.append("  all invariants held")
+        if expected:
+            lines.append(f"  expected anomalies ({len(expected)}):")
+            lines.extend(f"    {a}" for a in expected)
         if self.hazard_report:
             lines.append("  " + self.hazard_report.replace("\n", "\n  "))
         return "\n".join(lines)
@@ -128,7 +138,12 @@ class ChaosRunner:
                  max_down: int = 2,
                  config: Optional[SednaConfig] = None,
                  zk_config: Optional[ZkConfig] = None,
-                 hazards: bool = False):
+                 hazards: bool = False,
+                 obs: bool = False):
+        if hazards and obs:
+            # Both want the simulator's single tracer slot.
+            raise ValueError("hazards and obs are mutually exclusive: "
+                             "the kernel has one tracer slot")
         self.seed = seed
         self.profile = profile
         self.duration = duration
@@ -145,6 +160,10 @@ class ChaosRunner:
             session_timeout=1.0)
         self.hazards = hazards
         self.hazard_detector = None
+        self.obs = obs
+        # The live Observability bundle (obs=True): span timelines stay
+        # readable through it after run() returns.
+        self.obs_bundle = None
         self.history = History()
         self.cluster: Optional[SednaCluster] = None
         self.clients: list = []
@@ -157,9 +176,15 @@ class ChaosRunner:
     # -- lifecycle --------------------------------------------------------
     def run(self) -> ChaosReport:
         """Execute the whole experiment; returns the report."""
+        if self.obs:
+            # Local import: plain chaos runs must not pay for the
+            # observability layer (same rule as the hazard detector).
+            from ..obs import Observability
+            self.obs_bundle = Observability(metrics=True, tracing=True)
         self.cluster = SednaCluster(
             n_nodes=self.n_nodes, zk_size=self.zk_size, seed=self.seed,
-            config=self.config, zk_config=self.zk_config)
+            config=self.config, zk_config=self.zk_config,
+            obs=self.obs_bundle)
         sim = self.cluster.sim
         if self.hazards:
             # Local import: repro.analysis depends on repro.net only,
@@ -200,7 +225,11 @@ class ChaosRunner:
 
         self.cluster.run(self._quiesce(), name="chaos-quiesce")
         state = self._collect()
-        anomalies = check_all(self.history, state)
+        crash_times = tuple((ev.time, target)
+                            for ev in schedule.events
+                            if ev.kind == "crash"
+                            for target in ev.targets)
+        anomalies = check_all(self.history, state, crashes=crash_times)
         tap.detach()
         hazards: list = []
         hazard_report = ""
@@ -208,13 +237,17 @@ class ChaosRunner:
             self.hazard_detector.detach()
             hazards = list(self.hazard_detector.hazards)
             hazard_report = self.hazard_detector.report()
+        obs_snapshot: dict = {}
+        if self.obs_bundle is not None:
+            obs_snapshot = self.obs_bundle.snapshot()
         return ChaosReport(seed=self.seed, profile=self.profile,
                            schedule=schedule, history=self.history,
                            anomalies=anomalies, state=state,
                            end_time=sim.now, crashes=self._crashes,
                            restarts=self._restarts,
                            op_counts=dict(sorted(self._op_counts.items())),
-                           hazards=hazards, hazard_report=hazard_report)
+                           hazards=hazards, hazard_report=hazard_report,
+                           obs_snapshot=obs_snapshot)
 
     # -- fault execution --------------------------------------------------
     def _execute(self, schedule: Schedule, t0: float):
@@ -328,6 +361,22 @@ class ChaosRunner:
     def _count(self, kind: str) -> None:
         self._op_counts[kind] = self._op_counts.get(kind, 0) + 1
 
+    def _mint(self, client, name: str, key: str):
+        """Root span for one workload op (None when obs is off).
+
+        Tagged with the encoded key so a history anomaly maps straight
+        to its span timeline."""
+        bundle = self.obs_bundle
+        if bundle is None or bundle.tracer is None:
+            return None
+        span = bundle.tracer.start_trace(f"chaos.{name}", node=client.name)
+        span.tags["key"] = key
+        return span
+
+    def _mint_end(self, span, **tags) -> None:
+        if self.obs_bundle is not None and self.obs_bundle.tracer is not None:
+            self.obs_bundle.tracer.finish(span, **tags)
+
     def _op_write(self, client, kind: str, key: str, value):
         self._count(kind)
         encoded = FullKey.of(key).encoded()
@@ -336,11 +385,14 @@ class ChaosRunner:
                 "source": client.name, "mode": mode}
         record = self.history.begin(client.name, kind, encoded,
                                     self.sim.now, value=value, ts=args["ts"])
+        span = self._mint(client, kind, encoded)
         try:
             result = yield from client.coordinator.coordinate_write(args)
         except (RpcTimeout, RpcRejected):
+            self._mint_end(span, status="failure")
             self.history.complete(record, self.sim.now, "failure")
             return
+        self._mint_end(span, status=result["status"])
         self.history.complete(record, self.sim.now, result["status"],
                               acks=tuple(result.get("acks", ())))
 
@@ -349,12 +401,17 @@ class ChaosRunner:
         encoded = FullKey.of(key).encoded()
         record = self.history.begin(client.name, "read_latest", encoded,
                                     self.sim.now)
+        span = self._mint(client, "read_latest", encoded)
         try:
             result = yield from client.coordinator.coordinate_read(
                 {"key": encoded, "mode": "latest"})
         except (RpcTimeout, RpcRejected):
+            self._mint_end(span, status="failure")
             self.history.complete(record, self.sim.now, "failure")
             return
+        self._mint_end(span, status="ok",
+                       found=bool(result.get("found")),
+                       ts=result.get("ts"))
         responders = tuple(result.get("responders", ()))
         if result.get("found"):
             self.history.complete(record, self.sim.now, "found",
@@ -371,12 +428,15 @@ class ChaosRunner:
         encoded = FullKey.of(key).encoded()
         record = self.history.begin(client.name, "read_all", encoded,
                                     self.sim.now)
+        span = self._mint(client, "read_all", encoded)
         try:
             result = yield from client.coordinator.coordinate_read(
                 {"key": encoded, "mode": "all"})
         except (RpcTimeout, RpcRejected):
+            self._mint_end(span, status="failure")
             self.history.complete(record, self.sim.now, "failure")
             return
+        self._mint_end(span, status="ok")
         self.history.complete(
             record, self.sim.now, "ok",
             responders=tuple(result.get("responders", ())),
@@ -388,12 +448,15 @@ class ChaosRunner:
         encoded = FullKey.of(key).encoded()
         record = self.history.begin(client.name, "delete", encoded,
                                     self.sim.now)
+        span = self._mint(client, "delete", encoded)
         try:
             result = yield from client.coordinator.coordinate_delete(
                 {"key": encoded})
         except (RpcTimeout, RpcRejected):
+            self._mint_end(span, status="failure")
             self.history.complete(record, self.sim.now, "failure")
             return
+        self._mint_end(span, status=result["status"])
         self.history.complete(record, self.sim.now, result["status"],
                               acks=tuple(result.get("acks", ())))
 
@@ -416,13 +479,17 @@ class ChaosRunner:
             records.append(self.history.begin(client.name, kind, encoded,
                                               self.sim.now, value=value,
                                               ts=ts))
+        span = self._mint(client, "multi_write", ",".join(
+            e["key"] for e in entries))
         try:
             result = yield from client.coordinator.coordinate_multi_write(
                 {"entries": entries})
         except (RpcTimeout, RpcRejected):
+            self._mint_end(span, status="failure")
             for record in records:
                 self.history.complete(record, self.sim.now, "failure")
             return
+        self._mint_end(span, status="ok")
         results = result["results"]
         for record, entry in zip(records, entries):
             per_key = results.get(entry["key"], {})
@@ -437,13 +504,16 @@ class ChaosRunner:
         records = [self.history.begin(client.name, "read_latest", encoded,
                                       self.sim.now)
                    for encoded in encoded_keys]
+        span = self._mint(client, "multi_read", ",".join(encoded_keys))
         try:
             result = yield from client.coordinator.coordinate_multi_read(
                 {"keys": encoded_keys, "mode": "latest"})
         except (RpcTimeout, RpcRejected):
+            self._mint_end(span, status="failure")
             for record in records:
                 self.history.complete(record, self.sim.now, "failure")
             return
+        self._mint_end(span, status="ok")
         results = result["results"]
         for record, encoded in zip(records, encoded_keys):
             per_key = results.get(encoded)
@@ -470,13 +540,16 @@ class ChaosRunner:
         records = [self.history.begin(client.name, "delete", encoded,
                                       self.sim.now)
                    for encoded in encoded_keys]
+        span = self._mint(client, "multi_delete", ",".join(encoded_keys))
         try:
             result = yield from client.coordinator.coordinate_multi_delete(
                 {"keys": encoded_keys})
         except (RpcTimeout, RpcRejected):
+            self._mint_end(span, status="failure")
             for record in records:
                 self.history.complete(record, self.sim.now, "failure")
             return
+        self._mint_end(span, status="ok")
         results = result["results"]
         for record, encoded in zip(records, encoded_keys):
             per_key = results.get(encoded, {})

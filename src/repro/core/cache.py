@@ -61,7 +61,8 @@ class MappingCache:
     """The cached ring plus its synchronization policies."""
 
     def __init__(self, sim: Simulator, zk: ZkClient, config: SednaConfig,
-                 adaptive: bool = True, use_changelog: bool = True):
+                 adaptive: bool = True, use_changelog: bool = True,
+                 metrics=None, owner: str = ""):
         self.sim = sim
         self.zk = zk
         self.config = config
@@ -78,6 +79,16 @@ class MappingCache:
         self.incremental_refreshes = 0
         self.vnode_reads = 0
         self.invalidations = 0
+        if metrics is None:
+            from ..obs.metrics import DISABLED
+            metrics = DISABLED
+        owner = owner or zk.name
+        self._m_full_loads = metrics.counter("cache.full_loads", node=owner)
+        self._m_refreshes = metrics.counter("cache.refreshes", node=owner)
+        self._m_vnode_reads = metrics.counter("cache.vnode_reads", node=owner)
+        self._m_invalidations = metrics.counter(
+            "cache.invalidations", node=owner)
+        self._m_lookups = metrics.counter("cache.lookups", node=owner)
 
     # -- full load ---------------------------------------------------------
     def load_full(self):
@@ -92,11 +103,13 @@ class MappingCache:
         returned the old owner, and no refresh ever looks again.
         """
         self.full_loads += 1
+        self._m_full_loads.inc()
         seq = yield from self._newest_changelog_seq()
         for vnode_id in range(self.config.num_vnodes):
             try:
                 data, _stat = yield from self.zk.get(ZkLayout.vnode(vnode_id))
                 self.vnode_reads += 1
+                self._m_vnode_reads.inc()
                 self.ring.assign(vnode_id, data.decode())
             except NoNodeError:
                 self.ring.assign(vnode_id, Ring.UNASSIGNED)
@@ -122,6 +135,7 @@ class MappingCache:
             return sum(1 for a, b in zip(before, self.ring.snapshot())
                        if a != b)
         self.incremental_refreshes += 1
+        self._m_refreshes.inc()
         try:
             children = yield from self.zk.get_children(ZkLayout.CHANGELOG)
         except NoNodeError:
@@ -148,6 +162,7 @@ class MappingCache:
             try:
                 data, _ = yield from self.zk.get(ZkLayout.vnode(vnode_id))
                 self.vnode_reads += 1
+                self._m_vnode_reads.inc()
                 owner = data.decode()
             except NoNodeError:
                 owner = Ring.UNASSIGNED
@@ -159,9 +174,11 @@ class MappingCache:
     def invalidate(self, vnode_id: int):
         """Targeted re-read after a 'reject'/'timeout' (§III.E strategy 1)."""
         self.invalidations += 1
+        self._m_invalidations.inc()
         try:
             data, _ = yield from self.zk.get(ZkLayout.vnode(vnode_id))
             self.vnode_reads += 1
+            self._m_vnode_reads.inc()
             self.ring.assign(vnode_id, data.decode())
         except NoNodeError:
             self.ring.assign(vnode_id, Ring.UNASSIGNED)
@@ -205,5 +222,10 @@ class MappingCache:
 
     # -- lookups -----------------------------------------------------------
     def replicas_for_key(self, encoded_key: str) -> tuple[int, list[str]]:
-        """(vnode, replica list) from the cached ring."""
+        """(vnode, replica list) from the cached ring.
+
+        Every lookup answered from the local cache is a ZooKeeper read
+        *avoided*; ``cache.lookups`` vs ``zk.reads`` in a snapshot is
+        the cache-effectiveness ratio of §III.E."""
+        self._m_lookups.inc()
         return self.ring.replicas_for_key(encoded_key, self.config.replicas)

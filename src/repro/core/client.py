@@ -29,6 +29,55 @@ from .types import DEFAULT_DATASET, DEFAULT_TABLE, FullKey
 __all__ = ["SednaClient", "SmartSednaClient"]
 
 
+def _init_client_obs(client, obs) -> None:
+    """Shared client-side instrumentation setup (both client flavours).
+
+    The client is where a request-scoped trace is minted — it is the
+    entry point of every operation — and where the end-to-end latency
+    histograms live.  Without an obs bundle every handle is a no-op.
+    """
+    client._tracer = obs.tracer if obs is not None else None
+    client.rpc.tracer = client._tracer
+    metrics = obs.metrics if obs is not None else None
+    if metrics is None:
+        from ..obs.metrics import DISABLED
+        metrics = DISABLED
+    client._m_write_lat = metrics.histogram("client.write_seconds",
+                                            node=client.name)
+    client._m_read_lat = metrics.histogram("client.read_seconds",
+                                           node=client.name)
+    client._m_failures = metrics.counter("client.failures", node=client.name)
+
+
+def _client_trace(self, name: str):
+    """Mint a new request-scoped trace (None when tracing is off)."""
+    if self._tracer is None:
+        return None
+    return self._tracer.start_trace(f"client.{name}", node=self.name)
+
+
+def _client_trace_end(self, span, **tags) -> None:
+    if self._tracer is not None:
+        self._tracer.finish(span, **tags)
+
+
+def _client_record_write(self, t0: float) -> None:
+    dt = self.sim.now - t0
+    self.write_latencies.append(dt)
+    self._m_write_lat.observe(dt)
+
+
+def _client_record_read(self, t0: float) -> None:
+    dt = self.sim.now - t0
+    self.read_latencies.append(dt)
+    self._m_read_lat.observe(dt)
+
+
+def _client_fail(self) -> None:
+    self.failures += 1
+    self._m_failures.inc()
+
+
 class SednaClient:
     """Client handle bound to a set of coordinator nodes.
 
@@ -51,7 +100,7 @@ class SednaClient:
 
     def __init__(self, sim: Simulator, network: Network, name: str,
                  nodes: list[str], config: Optional[SednaConfig] = None,
-                 pinned: Optional[str] = None):
+                 pinned: Optional[str] = None, obs=None):
         self.sim = sim
         self.name = name
         self.nodes = list(nodes)
@@ -64,8 +113,14 @@ class SednaClient:
         self.write_latencies: list[float] = []
         self.read_latencies: list[float] = []
         self.failures = 0
+        _init_client_obs(self, obs)
 
     # -- plumbing ---------------------------------------------------------
+    _trace = _client_trace
+    _trace_end = _client_trace_end
+    _record_write = _client_record_write
+    _record_read = _client_record_read
+    _fail = _client_fail
     def _timestamp(self) -> float:
         """Strictly increasing per-client timestamp (write versions)."""
         ts = self.sim.now
@@ -106,13 +161,16 @@ class SednaClient:
         args = {"key": self._encode(key, table, dataset), "value": value,
                 "ts": self._timestamp(), "source": self.name, "mode": mode}
         t0 = self.sim.now
+        span = self._trace("write")
         try:
             result = yield from self._request("sedna.write", args)
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
-            self.write_latencies.append(self.sim.now - t0)
+            self._fail()
+            self._record_write(t0)
+            self._trace_end(span, status="failure")
             return WriteOutcome.FAILURE
-        self.write_latencies.append(self.sim.now - t0)
+        self._record_write(t0)
+        self._trace_end(span, status=result["status"])
         return result["status"]
 
     def write_latest(self, key: str, value: Any,
@@ -135,13 +193,16 @@ class SednaClient:
         """The freshest value regardless of writer; None when absent."""
         args = {"key": self._encode(key, table, dataset), "mode": "latest"}
         t0 = self.sim.now
+        span = self._trace("read")
         try:
             result = yield from self._request("sedna.read", args)
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
-            self.read_latencies.append(self.sim.now - t0)
+            self._fail()
+            self._record_read(t0)
+            self._trace_end(span, status="failure")
             return None
-        self.read_latencies.append(self.sim.now - t0)
+        self._record_read(t0)
+        self._trace_end(span, status="ok", found=bool(result.get("found")))
         if not result.get("found"):
             return None
         return result["value"]
@@ -150,11 +211,14 @@ class SednaClient:
                             dataset: str = DEFAULT_DATASET):
         """Like :meth:`read_latest` but returns the full element."""
         args = {"key": self._encode(key, table, dataset), "mode": "latest"}
+        span = self._trace("read")
         try:
             result = yield from self._request("sedna.read", args)
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
+            self._fail()
+            self._trace_end(span, status="failure")
             return None
+        self._trace_end(span, status="ok", found=bool(result.get("found")))
         if not result.get("found"):
             return None
         return ValueElement(result["source"], result["ts"], result["value"])
@@ -165,24 +229,30 @@ class SednaClient:
         that key", §III.F.2)."""
         args = {"key": self._encode(key, table, dataset), "mode": "all"}
         t0 = self.sim.now
+        span = self._trace("read_all")
         try:
             result = yield from self._request("sedna.read", args)
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
-            self.read_latencies.append(self.sim.now - t0)
+            self._fail()
+            self._record_read(t0)
+            self._trace_end(span, status="failure")
             return []
-        self.read_latencies.append(self.sim.now - t0)
+        self._record_read(t0)
+        self._trace_end(span, status="ok")
         return [ValueElement(s, ts, v) for s, ts, v in result["elements"]]
 
     def delete(self, key: str, table: str = DEFAULT_TABLE,
                dataset: str = DEFAULT_DATASET):
         """Quorum delete of a key."""
         args = {"key": self._encode(key, table, dataset)}
+        span = self._trace("delete")
         try:
             yield from self._request("sedna.delete", args)
+            self._trace_end(span, status="ok")
             return True
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
+            self._fail()
+            self._trace_end(span, status="failure")
             return False
 
     # -- batch APIs (docs/protocols.md §12) -----------------------------------
@@ -200,14 +270,17 @@ class SednaClient:
                     "source": self.name, "mode": mode}
                    for ek, uk in enc.items()]
         t0 = self.sim.now
+        span = self._trace("mwrite")
         try:
             reply = yield from self._request("sedna.mwrite",
                                              {"entries": entries})
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
-            self.write_latencies.append(self.sim.now - t0)
+            self._fail()
+            self._record_write(t0)
+            self._trace_end(span, status="failure")
             return {uk: WriteOutcome.FAILURE for uk in items}
-        self.write_latencies.append(self.sim.now - t0)
+        self._record_write(t0)
+        self._trace_end(span, status="ok", keys=len(entries))
         results = reply["results"]
         return {uk: results.get(ek, {}).get("status", WriteOutcome.FAILURE)
                 for ek, uk in enc.items()}
@@ -217,14 +290,17 @@ class SednaClient:
         """Batched ``read_latest``: {key: value or None (miss/failure)}."""
         enc = {self._encode(k, table, dataset): k for k in keys}
         t0 = self.sim.now
+        span = self._trace("mread")
         try:
             reply = yield from self._request(
                 "sedna.mread", {"keys": list(enc), "mode": "latest"})
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
-            self.read_latencies.append(self.sim.now - t0)
+            self._fail()
+            self._record_read(t0)
+            self._trace_end(span, status="failure")
             return {uk: None for uk in enc.values()}
-        self.read_latencies.append(self.sim.now - t0)
+        self._record_read(t0)
+        self._trace_end(span, status="ok", keys=len(enc))
         out = {}
         for ek, uk in enc.items():
             r = reply["results"].get(ek)
@@ -236,14 +312,17 @@ class SednaClient:
         """Batched ``read_all``: {key: [ValueElement, ...]}."""
         enc = {self._encode(k, table, dataset): k for k in keys}
         t0 = self.sim.now
+        span = self._trace("mread")
         try:
             reply = yield from self._request(
                 "sedna.mread", {"keys": list(enc), "mode": "all"})
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
-            self.read_latencies.append(self.sim.now - t0)
+            self._fail()
+            self._record_read(t0)
+            self._trace_end(span, status="failure")
             return {uk: [] for uk in enc.values()}
-        self.read_latencies.append(self.sim.now - t0)
+        self._record_read(t0)
+        self._trace_end(span, status="ok", keys=len(enc))
         out = {}
         for ek, uk in enc.items():
             r = reply["results"].get(ek) or {}
@@ -255,12 +334,15 @@ class SednaClient:
                      dataset: str = DEFAULT_DATASET):
         """Batched delete: {key: True/False} per-key success."""
         enc = {self._encode(k, table, dataset): k for k in keys}
+        span = self._trace("mdelete")
         try:
             reply = yield from self._request("sedna.mdelete",
                                              {"keys": list(enc)})
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
+            self._fail()
+            self._trace_end(span, status="failure")
             return {uk: False for uk in enc.values()}
+        self._trace_end(span, status="ok", keys=len(enc))
         results = reply["results"]
         return {uk: results.get(ek, {}).get("status") == "ok"
                 for ek, uk in enc.items()}
@@ -286,19 +368,30 @@ class SmartSednaClient:
     def __init__(self, sim: Simulator, network: Network, name: str,
                  zk_servers: list[str],
                  config: Optional[SednaConfig] = None,
-                 zk_config: Optional[ZkConfig] = None):
+                 zk_config: Optional[ZkConfig] = None, obs=None):
         self.sim = sim
         self.name = name
         self.config = config if config is not None else SednaConfig()
+        metrics = obs.metrics if obs is not None else None
         self.rpc = RpcNode(network, name)
-        self.zk = ZkClient(sim, network, f"{name}-zk", zk_servers, zk_config)
-        self.cache = MappingCache(sim, self.zk, self.config)
+        self.zk = ZkClient(sim, network, f"{name}-zk", zk_servers, zk_config,
+                           metrics=metrics)
+        self.cache = MappingCache(sim, self.zk, self.config,
+                                  metrics=metrics, owner=name)
         self.coordinator = QuorumCoordinator(sim, self.rpc, self.cache,
-                                             self.config)
+                                             self.config, obs=obs)
         self._last_ts = 0.0
         self.write_latencies: list[float] = []
         self.read_latencies: list[float] = []
         self.failures = 0
+        _init_client_obs(self, obs)
+        self.zk.rpc.tracer = self._tracer
+
+    _trace = _client_trace
+    _trace_end = _client_trace_end
+    _record_write = _client_record_write
+    _record_read = _client_record_read
+    _fail = _client_fail
 
     def connect(self):
         """Open the ZooKeeper session and load the vnode mapping."""
@@ -329,13 +422,16 @@ class SmartSednaClient:
         args = {"key": self._encode(key, table, dataset), "value": value,
                 "ts": self._timestamp(), "source": self.name, "mode": mode}
         t0 = self.sim.now
+        span = self._trace("write")
         try:
             result = yield from self.coordinator.coordinate_write(args)
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
-            self.write_latencies.append(self.sim.now - t0)
+            self._fail()
+            self._record_write(t0)
+            self._trace_end(span, status="failure")
             return WriteOutcome.FAILURE
-        self.write_latencies.append(self.sim.now - t0)
+        self._record_write(t0)
+        self._trace_end(span, status=result["status"])
         return result["status"]
 
     def write_latest(self, key: str, value: Any,
@@ -358,13 +454,16 @@ class SmartSednaClient:
         """Quorum read of the freshest value; None when absent."""
         args = {"key": self._encode(key, table, dataset), "mode": "latest"}
         t0 = self.sim.now
+        span = self._trace("read")
         try:
             result = yield from self.coordinator.coordinate_read(args)
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
-            self.read_latencies.append(self.sim.now - t0)
+            self._fail()
+            self._record_read(t0)
+            self._trace_end(span, status="failure")
             return None
-        self.read_latencies.append(self.sim.now - t0)
+        self._record_read(t0)
+        self._trace_end(span, status="ok", found=bool(result.get("found")))
         if not result.get("found"):
             return None
         return result["value"]
@@ -374,24 +473,30 @@ class SmartSednaClient:
         """Quorum read of the whole value list."""
         args = {"key": self._encode(key, table, dataset), "mode": "all"}
         t0 = self.sim.now
+        span = self._trace("read_all")
         try:
             result = yield from self.coordinator.coordinate_read(args)
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
-            self.read_latencies.append(self.sim.now - t0)
+            self._fail()
+            self._record_read(t0)
+            self._trace_end(span, status="failure")
             return []
-        self.read_latencies.append(self.sim.now - t0)
+        self._record_read(t0)
+        self._trace_end(span, status="ok")
         return [ValueElement(s, ts, v) for s, ts, v in result["elements"]]
 
     def delete(self, key: str, table: str = DEFAULT_TABLE,
                dataset: str = DEFAULT_DATASET):
         """Quorum delete of a key."""
         args = {"key": self._encode(key, table, dataset)}
+        span = self._trace("delete")
         try:
             yield from self.coordinator.coordinate_delete(args)
+            self._trace_end(span, status="ok")
             return True
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
+            self._fail()
+            self._trace_end(span, status="failure")
             return False
 
     def read_latest_element(self, key: str, table: str = DEFAULT_TABLE,
@@ -399,11 +504,14 @@ class SmartSednaClient:
         """Like :meth:`read_latest` but returns the full element
         (source, timestamp, value); None when absent."""
         args = {"key": self._encode(key, table, dataset), "mode": "latest"}
+        span = self._trace("read")
         try:
             result = yield from self.coordinator.coordinate_read(args)
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
+            self._fail()
+            self._trace_end(span, status="failure")
             return None
+        self._trace_end(span, status="ok", found=bool(result.get("found")))
         if not result.get("found"):
             return None
         return ValueElement(result["source"], result["ts"], result["value"])
@@ -420,14 +528,17 @@ class SmartSednaClient:
                     "source": self.name, "mode": mode}
                    for ek, uk in enc.items()]
         t0 = self.sim.now
+        span = self._trace("mwrite")
         try:
             reply = yield from self.coordinator.coordinate_multi_write(
                 {"entries": entries})
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
-            self.write_latencies.append(self.sim.now - t0)
+            self._fail()
+            self._record_write(t0)
+            self._trace_end(span, status="failure")
             return {uk: WriteOutcome.FAILURE for uk in items}
-        self.write_latencies.append(self.sim.now - t0)
+        self._record_write(t0)
+        self._trace_end(span, status="ok", keys=len(entries))
         results = reply["results"]
         return {uk: results.get(ek, {}).get("status", WriteOutcome.FAILURE)
                 for ek, uk in enc.items()}
@@ -437,14 +548,17 @@ class SmartSednaClient:
         """Batched ``read_latest``: {key: value or None (miss/failure)}."""
         enc = {self._encode(k, table, dataset): k for k in keys}
         t0 = self.sim.now
+        span = self._trace("mread")
         try:
             reply = yield from self.coordinator.coordinate_multi_read(
                 {"keys": list(enc), "mode": "latest"})
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
-            self.read_latencies.append(self.sim.now - t0)
+            self._fail()
+            self._record_read(t0)
+            self._trace_end(span, status="failure")
             return {uk: None for uk in enc.values()}
-        self.read_latencies.append(self.sim.now - t0)
+        self._record_read(t0)
+        self._trace_end(span, status="ok", keys=len(enc))
         out = {}
         for ek, uk in enc.items():
             r = reply["results"].get(ek)
@@ -456,14 +570,17 @@ class SmartSednaClient:
         """Batched ``read_all``: {key: [ValueElement, ...]}."""
         enc = {self._encode(k, table, dataset): k for k in keys}
         t0 = self.sim.now
+        span = self._trace("mread")
         try:
             reply = yield from self.coordinator.coordinate_multi_read(
                 {"keys": list(enc), "mode": "all"})
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
-            self.read_latencies.append(self.sim.now - t0)
+            self._fail()
+            self._record_read(t0)
+            self._trace_end(span, status="failure")
             return {uk: [] for uk in enc.values()}
-        self.read_latencies.append(self.sim.now - t0)
+        self._record_read(t0)
+        self._trace_end(span, status="ok", keys=len(enc))
         out = {}
         for ek, uk in enc.items():
             r = reply["results"].get(ek) or {}
@@ -475,12 +592,15 @@ class SmartSednaClient:
                      dataset: str = DEFAULT_DATASET):
         """Batched delete: {key: True/False} per-key success."""
         enc = {self._encode(k, table, dataset): k for k in keys}
+        span = self._trace("mdelete")
         try:
             reply = yield from self.coordinator.coordinate_multi_delete(
                 {"keys": list(enc)})
         except (RpcTimeout, RpcRejected):
-            self.failures += 1
+            self._fail()
+            self._trace_end(span, status="failure")
             return {uk: False for uk in enc.values()}
+        self._trace_end(span, status="ok", keys=len(enc))
         results = reply["results"]
         return {uk: results.get(ek, {}).get("status") == "ok"
                 for ek, uk in enc.items()}

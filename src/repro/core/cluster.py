@@ -59,16 +59,27 @@ class SednaCluster:
                  latency: Optional[LatencyModel] = None,
                  sim: Optional[Simulator] = None,
                  seed: int = 42,
-                 zk_durable: bool = False):
+                 zk_durable: bool = False,
+                 obs=None):
         self.sim = sim if sim is not None else Simulator()
         self.network = Network(
             self.sim,
             latency=latency if latency is not None else LanGigabit(seed=seed))
         self.config = config if config is not None else SednaConfig()
         self.zk_config = zk_config if zk_config is not None else ZkConfig()
+        # Observability bundle: attach the span tracer to the kernel and
+        # stamp outgoing messages with the ambient trace id so the tap
+        # can slice traffic per request.
+        self.obs = obs
+        if obs is not None:
+            obs.attach(self.sim)
+            self.network.tracer = obs.tracer
         self.ensemble = ZkEnsemble(self.sim, self.network, size=zk_size,
                                    config=self.zk_config,
                                    durable=zk_durable)
+        if obs is not None and obs.tracer is not None:
+            for server in self.ensemble.servers:
+                server.rpc.tracer = obs.tracer
         self.disks: dict[str, SimDisk] = {}
         self.node_names = [f"node{i}" for i in range(n_nodes)]
         self.nodes: dict[str, SednaNode] = {}
@@ -77,7 +88,7 @@ class SednaCluster:
             self.disks[name] = disk
             self.nodes[name] = SednaNode(
                 self.sim, self.network, name, self.ensemble.names,
-                self.config, self.zk_config, disk=disk)
+                self.config, self.zk_config, disk=disk, obs=obs)
         self.failures = FailureInjector(self.network)
         self._clients = 0
         self.started = False
@@ -118,7 +129,8 @@ class SednaCluster:
         self._clients += 1
         return SednaClient(self.sim, self.network,
                            name or f"client{self._clients}",
-                           self.node_names, self.config, pinned=pinned)
+                           self.node_names, self.config, pinned=pinned,
+                           obs=self.obs)
 
     def smart_client(self, name: Optional[str] = None) -> SmartSednaClient:
         """A zero-hop client that coordinates quorums itself (§VII).
@@ -129,7 +141,7 @@ class SednaCluster:
         return SmartSednaClient(self.sim, self.network,
                                 name or f"smart{self._clients}",
                                 self.ensemble.names, self.config,
-                                self.zk_config)
+                                self.zk_config, obs=self.obs)
 
     def node(self, name: str) -> SednaNode:
         """Node handle by name."""

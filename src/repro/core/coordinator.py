@@ -90,7 +90,8 @@ class QuorumCoordinator:
                  config: SednaConfig,
                  local_name: Optional[str] = None,
                  local_dispatch: Optional[Callable[[str, Any], Event]] = None,
-                 on_suspect: Optional[Callable[[str, int], None]] = None):
+                 on_suspect: Optional[Callable[[str, int], None]] = None,
+                 obs=None):
         self.sim = sim
         self.rpc = rpc
         self.cache = cache
@@ -109,9 +110,37 @@ class QuorumCoordinator:
         self.coordinated_multi_deletes = 0
         self.coalesced_reads = 0
         self.read_repairs = 0
+        # Observability: fan-out depth / laggard / repair series plus
+        # coordinator-level spans (both no-ops without an obs bundle).
+        self._tracer = obs.tracer if obs is not None else None
+        metrics = obs.metrics if obs is not None else None
+        if metrics is None:
+            from ..obs.metrics import DISABLED
+            metrics = DISABLED
+        owner = local_name or rpc.name
+        self._m_fanout = metrics.histogram(
+            "quorum.fanout", node=owner,
+            buckets=(1.0, 2.0, 3.0, 5.0, 8.0, 13.0))
+        self._m_laggards = metrics.counter("quorum.laggards", node=owner)
+        self._m_suspects = metrics.counter("quorum.suspects", node=owner)
+        self._m_read_repairs = metrics.counter(
+            "quorum.read_repairs", node=owner)
+        self._m_coalesced = metrics.counter(
+            "quorum.coalesced_reads", node=owner)
+
+    def _span(self, name: str):
+        """Open a coordinator span (None without an active trace)."""
+        if self._tracer is None:
+            return None
+        return self._tracer.begin(name, node=self.local_name or self.rpc.name)
+
+    def _span_end(self, span, **tags) -> None:
+        if self._tracer is not None:
+            self._tracer.finish(span, **tags)
 
     # -- plumbing -----------------------------------------------------------
     def _suspect(self, name: str, vnode_id: int) -> None:
+        self._m_suspects.inc()
         if self.on_suspect is not None:
             self.on_suspect(name, vnode_id)
 
@@ -128,7 +157,15 @@ class QuorumCoordinator:
         replica never answers, so each outstanding call gets a deadline
         (§III.C: "according to the 'timeout', 'refuse' response ...
         Sedna service will determine whether the servers have failed").
+
+        Called exactly once per primary fan-out, so it doubles as the
+        sampling point for the fan-out-depth histogram and the laggard
+        counter (replicas still silent when the quorum settled).
         """
+        self._m_fanout.observe(float(len(calls)))
+        self._m_laggards.inc(sum(1 for name, ev in calls
+                                 if name not in already_ok
+                                 and not ev.triggered))
         for name, ev in calls:
             if name in already_ok:
                 continue
@@ -166,6 +203,7 @@ class QuorumCoordinator:
     def coordinate_write(self, args: Any):
         """Parallel N-way replica write; returns at W acks (§III.C/F)."""
         self.coordinated_writes += 1
+        span = self._span("coord.write")
         cfg = self.config
         key = args["key"]
         vnode_id, replicas = yield from self._replica_set(key)
@@ -189,7 +227,9 @@ class QuorumCoordinator:
                 retry = dict(args)
                 retry["_retried"] = True
                 result = yield from self.coordinate_write(retry)
+                self._span_end(span, status="retried")
                 return result
+            self._span_end(span, status="failed")
             raise RpcRejected(f"write-quorum-failed:{err}")
         statuses = [value["status"] for _n, value in oks]
         outcome = (WriteOutcome.OK if WriteOutcome.OK in statuses
@@ -197,6 +237,7 @@ class QuorumCoordinator:
         self._post_quorum_watch(calls, vnode_id, {n for n, _v in oks})
         for name, _exc in fails:
             self._suspect(name, vnode_id)
+        self._span_end(span, status=outcome, acks=len(oks))
         return {"status": outcome, "vnode": vnode_id,
                 "acks": [name for name, _v in oks]}
 
@@ -224,6 +265,7 @@ class QuorumCoordinator:
             if entry is None:
                 break
             self.coalesced_reads += 1
+            self._m_coalesced.inc()
             try:
                 shared = yield entry.done
             except RpcError:
@@ -237,13 +279,18 @@ class QuorumCoordinator:
         # by the time the round settles.
         entry.done.callbacks.append(lambda _e: None)
         self._inflight_reads[token] = entry
+        span = self._span("coord.read")
         try:
             result = yield from self._read_once(args)
         except BaseException as err:
+            self._span_end(span, status="failed")
             self._inflight_reads.pop(token, None)
             if isinstance(err, Exception) and not entry.done.triggered:
                 entry.done.fail(err)
             raise
+        self._span_end(span, status="ok",
+                       found=bool(result.get("found",
+                                             bool(result.get("elements")))))
         self._inflight_reads.pop(token, None)
         if not entry.done.triggered:
             entry.done.succeed(result)
@@ -353,6 +400,7 @@ class QuorumCoordinator:
                                                    repair_payload))
                             for r in stale]
             self.read_repairs += 1
+            self._m_read_repairs.inc()
             needed = cfg.read_quorum - agree_count()
             if needed > 0:
                 repair_wait = QuorumWait(self.sim, repair_calls,
@@ -408,6 +456,7 @@ class QuorumCoordinator:
         churn must trigger the same lazy recovery as writes (§III.C/E).
         """
         self.coordinated_deletes += 1
+        span = self._span("coord.delete")
         cfg = self.config
         key = args["key"]
         vnode_id, replicas = yield from self._replica_set(key)
@@ -427,11 +476,14 @@ class QuorumCoordinator:
                 retry = dict(args)
                 retry["_retried"] = True
                 result = yield from self.coordinate_delete(retry)
+                self._span_end(span, status="retried")
                 return result
+            self._span_end(span, status="failed")
             raise RpcRejected(f"delete-quorum-failed:{err}")
         self._post_quorum_watch(calls, vnode_id, {n for n, _v in oks})
         for name, _exc in fails:
             self._suspect(name, vnode_id)
+        self._span_end(span, status="ok", acks=len(oks))
         return {"status": "ok", "vnode": vnode_id,
                 "acks": [name for name, _v in oks]}
 
@@ -461,6 +513,7 @@ class QuorumCoordinator:
         of groups that already met their quorum are **not** re-sent.
         """
         self.coordinated_multi_writes += 1
+        span = self._span("coord.mwrite")
         entries = args["entries"]
         groups, replica_sets = yield from self._group_by_vnode(
             [e["key"] for e in entries])
@@ -477,6 +530,7 @@ class QuorumCoordinator:
             for vnode_id in sorted(groups)]
         for proc in procs:
             yield proc
+        self._span_end(span, entries=len(entries), groups=len(groups))
         return {"results": results}
 
     def _mwrite_group(self, vnode_id: int, entries: list[dict],
@@ -538,6 +592,7 @@ class QuorumCoordinator:
         batch pipeline.
         """
         self.coordinated_multi_reads += 1
+        span = self._span("coord.mread")
         mode = args.get("mode", "latest")
         keys = list(dict.fromkeys(args["keys"]))
         groups, replica_sets = yield from self._group_by_vnode(keys)
@@ -549,6 +604,7 @@ class QuorumCoordinator:
             for vnode_id in sorted(groups)]
         for proc in procs:
             yield proc
+        self._span_end(span, keys=len(keys), groups=len(groups))
         return {"results": results}
 
     def _mread_group(self, vnode_id: int, keys: list[str],
@@ -674,6 +730,7 @@ class QuorumCoordinator:
         # carrying every key it lacked.
         repaired_keys = {k for rows in repair_rows.values() for k in rows}
         self.read_repairs += len(repaired_keys)
+        self._m_read_repairs.inc(len(repaired_keys))
         install_calls: dict[str, Event] = {}
         for name in sorted(repair_rows):
             install_calls[name] = self._replica_call(
@@ -737,6 +794,7 @@ class QuorumCoordinator:
         """Batched quorum delete: one ``replica.mdelete`` per replica
         per vnode-group, per-key statuses."""
         self.coordinated_multi_deletes += 1
+        span = self._span("coord.mdelete")
         keys = list(dict.fromkeys(args["keys"]))
         groups, replica_sets = yield from self._group_by_vnode(keys)
         results: dict[str, Any] = {}
@@ -747,6 +805,7 @@ class QuorumCoordinator:
             for vnode_id in sorted(groups)]
         for proc in procs:
             yield proc
+        self._span_end(span, keys=len(keys), groups=len(groups))
         return {"results": results}
 
     def _mdelete_group(self, vnode_id: int, keys: list[str],

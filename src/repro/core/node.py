@@ -30,6 +30,7 @@ from ..net.latency import LOCAL_STORE_OP, REQUEST_HANDLING
 from ..net.rpc import RpcNode, RpcRejected, RpcTimeout
 from ..net.simulator import Event, Simulator
 from ..net.transport import Network
+from ..obs.metrics import VnodeStatsFeed
 from ..persistence.disk import SimDisk
 from ..persistence.strategy import make_strategy
 from ..storage.versioned import ValueElement, VersionedStore, WriteOutcome
@@ -39,7 +40,7 @@ from ..zk.znode import BadVersionError, NodeExistsError, NoNodeError
 from .cache import MappingCache, ZkLayout
 from .config import SednaConfig
 from .coordinator import QuorumCoordinator, unwire_elements, wire_elements
-from .hashring import ImbalanceTable, Ring, VnodeStatus
+from .hashring import Ring, VnodeStatus
 
 __all__ = ["SednaNode"]
 
@@ -50,27 +51,42 @@ class SednaNode:
     def __init__(self, sim: Simulator, network: Network, name: str,
                  zk_servers: list[str], config: Optional[SednaConfig] = None,
                  zk_config: Optional[ZkConfig] = None,
-                 disk: Optional[SimDisk] = None):
+                 disk: Optional[SimDisk] = None, obs=None):
         self.sim = sim
         self.network = network
         self.name = name
         self.config = config if config is not None else SednaConfig()
+        # Observability bundle (repro.obs.Observability), optional.
+        self.obs = obs
+        metrics = obs.metrics if obs is not None else None
+        tracer = obs.tracer if obs is not None else None
         self.rpc = RpcNode(network, name, service_time=REQUEST_HANDLING)
-        self.zk = ZkClient(sim, network, f"{name}-zk", zk_servers, zk_config)
-        self.cache = MappingCache(sim, self.zk, self.config)
-        self.store = VersionedStore(clock=lambda: sim.now)
+        self.rpc.tracer = tracer
+        self.zk = ZkClient(sim, network, f"{name}-zk", zk_servers, zk_config,
+                           metrics=metrics)
+        self.zk.rpc.tracer = tracer
+        self.cache = MappingCache(sim, self.zk, self.config,
+                                  metrics=metrics, owner=name)
+        self.store = VersionedStore(clock=lambda: sim.now,
+                                    metrics=metrics, node=name)
         self.disk = disk if disk is not None else SimDisk()
         self.persistence = make_strategy(self.config.persistence, self.disk,
                                          name, self.config.snapshot_interval)
         self.coordinator = QuorumCoordinator(
             sim, self.rpc, self.cache, self.config,
             local_name=name, local_dispatch=self._local_dispatch,
-            on_suspect=self._maybe_investigate)
+            on_suspect=self._maybe_investigate, obs=obs)
         self.running = False
 
-        # Vnode-local bookkeeping.
+        # Vnode-local bookkeeping.  The per-vnode stats feed is the
+        # single source of the read/write frequencies behind the
+        # imbalance table (§III.B); ``vnode_status`` stays as an alias
+        # of the feed's mapping for handoff/GC code and tests.
         self.vnode_keys: dict[int, set[str]] = {}
-        self.vnode_status: dict[int, VnodeStatus] = {}
+        self.vstats = VnodeStatsFeed(name, VnodeStatus)
+        self.vnode_status: dict[int, VnodeStatus] = self.vstats.statuses
+        if obs is not None:
+            obs.metrics.register_feed(self.vstats)
 
         # Dedup of in-flight failure investigations.
         self._investigating: set[tuple[str, int]] = set()
@@ -306,7 +322,10 @@ class SednaNode:
             yield self.sim.timeout(self.config.imbalance_push_interval)
             if not (self.running and self.rpc.endpoint.up):
                 return
-            row = ImbalanceTable.row_from_statuses(self.vnode_status)
+            # The row is the stats feed's aggregate — the same numbers
+            # an obs snapshot exports per vnode, so the published table
+            # and the metrics can never disagree.
+            row = self.vstats.row()
             # Ownership comes from the (lease-synced) ring, not from the
             # touched-vnode statuses — a node may own cold vnodes.
             row["vnodes"] = len(self.cache.ring.vnodes_of(self.name))
@@ -341,10 +360,16 @@ class SednaNode:
         self.zk.rpc.endpoint.restart()
         self.zk.session_id = None
         self.zk.expired = False
-        self.store = VersionedStore(clock=lambda: self.sim.now)
+        metrics = self.obs.metrics if self.obs is not None else None
+        self.store = VersionedStore(clock=lambda: self.sim.now,
+                                    metrics=metrics, node=self.name)
         self.vnode_keys = {}
-        self.vnode_status = {}
-        self.cache = MappingCache(self.sim, self.zk, self.config)
+        self.vstats = VnodeStatsFeed(self.name, VnodeStatus)
+        self.vnode_status = self.vstats.statuses
+        if self.obs is not None:
+            self.obs.metrics.register_feed(self.vstats)
+        self.cache = MappingCache(self.sim, self.zk, self.config,
+                                  metrics=metrics, owner=self.name)
         self.coordinator.cache = self.cache
         self.persistence = make_strategy(self.config.persistence, self.disk,
                                          self.name,
@@ -357,11 +382,10 @@ class SednaNode:
     def _index_key(self, key: str) -> None:
         vnode_id = self.cache.ring.vnode_of(key)
         self.vnode_keys.setdefault(vnode_id, set()).add(key)
-        status = self.vnode_status.setdefault(vnode_id, VnodeStatus())
-        status.keys = len(self.vnode_keys[vnode_id])
+        self.vstats.status(vnode_id).keys = len(self.vnode_keys[vnode_id])
 
     def _status(self, vnode_id: int) -> VnodeStatus:
-        return self.vnode_status.setdefault(vnode_id, VnodeStatus())
+        return self.vstats.status(vnode_id)
 
     # ------------------------------------------------------------------
     # Replica-side handlers (the storage plane)
@@ -388,8 +412,7 @@ class SednaNode:
             status = self.store.write_all(key, element.value,
                                           element.timestamp, element.source)
         self._index_key(key)
-        stat = self._status(vnode_id)
-        stat.writes += 1
+        self.vstats.record_write(vnode_id)
         if status == WriteOutcome.OK:
             self.persistence.on_write(key, element)
         delay = self.persistence.write_delay()
@@ -411,7 +434,7 @@ class SednaNode:
             # to the old replica set through stale caches.
             raise RpcRejected("warming")
         self.replica_reads += 1
-        self._status(vnode_id).reads += 1
+        self.vstats.record_read(vnode_id)
         elements = self.store.read_all(args["key"])
         return {"elements": wire_elements(elements)}
 
@@ -433,7 +456,7 @@ class SednaNode:
             raise RpcRejected("not-owner")
         entries = args["entries"]
         self.replica_writes += len(entries)
-        self._status(vnode_id).writes += len(entries)
+        self.vstats.record_write(vnode_id, len(entries))
         statuses = self.store.write_multi(
             (e["key"], e["value"], e["ts"], e["source"], e["mode"])
             for e in entries)
@@ -463,7 +486,7 @@ class SednaNode:
             raise RpcRejected("warming")
         keys = args["keys"]
         self.replica_reads += len(keys)
-        self._status(vnode_id).reads += len(keys)
+        self.vstats.record_read(vnode_id, len(keys))
         rows = {key: wire_elements(elements)
                 for key, elements in self.store.read_multi(keys).items()
                 if elements}

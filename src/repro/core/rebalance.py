@@ -62,6 +62,14 @@ class Rebalancer:
         self.passes = 0
         self.moves = 0
         self.rows_dropped = 0
+        metrics = node.obs.metrics if node.obs is not None else None
+        if metrics is None:
+            from ..obs.metrics import DISABLED
+            metrics = DISABLED
+        self._m_passes = metrics.counter("rebalance.passes", node=node.name)
+        self._m_moves = metrics.counter("rebalance.moves", node=node.name)
+        self._m_spread = metrics.gauge("rebalance.vnode_spread",
+                                       node=node.name)
 
     def start(self) -> None:
         """Spawn the balance loop."""
@@ -116,6 +124,7 @@ class Rebalancer:
     def run_pass(self):
         """One balance pass; returns the number of vnodes moved."""
         self.passes += 1
+        self._m_passes.inc()
         table, live = yield from self.read_table()
         if len(table.rows) < 2:
             return 0
@@ -127,6 +136,7 @@ class Rebalancer:
         for name in table.rows:
             if name in ring_counts:
                 table.rows[name]["vnodes"] = ring_counts[name]
+        self._m_spread.set(table.spread("vnodes"))
         moved = 0
         for _ in range(self.max_moves_per_pass):
             donor = table.most_loaded("vnodes")
@@ -144,6 +154,7 @@ class Rebalancer:
             if ok:
                 moved += 1
                 self.moves += 1
+                self._m_moves.inc()
                 table.rows[donor]["vnodes"] -= 1
                 table.rows[receiver]["vnodes"] += 1
             else:

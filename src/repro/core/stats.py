@@ -52,7 +52,13 @@ class LatencySeries:
         self._count = 0
 
     def record(self, latency_s: float, every: int = 1000) -> None:
-        """Add one operation; sample a plot point every ``every`` ops."""
+        """Add one operation; sample a plot point every ``every`` ops.
+
+        Between sample points the tail rides in ``_total``/``_count``;
+        :meth:`finish` flushes it as a final point, so a series whose
+        count is not a multiple of ``every`` loses nothing."""
+        if every < 1:
+            raise ValueError("every must be >= 1")
         self._total += latency_s
         self._count += 1
         if self._count % every == 0:
@@ -68,6 +74,11 @@ class LatencySeries:
         return self._total * 1e3
 
     def finish(self) -> None:
-        """Force a final plot point at the true count."""
+        """Force a final plot point at the true count.
+
+        No-op on an empty series — a ``(0, 0.0)`` point would plot a
+        spurious origin marker and divide-by-zero downstream rates."""
+        if self._count == 0:
+            return
         if not self.points or self.points[-1][0] != self._count:
             self.points.append((self._count, self.total_ms))

@@ -85,6 +85,10 @@ class RpcNode:
         self.calls_issued = 0
         self.calls_timed_out = 0
         self.requests_served = 0
+        # Span tracer (repro.obs.trace.SpanTracer) when request tracing
+        # is wired up.  With tracing off, requests carry no extra field
+        # and the serve path pays one ``is None`` check.
+        self.tracer: Optional[Any] = None
 
     # -- server side ------------------------------------------------------
     def register(self, method: str, handler: Callable[[str, Any], Any]) -> None:
@@ -113,8 +117,13 @@ class RpcNode:
         payload = msg.payload
         method = payload["method"]
         handler = self._handlers.get(method)
+        tracer = self.tracer
+        trace_ctx = payload.get("tr") if tracer is not None else None
+        serve_span: list[Any] = []
 
         def respond(status: str, result: Any) -> None:
+            if serve_span:
+                tracer.finish(serve_span.pop(), status=status)
             if not self.endpoint.up:
                 return
             self.endpoint.send(msg.src, {
@@ -123,6 +132,14 @@ class RpcNode:
             })
 
         def execute() -> None:
+            if trace_ctx is not None:
+                # Re-adopt the caller's context carried in the envelope:
+                # the event graph cannot see through the service queue or
+                # a handler registered after delivery.
+                tracer.adopt(trace_ctx)
+                span = tracer.begin(f"rpc.{method}", node=self.name)
+                if span is not None:
+                    serve_span.append(span)
             self.requests_served += 1
             if handler is None:
                 respond("refuse", f"no-such-method:{method}")
@@ -186,9 +203,14 @@ class RpcNode:
         self._pending[call_id] = ev
         self._event_ids[ev] = call_id
         self.calls_issued += 1
-        self.endpoint.send(dst, {
+        request: dict[str, Any] = {
             "kind": _REQ, "id": call_id, "method": method, "args": args,
-        })
+        }
+        if self.tracer is not None:
+            ctx = self.tracer.current_ctx()
+            if ctx is not None:
+                request["tr"] = [ctx[0], ctx[1]]
+        self.endpoint.send(dst, request)
         return ev
 
     def call(self, dst: str, method: str, args: Any,

@@ -19,13 +19,19 @@ __all__ = ["TapRecord", "NetworkTap"]
 
 @dataclass(frozen=True)
 class TapRecord:
-    """One observed transmission (pre-delivery, post-filter order)."""
+    """One observed transmission (pre-delivery, post-filter order).
+
+    ``trace`` is the observability trace id active at transmit time
+    (None when request tracing is off) — it lets protocol tests slice
+    the tap down to a single request's traffic.
+    """
 
     time: float
     src: str
     dst: str
     kind: str
     method: str
+    trace: Optional[int] = None
 
 
 def _classify(payload: Any) -> tuple[str, str]:
@@ -70,8 +76,10 @@ class NetworkTap:
 
     def _observe(self, src: str, dst: str, payload: Any) -> bool:
         kind, method = _classify(payload)
+        tracer = self.network.tracer
+        trace = tracer.current_trace_id() if tracer is not None else None
         record = TapRecord(time=self.network.sim.now, src=src, dst=dst,
-                           kind=kind, method=method)
+                           kind=kind, method=method, trace=trace)
         if self.predicate is None or self.predicate(record):
             if self.keep_records:
                 self.records.append(record)
@@ -91,16 +99,27 @@ class NetworkTap:
         """Forget everything recorded so far."""
         self.records.clear()
 
+    def reset(self) -> int:
+        """Start a fresh observation window.
+
+        Clears the recorded transmissions and returns how many were
+        dropped — the idiom for "settle the cluster, reset, then assert
+        on exactly the traffic the next operation causes"."""
+        dropped = len(self.records)
+        self.records.clear()
+        return dropped
+
     # -- queries ----------------------------------------------------------
     def count(self, src: Optional[str] = None, dst: Optional[str] = None,
-              kind: Optional[str] = None,
-              method: Optional[str] = None) -> int:
+              kind: Optional[str] = None, method: Optional[str] = None,
+              trace: Optional[int] = None) -> int:
         """Records matching all given criteria."""
-        return len(self.select(src=src, dst=dst, kind=kind, method=method))
+        return len(self.select(src=src, dst=dst, kind=kind, method=method,
+                               trace=trace))
 
     def select(self, src: Optional[str] = None, dst: Optional[str] = None,
-               kind: Optional[str] = None,
-               method: Optional[str] = None) -> list[TapRecord]:
+               kind: Optional[str] = None, method: Optional[str] = None,
+               trace: Optional[int] = None) -> list[TapRecord]:
         """Filtered view of the recorded transmissions."""
         out = []
         for record in self.records:
@@ -112,8 +131,21 @@ class NetworkTap:
                 continue
             if method is not None and record.method != method:
                 continue
+            if trace is not None and record.trace != trace:
+                continue
             out.append(record)
         return out
+
+    def between(self, a: str, b: str) -> list[TapRecord]:
+        """Transmissions between two endpoints, either direction."""
+        return [record for record in self.records
+                if (record.src == a and record.dst == b)
+                or (record.src == b and record.dst == a)]
+
+    def for_trace(self, trace_id: int) -> list[TapRecord]:
+        """Every transmission attributed to one request trace."""
+        return [record for record in self.records
+                if record.trace == trace_id]
 
     def methods_histogram(self) -> dict[str, int]:
         """Request count per RPC method (diagnostics)."""

@@ -83,7 +83,12 @@ def estimate_size(payload: Any) -> int:
 
 @dataclass
 class Message:
-    """A delivered message: who sent it, to whom, and the payload."""
+    """A delivered message: who sent it, to whom, and the payload.
+
+    ``trace`` is the observability trace id active when the message
+    was transmitted (None when tracing is off) — metadata for taps and
+    timelines, never serialized, so it adds nothing to ``size``.
+    """
 
     src: str
     dst: str
@@ -91,6 +96,7 @@ class Message:
     sent_at: float = 0.0
     delivered_at: float = 0.0
     size: int = 0
+    trace: Optional[int] = None
 
 
 class Endpoint:
@@ -184,6 +190,10 @@ class Network:
         self._filters: list[Callable[[str, str, Any], bool]] = []
         self.delivered = 0
         self.dropped = 0
+        # Span tracer (repro.obs.trace.SpanTracer) when request tracing
+        # is wired up; messages sent inside a traced context carry its
+        # trace id so taps can slice traffic per request.
+        self.tracer: Optional[Any] = None
 
     def endpoint(self, name: str) -> Endpoint:
         """Create (or return) the endpoint called ``name``."""
@@ -216,8 +226,10 @@ class Network:
         if target is None or not target.up:
             self.dropped += 1
             return
+        trace = (self.tracer.current_trace_id()
+                 if self.tracer is not None else None)
         msg = Message(src=src.name, dst=dst, payload=payload,
-                      sent_at=self.sim.now, size=size)
+                      sent_at=self.sim.now, size=size, trace=trace)
         delay = self.latency.delay(size)
 
         def deliver() -> None:

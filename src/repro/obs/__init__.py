@@ -1,0 +1,64 @@
+"""Observability subsystem: metrics registry + request-scoped tracing.
+
+The paper's load balancer runs on measured per-vnode read/write
+frequency (§V); this package makes that measurement — and the rest of
+the data plane — first-class and inspectable:
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms keyed
+  ``(node, vnode, name)`` with deterministic JSON/text snapshots, and
+  the always-on :class:`VnodeStatsFeed` behind the imbalance table.
+* :mod:`repro.obs.trace` — request-scoped span trees propagated
+  through RPC envelopes and the kernel event graph.
+* ``python -m repro.obs`` — run a chaos schedule with observability
+  on; dump, verify, and diff snapshots and span timelines.
+
+:class:`Observability` is the bundle components thread around: build
+one, pass it to :class:`~repro.core.cluster.SednaCluster` (and through
+it to nodes, clients, stores, caches, and ZK sessions).  ``None``
+everywhere means "off" and costs a single ``is None`` check (tracing)
+or a shared no-op handle (metrics).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .metrics import (DISABLED, MetricsRegistry, VnodeStatsFeed,
+                      diff_snapshots)
+from .trace import Span, SpanTracer, format_timeline
+
+__all__ = ["Observability", "MetricsRegistry", "VnodeStatsFeed",
+           "SpanTracer", "Span", "format_timeline", "diff_snapshots",
+           "DISABLED"]
+
+
+class Observability:
+    """Shared metrics registry + optional span tracer for one cluster."""
+
+    def __init__(self, metrics: bool = True, tracing: bool = False,
+                 max_series: int = 4096, max_spans: int = 200_000):
+        self.metrics = MetricsRegistry(enabled=metrics,
+                                       max_series=max_series)
+        self.tracer: Optional[SpanTracer] = (
+            SpanTracer(max_spans=max_spans) if tracing else None)
+
+    def attach(self, sim: Any) -> "Observability":
+        """Install the tracer (if any) on ``sim``; idempotent."""
+        if self.tracer is not None and sim.tracer is not self.tracer:
+            self.tracer.attach(sim)
+        return self
+
+    def detach(self) -> None:
+        if self.tracer is not None:
+            self.tracer.detach()
+
+    def snapshot(self) -> dict:
+        """Metrics snapshot plus trace summary (when tracing)."""
+        snap = self.metrics.snapshot()
+        if self.tracer is not None:
+            snap["tracing"] = {
+                "traces": len(self.tracer.traces),
+                "spans": self.tracer.span_count,
+                "dropped_spans": self.tracer.dropped_spans,
+            }
+        return snap

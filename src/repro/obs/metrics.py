@@ -1,0 +1,355 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Series are keyed ``(node, vnode, name)`` — ``vnode`` is ``None`` for
+node- or process-level series.  Handles are cached, so instrumented
+code asks the registry once (usually at construction) and then pays a
+single attribute bump per event.  A registry built with
+``enabled=False`` hands out one shared no-op handle, so instrumented
+components never branch on "is observability on" at call sites.
+
+Everything here is sim-clock friendly: no wall-clock reads, no
+randomness, no id()-keyed exports.  ``snapshot()`` is deterministic —
+keys are emitted sorted, values are plain ints/floats — so two runs of
+the same seed produce byte-identical JSON.
+
+The per-vnode read/write/keys/bytes accounting that feeds the paper's
+imbalance table (§V) lives in :class:`VnodeStatsFeed`.  The feed is
+*always on* (rebalancing needs it whether or not observability is
+enabled) and is the single source of those numbers: the node's
+imbalance pusher calls :meth:`VnodeStatsFeed.row` and the registry
+snapshot walks the very same status objects, so the frequencies an
+operator sees in a snapshot are definitionally the ones pushed to
+ZooKeeper.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "VnodeStatsFeed",
+    "DEFAULT_BUCKETS", "NOOP", "DISABLED", "SNAPSHOT_SCHEMA",
+    "diff_snapshots",
+]
+
+SNAPSHOT_SCHEMA = "repro.obs/1"
+
+#: Default histogram boundaries (seconds) — tuned for simulated LAN
+#: request latencies: sub-millisecond store ops up to multi-second
+#: timeout/recovery tails.  Observations above the last boundary land
+#: in the implicit +inf bucket.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+class _Noop:
+    """Shared do-nothing handle returned by disabled registries."""
+
+    __slots__ = ()
+    kind = "noop"
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> int:
+        return 0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+NOOP = _Noop()
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def export(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-set level (queue depth, cache size, ...)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def export(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram with cumulative-``le`` semantics.
+
+    ``counts[i]`` counts observations ``v <= bounds[i]`` that did not
+    fit an earlier bucket (i.e. per-bucket, not pre-summed); the final
+    slot is the implicit +inf bucket.  An observation exactly on a
+    boundary lands in that boundary's bucket.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total")
+    kind = "histogram"
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def export(self) -> dict:
+        return {"type": "histogram", "count": self.count,
+                "sum": round(self.total, 9),
+                "buckets": {_bucket_label(b): c
+                            for b, c in zip(self.bounds, self.counts)},
+                "inf": self.counts[-1]}
+
+
+def _bucket_label(bound: float) -> str:
+    return format(bound, "g")
+
+
+class VnodeStatsFeed:
+    """Always-on per-vnode accounting for one real node.
+
+    Owns the vnode-id -> status mapping (the record type is injected —
+    the node passes :class:`~repro.core.hashring.VnodeStatus` — so this
+    module stays import-free of ``core``).  Replica handlers report
+    reads/writes/key churn here, the imbalance pusher aggregates with
+    :meth:`row`, and a :class:`MetricsRegistry` snapshot walks the same
+    objects via :meth:`per_vnode`.
+    """
+
+    __slots__ = ("node", "_factory", "statuses")
+
+    def __init__(self, node: str, status_factory: Any = None) -> None:
+        self.node = node
+        self._factory = status_factory or _PlainStatus
+        self.statuses: dict[int, Any] = {}
+
+    def status(self, vnode_id: int) -> Any:
+        """Get-or-create the live status record for a vnode."""
+        status = self.statuses.get(vnode_id)
+        if status is None:
+            status = self.statuses[vnode_id] = self._factory()
+        return status
+
+    def record_read(self, vnode_id: int, n: int = 1) -> None:
+        self.status(vnode_id).reads += n
+
+    def record_write(self, vnode_id: int, n: int = 1) -> None:
+        self.status(vnode_id).writes += n
+
+    def key_added(self, vnode_id: int, size: int) -> None:
+        status = self.status(vnode_id)
+        status.keys += 1
+        status.bytes += size
+
+    def key_removed(self, vnode_id: int, size: int) -> None:
+        status = self.status(vnode_id)
+        status.keys -= 1
+        status.bytes -= size
+
+    def discard(self, vnode_id: int) -> None:
+        self.statuses.pop(vnode_id, None)
+
+    def row(self) -> dict:
+        """The per-node imbalance-table row (same shape the node pushes
+        to ``/sedna/imbalance/<name>``)."""
+        statuses = self.statuses.values()
+        return {
+            "vnodes": len(self.statuses),
+            "keys": sum(s.keys for s in statuses),
+            "bytes": sum(s.bytes for s in statuses),
+            "reads": sum(s.reads for s in statuses),
+            "writes": sum(s.writes for s in statuses),
+        }
+
+    def per_vnode(self) -> dict:
+        """Sorted per-vnode export used by registry snapshots."""
+        return {str(vid): {"keys": s.keys, "bytes": s.bytes,
+                           "reads": s.reads, "writes": s.writes}
+                for vid, s in sorted(self.statuses.items())}
+
+
+class _PlainStatus:
+    """Default status record when no factory is injected (tests)."""
+
+    __slots__ = ("keys", "bytes", "reads", "writes", "warming")
+
+    def __init__(self) -> None:
+        self.keys = 0
+        self.bytes = 0
+        self.reads = 0
+        self.writes = 0
+        self.warming = False
+
+
+class MetricsRegistry:
+    """Series registry with cached handles and deterministic export.
+
+    ``max_series`` caps label cardinality: once the cap is hit, new
+    series silently degrade to the shared no-op handle and are tallied
+    in ``dropped_series`` (visible in the snapshot) — a runaway label
+    (per-key metrics, say) degrades observability instead of memory.
+    """
+
+    def __init__(self, enabled: bool = True, max_series: int = 4096) -> None:
+        self.enabled = enabled
+        self.max_series = max_series
+        self.dropped_series = 0
+        self._series: dict[tuple, Any] = {}
+        self._feeds: dict[str, VnodeStatsFeed] = {}
+
+    # -- handle creation -------------------------------------------------
+    def counter(self, name: str, node: str = "",
+                vnode: Optional[int] = None) -> Any:
+        return self._handle(Counter, name, node, vnode)
+
+    def gauge(self, name: str, node: str = "",
+              vnode: Optional[int] = None) -> Any:
+        return self._handle(Gauge, name, node, vnode)
+
+    def histogram(self, name: str, node: str = "",
+                  vnode: Optional[int] = None,
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Any:
+        return self._handle(Histogram, name, node, vnode, buckets)
+
+    def _handle(self, cls: type, name: str, node: str,
+                vnode: Optional[int], *args: Any) -> Any:
+        if not self.enabled:
+            return NOOP
+        key = (node, vnode, name)
+        handle = self._series.get(key)
+        if handle is not None:
+            if not isinstance(handle, cls):
+                raise ValueError(
+                    f"series {key} already registered as {handle.kind}, "
+                    f"requested {cls.kind}")
+            return handle
+        if len(self._series) >= self.max_series:
+            self.dropped_series += 1
+            return NOOP
+        handle = cls(*args)
+        self._series[key] = handle
+        return handle
+
+    # -- vnode feeds -----------------------------------------------------
+    def register_feed(self, feed: VnodeStatsFeed) -> VnodeStatsFeed:
+        """Expose a node's live per-vnode feed in snapshots.
+
+        Re-registering under the same node name replaces the old feed
+        (nodes rebuild their feed on restart)."""
+        self._feeds[feed.node] = feed
+        return feed
+
+    def feeds(self) -> Iterable[VnodeStatsFeed]:
+        return [self._feeds[name] for name in sorted(self._feeds)]
+
+    # -- export ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deterministic point-in-time export of every series + feed."""
+        series = {}
+        for (node, vnode, name) in sorted(
+                self._series,
+                key=lambda k: (k[0], -1 if k[1] is None else k[1], k[2])):
+            label = f"{node or '-'}/{name}" if vnode is None \
+                else f"{node or '-'}/v{vnode}/{name}"
+            series[label] = self._series[(node, vnode, name)].export()
+        vnodes = {name: self._feeds[name].per_vnode()
+                  for name in sorted(self._feeds)}
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "enabled": self.enabled,
+            "dropped_series": self.dropped_series,
+            "series": series,
+            "vnodes": vnodes,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+    def to_text(self) -> str:
+        """Flat ``name value`` lines for terminal diffing."""
+        snap = self.snapshot()
+        lines = [f"# {snap['schema']} enabled={snap['enabled']} "
+                 f"dropped={snap['dropped_series']}"]
+        for label, data in snap["series"].items():
+            if data["type"] == "histogram":
+                lines.append(f"{label} count={data['count']} "
+                             f"sum={data['sum']}")
+            else:
+                lines.append(f"{label} {data['value']}")
+        for node, per_vnode in snap["vnodes"].items():
+            for vid, s in per_vnode.items():
+                lines.append(
+                    f"{node}/vnode/{vid} keys={s['keys']} "
+                    f"bytes={s['bytes']} reads={s['reads']} "
+                    f"writes={s['writes']}")
+        return "\n".join(lines)
+
+
+def diff_snapshots(before: dict, after: dict) -> dict:
+    """Series-level diff of two snapshots (CLI ``diff`` subcommand).
+
+    Returns ``{"added": [...], "removed": [...], "changed": {label:
+    {"before": ..., "after": ...}}}`` over both flat series and
+    per-vnode feed rows."""
+
+    def flatten(snap: dict) -> dict:
+        flat: dict[str, Any] = dict(snap.get("series", {}))
+        for node, per_vnode in snap.get("vnodes", {}).items():
+            for vid, stats in per_vnode.items():
+                flat[f"{node}/vnode/{vid}"] = stats
+        return flat
+
+    a, b = flatten(before), flatten(after)
+    return {
+        "added": sorted(set(b) - set(a)),
+        "removed": sorted(set(a) - set(b)),
+        "changed": {label: {"before": a[label], "after": b[label]}
+                    for label in sorted(set(a) & set(b))
+                    if a[label] != b[label]},
+    }
+
+
+#: Shared disabled registry — components built without observability
+#: default to this and hand out :data:`NOOP` everywhere.
+DISABLED = MetricsRegistry(enabled=False)

@@ -71,10 +71,15 @@ class MemStore:
     clock:
         Zero-argument callable returning the current time in seconds;
         inject ``lambda: sim.now`` to run on simulated time.
+    metrics / node:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` plus an
+        owner label; when given, command counts and byte volumes are
+        exported as ``mem.*`` series (no-op handles otherwise).
     """
 
     def __init__(self, memory_limit: int = 64 << 20,
-                 clock: Callable[[], float] = None):
+                 clock: Callable[[], float] = None,
+                 metrics=None, node: str = ""):
         self.slabs = SlabAllocator(memory_limit)
         self.table = HashTable(initial_power=6)
         self.clock = clock if clock is not None else (lambda: 0.0)
@@ -88,6 +93,16 @@ class MemStore:
         self.cmd_get = 0
         self.cmd_set = 0
         self.flush_epoch = -1.0
+        if metrics is None:
+            from ..obs.metrics import DISABLED
+            metrics = DISABLED
+        self._m_get = metrics.counter("mem.cmd_get", node=node)
+        self._m_set = metrics.counter("mem.cmd_set", node=node)
+        self._m_hits = metrics.counter("mem.hits", node=node)
+        self._m_misses = metrics.counter("mem.misses", node=node)
+        self._m_evictions = metrics.counter("mem.evictions", node=node)
+        self._m_bytes_in = metrics.counter("mem.bytes_in", node=node)
+        self._m_bytes_out = metrics.counter("mem.bytes_out", node=node)
 
     # -- internals ----------------------------------------------------------
     def _lru(self, cls: SlabClass) -> LruList:
@@ -128,6 +143,7 @@ class MemStore:
         self.table.remove(victim.key)
         self.slabs.free(victim.slab_class)
         self.evictions += 1
+        self._m_evictions.inc()
         return True
 
     def _store(self, key: bytes, value: bytes, flags: int, ttl: float) -> str:
@@ -151,6 +167,7 @@ class MemStore:
         item.lru_node = node
         self._lru(cls).push_front(node)
         self.table.put(key, item)
+        self._m_bytes_in.inc(len(key) + len(value))
         return StoreResult.STORED
 
     def _lookup(self, key: bytes) -> Optional[Item]:
@@ -163,11 +180,13 @@ class MemStore:
     def set(self, key: bytes, value: bytes, flags: int = 0, ttl: float = 0) -> str:
         """Unconditionally store."""
         self.cmd_set += 1
+        self._m_set.inc()
         return self._store(key, value, flags, ttl)
 
     def add(self, key: bytes, value: bytes, flags: int = 0, ttl: float = 0) -> str:
         """Store only when the key does not exist."""
         self.cmd_set += 1
+        self._m_set.inc()
         if self._live(self.table.get(key)) is not None:
             return StoreResult.NOT_STORED
         return self._store(key, value, flags, ttl)
@@ -175,6 +194,7 @@ class MemStore:
     def replace(self, key: bytes, value: bytes, flags: int = 0, ttl: float = 0) -> str:
         """Store only when the key already exists."""
         self.cmd_set += 1
+        self._m_set.inc()
         if self._live(self.table.get(key)) is None:
             return StoreResult.NOT_STORED
         return self._store(key, value, flags, ttl)
@@ -208,21 +228,29 @@ class MemStore:
     def get(self, key: bytes) -> Optional[bytes]:
         """Value bytes, or None on miss/expiry."""
         self.cmd_get += 1
+        self._m_get.inc()
         item = self._lookup(key)
         if item is None:
             self.misses += 1
+            self._m_misses.inc()
             return None
         self.hits += 1
+        self._m_hits.inc()
+        self._m_bytes_out.inc(len(item.value))
         return item.value
 
     def gets(self, key: bytes) -> Optional[tuple[bytes, int]]:
         """(value, cas token) for CAS round-trips."""
         self.cmd_get += 1
+        self._m_get.inc()
         item = self._lookup(key)
         if item is None:
             self.misses += 1
+            self._m_misses.inc()
             return None
         self.hits += 1
+        self._m_hits.inc()
+        self._m_bytes_out.inc(len(item.value))
         return item.value, item.cas
 
     def get_many(self, keys: list[bytes]) -> dict[bytes, bytes]:

@@ -83,9 +83,15 @@ class VersionedStore:
         Simulated-time source used for bookkeeping (not for versioning
         — versions come from client-supplied timestamps, as the paper
         specifies writes carry their own timestamps).
+    metrics / node:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` plus the
+        owning node's name; when given, op counts and rough byte sizes
+        are exported as ``store.*`` series.  Without a registry the
+        handles are shared no-ops.
     """
 
-    def __init__(self, clock: Callable[[], float] = None):
+    def __init__(self, clock: Callable[[], float] = None,
+                 metrics=None, node: str = ""):
         self.clock = clock if clock is not None else (lambda: 0.0)
         self.rows: dict[str, Row] = {}
         self._dirty_seq = 0
@@ -97,6 +103,21 @@ class VersionedStore:
         self.writes_ok = 0
         self.writes_outdated = 0
         self.reads = 0
+        if metrics is None:
+            from ..obs.metrics import DISABLED
+            metrics = DISABLED
+        self._m_writes_ok = metrics.counter("store.writes_ok", node=node)
+        self._m_writes_outdated = metrics.counter(
+            "store.writes_outdated", node=node)
+        self._m_reads = metrics.counter("store.reads", node=node)
+        self._m_bytes_written = metrics.counter(
+            "store.bytes_written", node=node)
+        self._m_bytes_read = metrics.counter("store.bytes_read", node=node)
+
+    @staticmethod
+    def _value_size(value: Any) -> int:
+        """Rough payload size for the byte-volume series."""
+        return len(value) if isinstance(value, (str, bytes)) else 8
 
     # -- write paths -------------------------------------------------------
     def _mark_dirty(self, key: str, row: Row) -> None:
@@ -121,10 +142,13 @@ class VersionedStore:
         if current is not None and (timestamp, source) <= (
                 current.timestamp, current.source):
             self.writes_outdated += 1
+            self._m_writes_outdated.inc()
             return WriteOutcome.OUTDATED
         row.elements = [ValueElement(source, timestamp, value)]
         self._mark_dirty(key, row)
         self.writes_ok += 1
+        self._m_writes_ok.inc()
+        self._m_bytes_written.inc(self._value_size(value))
         return WriteOutcome.OK
 
     def write_all(self, key: str, value: Any, timestamp: float,
@@ -141,12 +165,15 @@ class VersionedStore:
         existing = row.element_from(source)
         if existing is not None and timestamp <= existing.timestamp:
             self.writes_outdated += 1
+            self._m_writes_outdated.inc()
             return WriteOutcome.OUTDATED
         if existing is not None:
             row.elements.remove(existing)
         row.elements.append(ValueElement(source, timestamp, value))
         self._mark_dirty(key, row)
         self.writes_ok += 1
+        self._m_writes_ok.inc()
+        self._m_bytes_written.inc(self._value_size(value))
         return WriteOutcome.OK
 
     def write_multi(self, entries) -> dict[str, str]:
@@ -176,14 +203,22 @@ class VersionedStore:
     def read_latest(self, key: str) -> Optional[ValueElement]:
         """The freshest element regardless of which node wrote it."""
         self.reads += 1
+        self._m_reads.inc()
         row = self.rows.get(key)
-        return row.latest() if row is not None else None
+        latest = row.latest() if row is not None else None
+        if latest is not None:
+            self._m_bytes_read.inc(self._value_size(latest.value))
+        return latest
 
     def read_all(self, key: str) -> list[ValueElement]:
         """Every element of the value list (empty when absent)."""
         self.reads += 1
+        self._m_reads.inc()
         row = self.rows.get(key)
-        return list(row.elements) if row is not None else []
+        elements = list(row.elements) if row is not None else []
+        for el in elements:
+            self._m_bytes_read.inc(self._value_size(el.value))
+        return elements
 
     def read_multi(self, keys) -> dict[str, list[ValueElement]]:
         """Batch :meth:`read_all`; absent keys map to empty lists.

@@ -17,7 +17,7 @@ from ..core.cluster import SednaCluster
 from ..core.types import FullKey
 
 __all__ = ["ring_summary", "zk_summary", "node_summary",
-           "replication_health", "describe_cluster"]
+           "replication_health", "obs_summary", "describe_cluster"]
 
 
 def ring_summary(cluster: SednaCluster) -> dict:
@@ -76,6 +76,28 @@ def replication_health(cluster: SednaCluster, keys: list[str],
             "target": n}
 
 
+def obs_summary(cluster: SednaCluster, top: int = 10) -> dict:
+    """Metrics-registry digest: biggest counter series plus span totals.
+
+    Empty dict when the cluster was built without an observability
+    bundle."""
+    obs = cluster.obs
+    if obs is None:
+        return {}
+    snap = obs.snapshot()
+    counters = [(label, data["value"])
+                for label, data in snap["series"].items()
+                if data["type"] == "counter"]
+    counters.sort(key=lambda item: (-item[1], item[0]))
+    return {
+        "series": len(snap["series"]),
+        "dropped_series": snap["dropped_series"],
+        "top_counters": counters[:top],
+        "tracing": snap.get("tracing",
+                            {"traces": 0, "spans": 0, "dropped_spans": 0}),
+    }
+
+
 def describe_cluster(cluster: SednaCluster,
                      sample_keys: Optional[list[str]] = None) -> str:
     """Render the full status report."""
@@ -118,4 +140,14 @@ def describe_cluster(cluster: SednaCluster,
     net = cluster.network
     lines.append(f"\n-- Network: {net.delivered:,} delivered, "
                  f"{net.dropped:,} dropped --")
+
+    obs = obs_summary(cluster)
+    if obs:
+        tracing = obs["tracing"]
+        lines.append(f"\n-- Observability: {obs['series']} series "
+                     f"({obs['dropped_series']} dropped), "
+                     f"{tracing['traces']} traces / "
+                     f"{tracing['spans']} spans --")
+        lines.append(format_table(obs["top_counters"],
+                                  headers=("series", "count")))
     return "\n".join(lines)

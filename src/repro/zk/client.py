@@ -68,7 +68,8 @@ class ZkClient:
     """
 
     def __init__(self, sim: Simulator, network: Network, name: str,
-                 servers: list[str], config: Optional[ZkConfig] = None):
+                 servers: list[str], config: Optional[ZkConfig] = None,
+                 metrics=None):
         self.sim = sim
         self.name = name
         self.servers = list(servers)
@@ -93,6 +94,14 @@ class ZkClient:
         # Stats for the ZK-usage benches.
         self.ops_sent = 0
         self.retries = 0
+        if metrics is None:
+            from ..obs.metrics import DISABLED
+            metrics = DISABLED
+        self._m_reads = metrics.counter("zk.reads", node=name)
+        self._m_writes = metrics.counter("zk.writes", node=name)
+        self._m_watch_set = metrics.counter("zk.watches_set", node=name)
+        self._m_watch_fired = metrics.counter("zk.watches_fired", node=name)
+        self._m_retries = metrics.counter("zk.retries", node=name)
 
     # -- connection management ---------------------------------------------
     @property
@@ -106,6 +115,7 @@ class ZkClient:
     def _rotate(self) -> None:
         self._server_idx += 1
         self.retries += 1
+        self._m_retries.inc()
 
     def _call(self, method: str, args: Any):
         """Issue an RPC with server rotation on connectivity failures."""
@@ -173,6 +183,7 @@ class ZkClient:
 
     # -- data operations ---------------------------------------------------
     def _write(self, op: dict):
+        self._m_writes.inc()
         result = yield from self._call("zk.write",
                                        {"session": self.session_id or 0,
                                         "op": op})
@@ -251,9 +262,11 @@ class ZkClient:
         args = {"op": "get", "path": path, "watch": watch is not None,
                 "watcher": self.name, "epoch": self.last_epoch,
                 "zxid": self.last_zxid}
+        self._m_reads.inc()
         result = yield from self._call("zk.read", args)
         self._advance_frontier(result)
         if watch is not None:
+            self._m_watch_set.inc()
             self._watch_callbacks.setdefault(path, []).append(watch)
         return result["data"], result["stat"]
 
@@ -262,9 +275,11 @@ class ZkClient:
         args = {"op": "exists", "path": path, "watch": watch is not None,
                 "watcher": self.name, "epoch": self.last_epoch,
                 "zxid": self.last_zxid}
+        self._m_reads.inc()
         result = yield from self._call("zk.read", args)
         self._advance_frontier(result)
         if watch is not None:
+            self._m_watch_set.inc()
             self._watch_callbacks.setdefault(path, []).append(watch)
         return result["stat"]
 
@@ -274,9 +289,11 @@ class ZkClient:
         args = {"op": "get_children", "path": path, "watch": watch is not None,
                 "watcher": self.name, "epoch": self.last_epoch,
                 "zxid": self.last_zxid}
+        self._m_reads.inc()
         result = yield from self._call("zk.read", args)
         self._advance_frontier(result)
         if watch is not None:
+            self._m_watch_set.inc()
             self._watch_callbacks.setdefault(path, []).append(watch)
         return result["children"]
 
@@ -286,5 +303,7 @@ class ZkClient:
             return
         event = body["event"]
         callbacks = self._watch_callbacks.pop(event["path"], [])
+        if callbacks:
+            self._m_watch_fired.inc(len(callbacks))
         for cb in callbacks:
             cb(event)

@@ -1,0 +1,84 @@
+"""Unit tests for the invariant checkers, focused on the freshness /
+durability-loss carve-out (the seed-2 anomaly root cause).
+
+A write acked at W quorum is only guaranteed visible to later reads
+while at least one acker still holds it.  When every acker crashes
+(memory-first store, asynchronous persistence) the value is provably
+gone — the checker must report that as an *expected* durability loss,
+not a freshness violation, and must keep hard-failing staleness
+whenever any acker survived.
+"""
+
+from repro.chaos.history import History
+from repro.chaos.invariants import FinalState, check_freshness
+
+
+def _history(read_status="found", read_ts=1.0, read_src="c1"):
+    """w1(ts=1, acks n1,n2) -> w2(ts=2, acks n2,n3) -> read at t=5."""
+    h = History()
+    w1 = h.begin("c1", "write_latest", "k", 1.0, value="a", ts=1.0)
+    h.complete(w1, 1.1, "ok", acks=("n1", "n2"))
+    w2 = h.begin("c1", "write_latest", "k", 2.0, value="b", ts=2.0)
+    h.complete(w2, 2.1, "ok", acks=("n2", "n3"))
+    r = h.begin("c2", "read_latest", "k", 5.0)
+    if read_status == "found":
+        h.complete(r, 5.1, "found", result_ts=read_ts,
+                   result_source=read_src, result_value="a",
+                   responders=("n1",))
+    else:
+        h.complete(r, 5.1, read_status, responders=("n1",))
+    return h
+
+
+class TestDurabilityLossCarveOut:
+    def test_stale_read_is_hard_violation_without_crashes(self):
+        anomalies = check_freshness(_history(), FinalState())
+        assert [a.invariant for a in anomalies] == ["freshness"]
+        assert not anomalies[0].expected
+
+    def test_whole_ack_set_crashed_downgrades_to_expected(self):
+        crashes = ((3.0, "n2"), (4.0, "n3"))
+        anomalies = check_freshness(_history(), FinalState(),
+                                    crashes=crashes)
+        assert [a.invariant for a in anomalies] == ["durability-loss"]
+        assert anomalies[0].expected
+        assert "all ackers crashed" in anomalies[0].detail
+
+    def test_surviving_acker_keeps_hard_violation(self):
+        crashes = ((3.0, "n2"),)  # n3, an acker of w2, stayed up
+        anomalies = check_freshness(_history(), FinalState(),
+                                    crashes=crashes)
+        assert [a.invariant for a in anomalies] == ["freshness"]
+        assert not anomalies[0].expected
+
+    def test_crash_before_ack_does_not_excuse(self):
+        # Crashes predating the ack can't have wiped the write.
+        crashes = ((0.5, "n2"), (0.5, "n3"))
+        anomalies = check_freshness(_history(), FinalState(),
+                                    crashes=crashes)
+        assert [a.invariant for a in anomalies] == ["freshness"]
+
+    def test_crash_after_read_does_not_excuse(self):
+        crashes = ((6.0, "n2"), (6.0, "n3"))
+        anomalies = check_freshness(_history(), FinalState(),
+                                    crashes=crashes)
+        assert [a.invariant for a in anomalies] == ["freshness"]
+
+    def test_fresh_read_reports_nothing(self):
+        anomalies = check_freshness(
+            _history(read_ts=2.0), FinalState(),
+            crashes=((3.0, "n2"), (4.0, "n3")))
+        assert anomalies == []
+
+    def test_miss_with_every_ack_set_lost_is_expected(self):
+        crashes = ((3.0, "n1"), (3.0, "n2"), (4.0, "n3"))
+        anomalies = check_freshness(_history(read_status="miss"),
+                                    FinalState(), crashes=crashes)
+        assert [a.invariant for a in anomalies] == ["durability-loss"]
+        assert anomalies[0].expected
+
+    def test_miss_with_surviving_acker_is_hard(self):
+        crashes = ((3.0, "n2"), (4.0, "n3"))  # n1 still holds w1
+        anomalies = check_freshness(_history(read_status="miss"),
+                                    FinalState(), crashes=crashes)
+        assert [a.invariant for a in anomalies] == ["freshness"]

@@ -27,6 +27,12 @@ class TestPercentile:
     def test_order_independent(self):
         assert percentile([3, 1, 2], 50) == percentile([1, 2, 3], 50)
 
+    def test_two_elements_interpolates(self):
+        assert percentile([10.0, 20.0], 50) == pytest.approx(15.0)
+        assert percentile([10.0, 20.0], 95) == pytest.approx(19.5)
+        assert percentile([10.0, 20.0], 0) == 10.0
+        assert percentile([10.0, 20.0], 100) == 20.0
+
 
 class TestSummarize:
     def test_empty(self):
@@ -38,6 +44,17 @@ class TestSummarize:
         assert s["mean"] == pytest.approx(2.0)
         assert s["min"] == 1.0 and s["max"] == 3.0
         assert s["total"] == pytest.approx(6.0)
+
+    def test_generator_input(self):
+        s = summarize(x / 10 for x in range(1, 4))
+        assert s["count"] == 3
+        assert s["total"] == pytest.approx(0.6)
+
+    def test_singleton(self):
+        s = summarize([0.25])
+        assert s["count"] == 1
+        assert s["mean"] == s["min"] == s["max"] == 0.25
+        assert s["p50"] == s["p95"] == s["p99"] == 0.25
 
 
 class TestLatencySeries:
@@ -62,3 +79,28 @@ class TestLatencySeries:
             series.record(0.001, every=1000)
         series.finish()
         assert [n for n, _ in series.points] == [1000]
+
+    def test_finish_empty_is_noop(self):
+        series = LatencySeries("w")
+        series.finish()
+        series.finish()
+        assert series.points == []
+        assert series.count == 0
+
+    def test_finish_flushes_short_tail(self):
+        series = LatencySeries("w")
+        for _ in range(7):
+            series.record(0.002, every=1000)
+        assert series.points == []  # below the first sample boundary
+        series.finish()
+        assert series.points == [(7, pytest.approx(14.0))]
+        series.finish()  # repeated finish adds nothing
+        assert len(series.points) == 1
+
+    def test_record_rejects_bad_every(self):
+        series = LatencySeries("w")
+        with pytest.raises(ValueError):
+            series.record(0.001, every=0)
+        with pytest.raises(ValueError):
+            series.record(0.001, every=-5)
+        assert series.count == 0

@@ -62,7 +62,72 @@ class TestTapBasics:
         a.send("b", "to-b")
         a.send("c", "to-c")
         sim.run()
-        assert {r.dst for r in tap.records} == {"b"}
+        assert tap.count(dst="b") == 1
+        assert tap.count(dst="c") == 0
+        assert tap.count() == 1
+
+    def test_between_is_bidirectional(self):
+        sim = Simulator()
+        net = Network(sim, latency=NoLatency())
+        tap = NetworkTap(net)
+        a, b = net.endpoint("a"), net.endpoint("b")
+        net.endpoint("c")
+        a.send("b", "fwd")
+        b.send("a", "back")
+        a.send("c", "other")
+        sim.run()
+        pair = tap.between("a", "b")
+        assert [(r.src, r.dst) for r in pair] == [("a", "b"), ("b", "a")]
+        assert tap.between("b", "a") == pair
+
+    def test_reset_starts_fresh_window(self):
+        sim = Simulator()
+        net = Network(sim, latency=NoLatency())
+        tap = NetworkTap(net)
+        a = net.endpoint("a")
+        net.endpoint("b")
+        a.send("b", "one")
+        a.send("b", "two")
+        sim.run()
+        assert tap.reset() == 2
+        a.send("b", "three")
+        sim.run()
+        assert len(tap.records) == 1
+        assert tap.reset() == 1
+        assert tap.records == []
+
+
+class TestTraceSlicing:
+    def test_tap_slices_traffic_per_request_trace(self):
+        from repro.obs import Observability
+        obs = Observability(metrics=False, tracing=True)
+        cluster = SednaCluster(n_nodes=3, zk_size=3,
+                               config=SednaConfig(num_vnodes=16), obs=obs)
+        cluster.start()
+        client = cluster.client("t")
+        tap = NetworkTap(cluster.network)
+
+        def go():
+            yield from client.write_latest("k", "v")
+            yield from client.read_latest("k")
+            return True
+
+        cluster.run(go())
+        tap.detach()
+        trace_ids = sorted({r.trace for r in tap.records
+                            if r.trace is not None})
+        assert len(trace_ids) == 2, "one trace per client op"
+        write_tr, read_tr = trace_ids
+        # Each request's remote fan-out is attributed to its own trace
+        # (the coordinator is itself one of the 3 replicas, so 2 of the
+        # replica ops cross the network per request).
+        assert tap.count(kind="req", method="replica.write",
+                         trace=write_tr) == 2
+        assert tap.count(kind="req", method="replica.write",
+                         trace=read_tr) == 0
+        assert tap.count(kind="req", method="replica.read",
+                         trace=read_tr) == 2
+        assert len(tap.for_trace(write_tr)) == tap.count(trace=write_tr)
 
 
 class TestProtocolCosts:
@@ -127,7 +192,7 @@ class TestProtocolCosts:
 
         cluster.run(workload())
         tap.detach()
-        zk_data_ops = [r for r in tap.records
-                       if r.method in ("zk.read", "zk.write")]
+        zk_data_ops = tap.select(method="zk.read") \
+            + tap.select(method="zk.write")
         assert zk_data_ops == [], (
             f"steady-state KV traffic leaked to ZooKeeper: {zk_data_ops}")

@@ -1,0 +1,175 @@
+"""Unit tests for the metrics registry and the per-vnode stats feed."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_BUCKETS, NOOP, MetricsRegistry,
+                               SNAPSHOT_SCHEMA, VnodeStatsFeed,
+                               diff_snapshots)
+
+
+class TestHandles:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops", node="n1")
+        c.inc()
+        c.inc(4)
+        g = reg.gauge("depth", node="n1")
+        g.set(3.0)
+        g.add(-1.0)
+        assert c.value == 5
+        assert g.value == 2.0
+
+    def test_handles_are_cached(self):
+        reg = MetricsRegistry()
+        assert reg.counter("ops", node="n1") is reg.counter("ops", node="n1")
+        assert reg.counter("ops", node="n1") is not reg.counter("ops",
+                                                                node="n2")
+        assert reg.counter("ops", node="n1", vnode=3) is not \
+            reg.counter("ops", node="n1")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", node="n1")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("ops", node="n1")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("ops", node="n1")
+
+    def test_disabled_registry_hands_out_shared_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("ops", node="n1")
+        h = reg.histogram("lat", node="n1")
+        assert c is NOOP and h is NOOP
+        c.inc(100)
+        h.observe(1.0)
+        assert c.value == 0 and h.count == 0
+        snap = reg.snapshot()
+        assert snap["enabled"] is False
+        assert snap["series"] == {}
+
+    def test_cardinality_cap_degrades_to_noop(self):
+        reg = MetricsRegistry(max_series=2)
+        a = reg.counter("a")
+        b = reg.counter("b")
+        c = reg.counter("c")
+        d = reg.counter("d")
+        assert a is not NOOP and b is not NOOP
+        assert c is NOOP and d is NOOP
+        assert reg.dropped_series == 2
+        assert reg.snapshot()["dropped_series"] == 2
+        # Existing series still resolve to their live handles.
+        assert reg.counter("a") is a
+
+
+class TestHistogram:
+    def test_boundary_lands_in_its_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.001, 0.01, 0.1))
+        h.observe(0.001)   # exactly on the first boundary
+        h.observe(0.0005)  # below the first boundary
+        h.observe(0.05)    # between 0.01 and 0.1
+        h.observe(5.0)     # above the last boundary -> +inf
+        data = h.export()
+        assert data["buckets"] == {"0.001": 2, "0.01": 0, "0.1": 1}
+        assert data["inf"] == 1
+        assert data["count"] == 4
+        assert data["sum"] == pytest.approx(5.0515)
+
+    def test_default_buckets_cover_latency_range(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        assert h.bounds == DEFAULT_BUCKETS
+        for value in (0.00005, 0.003, 2.0, 30.0):
+            h.observe(value)
+        data = h.export()
+        assert data["count"] == 4
+        assert data["inf"] == 1  # only the 30 s outlier
+
+    def test_same_name_different_buckets_reuses_first(self):
+        reg = MetricsRegistry()
+        h1 = reg.histogram("lat", buckets=(1.0,))
+        h2 = reg.histogram("lat", buckets=(2.0, 3.0))
+        assert h1 is h2
+        assert h1.bounds == (1.0,)
+
+
+class TestVnodeStatsFeed:
+    def test_row_aggregates_statuses(self):
+        feed = VnodeStatsFeed("n1")
+        feed.record_read(3)
+        feed.record_read(3)
+        feed.record_write(7, n=5)
+        feed.key_added(3, size=10)
+        feed.key_added(7, size=4)
+        feed.key_removed(7, size=4)
+        assert feed.row() == {"vnodes": 2, "keys": 1, "bytes": 10,
+                              "reads": 2, "writes": 5}
+
+    def test_per_vnode_sorted_export(self):
+        feed = VnodeStatsFeed("n1")
+        feed.record_write(9)
+        feed.record_read(2)
+        assert list(feed.per_vnode()) == ["2", "9"]
+        assert feed.per_vnode()["9"]["writes"] == 1
+
+    def test_discard_drops_vnode(self):
+        feed = VnodeStatsFeed("n1")
+        feed.record_read(1)
+        feed.discard(1)
+        assert feed.row()["vnodes"] == 0
+
+    def test_feed_replaced_on_reregister(self):
+        reg = MetricsRegistry()
+        old = VnodeStatsFeed("n1")
+        new = VnodeStatsFeed("n1")
+        reg.register_feed(old)
+        reg.register_feed(new)
+        assert list(reg.feeds()) == [new]
+
+
+class TestSnapshot:
+    def _loaded(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", node="n1").inc(3)
+        reg.counter("ops", node="n1", vnode=4).inc(1)
+        reg.gauge("depth").set(2.5)
+        reg.histogram("lat", node="n1", buckets=(0.1,)).observe(0.05)
+        feed = VnodeStatsFeed("n1")
+        feed.record_read(4)
+        reg.register_feed(feed)
+        return reg
+
+    def test_schema_and_labels(self):
+        snap = self._loaded().snapshot()
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert set(snap["series"]) == {"n1/ops", "n1/v4/ops", "-/depth",
+                                       "n1/lat"}
+        assert snap["vnodes"]["n1"]["4"]["reads"] == 1
+
+    def test_identical_runs_export_identical_json(self):
+        a, b = self._loaded(), self._loaded()
+        assert a.to_json() == b.to_json()
+
+    def test_to_text_lines(self):
+        text = self._loaded().to_text()
+        assert "n1/ops 3" in text
+        assert "n1/lat count=1" in text
+        assert "n1/vnode/4 keys=0 bytes=0 reads=1 writes=0" in text
+
+    def test_diff_snapshots(self):
+        reg = self._loaded()
+        before = reg.snapshot()
+        reg.counter("ops", node="n1").inc(2)
+        reg.counter("new", node="n2").inc()
+        after = reg.snapshot()
+        delta = diff_snapshots(before, after)
+        assert "n2/new" in delta["added"]
+        assert delta["removed"] == []
+        assert delta["changed"]["n1/ops"]["before"]["value"] == 3
+        assert delta["changed"]["n1/ops"]["after"]["value"] == 5
+
+    def test_snapshot_round_trips_through_json(self):
+        snap = self._loaded().snapshot()
+        assert json.loads(json.dumps(snap)) == snap

@@ -1,0 +1,190 @@
+"""Unit tests for the span tracer: span trees, kernel inheritance,
+envelope propagation, caps, and rendering."""
+
+import pytest
+
+from repro.net.latency import NoLatency
+from repro.net.rpc import RpcNode
+from repro.net.simulator import Simulator
+from repro.net.transport import Network
+from repro.obs.trace import SpanTracer, format_timeline
+
+
+class TestSpanTree:
+    def test_root_and_children(self):
+        tracer = SpanTracer()
+        root = tracer.start_trace("op", node="client")
+        child = tracer.begin("hop", node="server")
+        tracer.finish(child, status="ok")
+        tracer.finish(root)
+        spans = tracer.spans(root.trace_id)
+        assert [s.name for s in spans] == ["op", "hop"]
+        assert spans[0].parent_id is None
+        assert spans[1].parent_id == root.span_id
+        assert spans[1].tags == {"status": "ok"}
+
+    def test_begin_without_trace_returns_none(self):
+        tracer = SpanTracer()
+        assert tracer.begin("orphan") is None
+        tracer.finish(None)  # None-safe
+        assert tracer.span_count == 0
+
+    def test_sequential_traces_get_fresh_ids(self):
+        tracer = SpanTracer()
+        a = tracer.start_trace("a")
+        b = tracer.start_trace("b")
+        assert a.trace_id != b.trace_id
+        assert tracer.trace_names == {a.trace_id: "a", b.trace_id: "b"}
+
+    def test_max_spans_cap(self):
+        tracer = SpanTracer(max_spans=2)
+        root = tracer.start_trace("op")
+        tracer.begin("kept")
+        dropped = tracer.begin("dropped")
+        assert tracer.span_count == 2
+        assert tracer.dropped_spans == 1
+        assert len(tracer.spans(root.trace_id)) == 2
+        tracer.finish(dropped)  # dropped spans can still be finished
+        assert dropped.end is not None
+
+    def test_single_tracer_slot(self):
+        sim = Simulator()
+        SpanTracer().attach(sim)
+        with pytest.raises(ValueError, match="already has a tracer"):
+            SpanTracer().attach(sim)
+
+    def test_detach_frees_the_slot(self):
+        sim = Simulator()
+        tracer = SpanTracer().attach(sim)
+        tracer.detach()
+        assert sim.tracer is None
+        SpanTracer().attach(sim)  # slot is reusable
+
+
+class TestKernelInheritance:
+    def test_events_inherit_context_across_yields(self):
+        sim = Simulator()
+        tracer = SpanTracer().attach(sim)
+        seen = []
+
+        def op():
+            root = tracer.start_trace("op", node="a")
+            yield sim.timeout(0.5)
+            # Resumed inside an event scheduled during the traced
+            # window -> the context survived the yield.
+            seen.append(tracer.current_ctx())
+            child = tracer.begin("late", node="a")
+            tracer.finish(child)
+            tracer.finish(root)
+            return root.trace_id
+
+        proc = sim.process(op())
+        trace_id = sim.run(until=proc)
+        assert seen == [(trace_id, 1)]
+        spans = tracer.spans(trace_id)
+        assert [s.name for s in spans] == ["op", "late"]
+        assert spans[1].start == pytest.approx(0.5)
+
+    def test_untraced_events_carry_no_context(self):
+        sim = Simulator()
+        tracer = SpanTracer().attach(sim)
+        seen = []
+
+        def plain():
+            yield sim.timeout(0.1)
+            seen.append(tracer.current_ctx())
+
+        sim.process(plain())
+        sim.run()
+        assert seen == [None]
+
+    def test_concurrent_traces_do_not_bleed(self):
+        sim = Simulator()
+        tracer = SpanTracer().attach(sim)
+        out = {}
+
+        def op(name, delay):
+            root = tracer.start_trace(name, node=name)
+            yield sim.timeout(delay)
+            out[name] = tracer.current_ctx()
+            tracer.finish(root)
+
+        sim.process(op("left", 0.3))
+        sim.process(op("right", 0.2))
+        sim.run()
+        assert out["left"] != out["right"]
+        assert out["left"][0] != out["right"][0]
+
+
+class TestEnvelopePropagation:
+    def _world(self):
+        sim = Simulator()
+        net = Network(sim, latency=NoLatency())
+        tracer = SpanTracer().attach(sim)
+        net.tracer = tracer
+        client = RpcNode(net, "c")
+        client.tracer = tracer
+        server = RpcNode(net, "s")
+        server.tracer = tracer
+        return sim, net, tracer, client, server
+
+    def test_serve_span_joins_the_callers_trace(self):
+        sim, net, tracer, client, server = self._world()
+        server.register("echo", lambda src, args: args)
+
+        def go():
+            root = tracer.start_trace("op", node="c")
+            yield from client.call("s", "echo", 42, timeout=1.0)
+            tracer.finish(root)
+            return root.trace_id
+
+        proc = sim.process(go())
+        trace_id = sim.run(until=proc)
+        spans = tracer.spans(trace_id)
+        names = [(s.name, s.node) for s in spans]
+        assert ("rpc.echo", "s") in names
+        serve = next(s for s in spans if s.name == "rpc.echo")
+        assert serve.parent_id == spans[0].span_id
+        assert serve.tags["status"] == "ok"
+        assert serve.end is not None
+
+    def test_untraced_calls_have_clean_envelopes(self):
+        sim, net, tracer, client, server = self._world()
+        payloads = []
+        server.register("echo", lambda src, args: args)
+        net.add_filter(
+            lambda src, dst, p: payloads.append(p) or True)
+
+        def go():
+            yield from client.call("s", "echo", 1, timeout=1.0)
+            return True
+
+        sim.process(go())
+        sim.run()
+        requests = [p for p in payloads
+                    if isinstance(p, dict) and p.get("kind") == "req"]
+        assert requests and all("tr" not in p for p in requests)
+
+
+class TestTimeline:
+    def test_format_timeline_renders_tree(self):
+        sim = Simulator()
+        tracer = SpanTracer().attach(sim)
+
+        def op():
+            root = tracer.start_trace("op", node="c")
+            child = tracer.begin("hop", node="s")
+            yield sim.timeout(0.25)
+            tracer.finish(child, status="ok")
+            tracer.finish(root)
+            return root.trace_id
+
+        proc = sim.process(op())
+        trace_id = sim.run(until=proc)
+        text = format_timeline(tracer, trace_id)
+        assert "trace 1 'op'" in text
+        assert "total=250.000ms" in text
+        assert "hop @s status=ok" in text
+
+    def test_format_timeline_empty_trace(self):
+        assert "no spans" in format_timeline(SpanTracer(), 99)
