@@ -1,0 +1,158 @@
+"""Hot-spot rebalancing: count-only vs load-aware (heat) planning.
+
+The cluster starts perfectly *count*-balanced (round-robin preassign,
+4 vnodes per node), so a vnode-count rebalancer sees nothing to do.
+The workload, however, only touches keys that hash to node0's vnodes:
+node0 and its successor replicas saturate their request-handling
+queues while half the cluster idles.  A heat-mode rebalancer reads the
+read/write/key activity out of the imbalance rows, migrates the hot
+vnodes to the idle nodes, and both the hot-spot p99 read latency and
+the per-node op-rate spread drop.
+
+Results land in ``benchmarks/results/BENCH_rebalance.json``:
+load-aware must beat count-only on p99 read latency and on per-node
+op-rate spread (ISSUE 5 acceptance criterion).
+"""
+
+import json
+from pathlib import Path
+
+from repro.core.cluster import SednaCluster
+from repro.core.config import SednaConfig
+from repro.core.hashring import Ring
+from repro.core.rebalance import Rebalancer
+from repro.core.stats import spread_stats
+from repro.core.types import FullKey
+from repro.zk.server import ZkConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_NODES = 6
+NUM_VNODES = 24
+N_HOT = 16          # hot keys, all hashing to node0-owned vnodes
+N_CLIENTS = 8
+WARM_ROUNDS = 60    # heat builds up; migrations run
+MEASURE_ROUNDS = 40
+
+
+def hot_keys():
+    """Keys whose vnode is ≡ 0 (mod N_NODES) — all primaried on node0
+    by the round-robin preassignment."""
+    ring = Ring(NUM_VNODES)
+    keys = []
+    i = 0
+    while len(keys) < N_HOT:
+        key = f"hot{i}"
+        if ring.vnode_of(FullKey.of(key).encoded()) % N_NODES == 0:
+            keys.append(key)
+        i += 1
+    return keys
+
+
+def _client_loop(client, keys, rounds, offset, latencies=None):
+    """Reads over the hot set (plus one write per round to keep the
+    write heat flowing); staggered offsets keep the clients from
+    lock-stepping on the same key."""
+    sim = client.sim
+    for round_no in range(rounds):
+        write_key = keys[(offset + round_no) % len(keys)]
+        yield from client.write_latest(write_key, round_no)
+        for j in range(len(keys)):
+            key = keys[(offset + j) % len(keys)]
+            t0 = sim.now
+            yield from client.read_latest(key)
+            if latencies is not None:
+                latencies.append(sim.now - t0)
+    return True
+
+
+def _served_ops(cluster):
+    return {name: node.replica_reads + node.replica_writes
+            for name, node in cluster.nodes.items()}
+
+
+def run_mode(mode):
+    cluster = SednaCluster(n_nodes=N_NODES, zk_size=3,
+                           config=SednaConfig(
+                               num_vnodes=NUM_VNODES,
+                               imbalance_push_interval=0.5,
+                               lease_base=0.5),
+                           zk_config=ZkConfig(session_timeout=2.0),
+                           seed=17)
+    cluster.start()
+    cluster.settle(1.0)
+    keys = hot_keys()
+
+    clients = [cluster.smart_client(f"bench{i}") for i in range(N_CLIENTS)]
+    cluster.run_all([c.connect() for c in clients])
+    cluster.run(_client_loop(clients[0], keys, rounds=1, offset=0))
+
+    rebalancer = Rebalancer(cluster.nodes["node5"], interval=0.5,
+                            threshold=1, mode=mode)
+    rebalancer.start()
+
+    # Warmup: the hot spot forms, imbalance rows flow, migrations run.
+    cluster.run_all([_client_loop(c, keys, WARM_ROUNDS, offset=2 * i)
+                     for i, c in enumerate(clients)])
+    cluster.settle(3.0)  # let in-flight migrations finish
+
+    # Measurement window.
+    before_ops = _served_ops(cluster)
+    t0 = cluster.sim.now
+    latencies = []
+    cluster.run_all([_client_loop(c, keys, MEASURE_ROUNDS, offset=2 * i,
+                                  latencies=latencies)
+                     for i, c in enumerate(clients)])
+    elapsed = cluster.sim.now - t0
+    after_ops = _served_ops(cluster)
+    rebalancer.stop()
+
+    rates = [(after_ops[n] - before_ops[n]) / elapsed
+             for n in sorted(after_ops)]
+    ordered = sorted(latencies)
+    reads = len(ordered)
+    done = sum(1 for m in rebalancer.ledger() if m["state"] == "done")
+    return {
+        "mode": mode,
+        "reads_measured": reads,
+        "p99_read_ms": round(ordered[int(0.99 * reads) - 1] * 1000, 3),
+        "mean_read_ms": round(sum(ordered) / reads * 1000, 3),
+        "node_ops_per_sec": {n: round(r, 1)
+                             for n, r in zip(sorted(after_ops), rates)},
+        "op_rate_spread": {k: round(v, 3)
+                           for k, v in spread_stats(rates).items()},
+        "rebalancer": {"passes": rebalancer.passes,
+                       "moves": rebalancer.moves,
+                       "migrations_done": done,
+                       "chunks": rebalancer.chunks,
+                       "bytes_moved": rebalancer.bytes_moved,
+                       "aborts": rebalancer.aborts},
+    }
+
+
+def test_rebalance_heat_vs_count():
+    count = run_mode("count")
+    heat = run_mode("heat")
+    report = {
+        "bench": "rebalance_heat",
+        "cluster": {"nodes": N_NODES, "vnodes": NUM_VNODES, "replicas": 3,
+                    "clients": N_CLIENTS, "hot_keys": N_HOT},
+        "count": count,
+        "heat": heat,
+        "p99_speedup": round(count["p99_read_ms"] / heat["p99_read_ms"], 2),
+        "spread_reduction": round(
+            count["op_rate_spread"]["rel_spread"]
+            / max(heat["op_rate_spread"]["rel_spread"], 1e-9), 2),
+    }
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print("\n" + text)
+    (RESULTS_DIR / "BENCH_rebalance.json").write_text(text + "\n")
+
+    # The count-balanced start means the count planner never moves;
+    # the heat planner must actually migrate vnodes off the hot spot.
+    assert count["rebalancer"]["moves"] == 0
+    assert heat["rebalancer"]["migrations_done"] > 0
+    # Acceptance: load-aware beats count-only on both axes.
+    assert heat["p99_read_ms"] < count["p99_read_ms"], report
+    assert (heat["op_rate_spread"]["rel_spread"]
+            < count["op_rate_spread"]["rel_spread"]), report

@@ -50,6 +50,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--hazards", action="store_true",
                         help="attach the tie-hazard detector "
                              "(repro.analysis.hazards) to the run")
+    parser.add_argument("--rebalance", action="store_true",
+                        help="host a load-aware rebalancer so live "
+                             "chunked migrations race the fault "
+                             "schedule (adds the migration invariant)")
     args = parser.parse_args(argv)
 
     seeds = _parse_seeds(args.seeds) if args.seeds else [args.seed]
@@ -58,7 +62,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = ChaosRunner(seed=seed, profile=args.profile,
                              duration=args.duration,
                              n_nodes=args.nodes,
-                             hazards=args.hazards).run()
+                             hazards=args.hazards,
+                             rebalance=args.rebalance).run()
         print(report.describe())
         if not report.ok or report.hazards:
             failed += 1

@@ -30,6 +30,9 @@ Five invariants, matching the promises the cluster actually makes:
    element from the merged value list.
 5. **cache convergence** — every running node's and every client's
    mapping cache equals the ZooKeeper assignment.
+6. **migration safety** — when the run hosted a rebalancer, every
+   ledger entry ends resolved and no key of a migrated vnode became
+   unreachable (see :func:`check_migrations`).
 
 Keys touched by a ``delete`` are excluded from 1-4: the store keeps no
 tombstones, so anti-entropy may legitimately resurrect a deleted key
@@ -46,7 +49,7 @@ from .history import History
 
 __all__ = ["Anomaly", "FinalState", "check_all", "check_durability",
            "check_freshness", "check_replication", "check_value_lists",
-           "check_cache_convergence"]
+           "check_cache_convergence", "check_migrations"]
 
 
 @dataclass(frozen=True)
@@ -269,19 +272,70 @@ def check_cache_convergence(history: History,
     return anomalies
 
 
+def check_migrations(history: History, state: FinalState,
+                     migrations: tuple = ()) -> list[Anomaly]:
+    """Invariant 6: no acked write lost or key unreachable across a
+    live migration.
+
+    ``migrations`` is the rebalancer ledger (``Rebalancer.ledger()``
+    rows).  Every entry must end resolved (``done`` or ``aborted`` —
+    the runner aborts parked copies at quiesce, and a parked copy is
+    safe because the donor still owns the vnode).  For every key whose
+    vnode completed a migration, some replica of the final
+    authoritative set must still hold the key — the chunk stream, the
+    forwarding window and the pre-cutover digest verify together
+    guarantee the receiver took over with nothing stranded on the
+    donor.  Staleness/lost-update safety on those same keys rides the
+    global durability/freshness/value-list checkers.
+    """
+    anomalies = []
+    tainted = history.deleted_keys()
+    done_vnodes: dict[int, dict] = {}
+    for entry in migrations:
+        vnode_id = entry.get("vnode")
+        if entry.get("state") == "done":
+            done_vnodes[vnode_id] = entry
+        elif entry.get("state") != "aborted":
+            anomalies.append(Anomaly(
+                "migration", f"vnode-{vnode_id}",
+                f"ledger entry unresolved after quiesce: state="
+                f"{entry.get('state')!r} {entry.get('donor')} -> "
+                f"{entry.get('receiver')} (reason={entry.get('reason')!r})"))
+    if not done_vnodes:
+        return anomalies
+    for key in sorted(state.replica_sets):
+        vnode_id, replicas = state.replica_sets[key]
+        if vnode_id not in done_vnodes or key in tainted:
+            continue
+        if not history.acked_writes(key):
+            continue
+        holders = state.holders.get(key, {})
+        if not any(holders.get(r) for r in replicas):
+            entry = done_vnodes[vnode_id]
+            anomalies.append(Anomaly(
+                "migration", key,
+                f"unreachable after vnode {vnode_id} migrated "
+                f"{entry['donor']} -> {entry['receiver']}: no replica "
+                f"of {replicas} holds it"))
+    return anomalies
+
+
 CHECKS = (check_durability, check_freshness, check_replication,
-          check_value_lists, check_cache_convergence)
+          check_value_lists, check_cache_convergence, check_migrations)
 
 
 def check_all(history: History, state: FinalState,
-              crashes: tuple = ()) -> list[Anomaly]:
+              crashes: tuple = (),
+              migrations: tuple = ()) -> list[Anomaly]:
     """Run every invariant; no unexpected anomalies == the run was
     safe.  ``crashes`` feeds the freshness checker's durability-loss
-    carve-out."""
+    carve-out; ``migrations`` feeds the migration checker's ledger."""
     anomalies: list[Anomaly] = []
     for check in CHECKS:
         if check is check_freshness:
             anomalies.extend(check(history, state, crashes=crashes))
+        elif check is check_migrations:
+            anomalies.extend(check(history, state, migrations=migrations))
         else:
             anomalies.extend(check(history, state))
     return anomalies

@@ -6,8 +6,10 @@ One :class:`ChaosRunner` run is fully determined by its parameters:
 2. attach a :class:`~repro.net.tap.NetworkTap` streaming into the
    history's message tallies;
 3. start background maintenance (anti-entropy, GC, active detection —
-   rebalancing stays off so the assignment only moves through the
-   §III.C/D recovery paths under test);
+   rebalancing stays off by default so the assignment only moves
+   through the §III.C/D recovery paths under test; ``rebalance=True``
+   hosts a load-aware rebalancer so live chunked migrations race the
+   fault schedule, checked by the migration invariant);
 4. run seeded smart-client workloads while the seeded fault schedule
    injects crashes, restarts, partitions and message loss;
 5. quiesce: heal everything, restart every crashed node, let
@@ -66,6 +68,8 @@ class ChaosReport:
     # Metrics snapshot from the opt-in observability bundle (obs=True);
     # empty dict when obs was off.
     obs_snapshot: dict = field(default_factory=dict)
+    # Rebalancer ledger rows (rebalance=True); empty when it was off.
+    migrations: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -99,6 +103,12 @@ class ChaosReport:
         if expected:
             lines.append(f"  expected anomalies ({len(expected)}):")
             lines.extend(f"    {a}" for a in expected)
+        if self.migrations:
+            done = sum(1 for m in self.migrations if m["state"] == "done")
+            aborted = sum(1 for m in self.migrations
+                          if m["state"] == "aborted")
+            lines.append(f"  migrations: {len(self.migrations)} driven "
+                         f"({done} committed, {aborted} aborted)")
         if self.hazard_report:
             lines.append("  " + self.hazard_report.replace("\n", "\n  "))
         return "\n".join(lines)
@@ -139,7 +149,8 @@ class ChaosRunner:
                  config: Optional[SednaConfig] = None,
                  zk_config: Optional[ZkConfig] = None,
                  hazards: bool = False,
-                 obs: bool = False):
+                 obs: bool = False,
+                 rebalance: bool = False):
         if hazards and obs:
             # Both want the simulator's single tracer slot.
             raise ValueError("hazards and obs are mutually exclusive: "
@@ -161,6 +172,8 @@ class ChaosRunner:
         self.hazards = hazards
         self.hazard_detector = None
         self.obs = obs
+        self.rebalance = rebalance
+        self.rebalancer = None
         # The live Observability bundle (obs=True): span timelines stay
         # readable through it after run() returns.
         self.obs_bundle = None
@@ -206,6 +219,15 @@ class ChaosRunner:
         for manager in self._ae:
             manager.start()
 
+        if self.rebalance:
+            # Local import: plain chaos runs keep the §III.C/D-only
+            # assignment-motion guarantee (module docstring, step 3).
+            from ..core.rebalance import Rebalancer
+            self.rebalancer = Rebalancer(
+                self.cluster.nodes["node0"], interval=1.0,
+                pass_byte_budget=64 * 1024, chunk_bytes=4 * 1024)
+            self.rebalancer.start()
+
         self.clients = [self.cluster.smart_client(f"chaos{i}")
                         for i in range(self.n_clients)]
         self.cluster.run_all([c.connect() for c in self.clients])
@@ -229,7 +251,10 @@ class ChaosRunner:
                             for ev in schedule.events
                             if ev.kind == "crash"
                             for target in ev.targets)
-        anomalies = check_all(self.history, state, crashes=crash_times)
+        migrations = (self.rebalancer.ledger()
+                      if self.rebalancer is not None else [])
+        anomalies = check_all(self.history, state, crashes=crash_times,
+                              migrations=tuple(migrations))
         tap.detach()
         hazards: list = []
         hazard_report = ""
@@ -247,7 +272,8 @@ class ChaosRunner:
                            restarts=self._restarts,
                            op_counts=dict(sorted(self._op_counts.items())),
                            hazards=hazards, hazard_report=hazard_report,
-                           obs_snapshot=obs_snapshot)
+                           obs_snapshot=obs_snapshot,
+                           migrations=migrations)
 
     # -- fault execution --------------------------------------------------
     def _execute(self, schedule: Schedule, t0: float):
@@ -573,6 +599,11 @@ class ChaosRunner:
                     # instance, so re-track the new one.
                     self.hazard_detector.track_store(node.name,
                                                      node.store)
+                if (self.rebalancer is not None
+                        and self.rebalancer.node is node):
+                    # The balance loop died with its host; revive it so
+                    # migrations keep racing the remaining schedule.
+                    self.rebalancer.start()
                 return
             except (RpcTimeout, RpcRejected):
                 node.crash()
@@ -608,6 +639,15 @@ class ChaosRunner:
         # Let crashed sessions expire and in-flight investigations,
         # recoveries and fire-and-forget repairs land.
         yield sim.timeout(self.zk_config.session_timeout * 2 + 1.0)
+        if self.rebalancer is not None:
+            # The balance loop dies with its host; revive it so parked
+            # migrations finish or abort deterministically, then
+            # resolve whatever is left — a parked copy is safe (the
+            # donor still owns the vnode) but the ledger must close.
+            self.rebalancer.start()
+            yield from self.rebalancer.drain(timeout=20.0)
+            self.rebalancer.stop()
+            self.rebalancer.abort_pending("quiesce")
         # Sync every ring to the final assignment BEFORE reconciling:
         # rejoining nodes may have re-claimed vnodes, and anti-entropy
         # walks each node's *cached* replica sets.

@@ -10,6 +10,10 @@ families appear:
 * ``loss``      — windows of seeded message loss on the whole fabric;
 * ``churn``     — leave/rejoin cycles (crash + restart inside the run,
   exercising the §III.D rejoin and vnode re-acquisition path);
+* ``migration`` — crash + partition families only: the sweet spot for
+  chaos-testing live vnode migration (the rebalancer's begin / chunk /
+  cutover windows race crashes and cuts, while loss/churn noise stays
+  out of the way);
 * ``mixed``     — all of the above.
 
 The generator keeps the cluster *testable* while faulted: it never
@@ -25,7 +29,7 @@ from dataclasses import dataclass, field
 
 __all__ = ["FaultEvent", "Schedule", "ScheduleGenerator", "PROFILES"]
 
-PROFILES = ("crash", "partition", "loss", "churn", "mixed")
+PROFILES = ("crash", "partition", "loss", "churn", "migration", "mixed")
 
 
 @dataclass(frozen=True)
@@ -153,14 +157,14 @@ class ScheduleGenerator:
         # where room remains.  Each event gets a few placement attempts
         # before being dropped.
         extra_crashes = 0
-        if want in ("crash", "mixed") and self.max_down > 0:
+        if want in ("crash", "migration", "mixed") and self.max_down > 0:
             extra_crashes = rng.randint(1, 2) - 1
             at = rng.uniform(0.5, self.duration * 0.6)
             victim = pick_victim(at, quiesce, self.max_down)
             events.append(FaultEvent(at, "crash", (victim,)))
             outages.append((at, quiesce, frozenset((victim,))))
 
-        if want in ("partition", "mixed"):
+        if want in ("partition", "migration", "mixed"):
             cuts = rng.randint(1, 2)
             for tag in range(cuts):
                 for _attempt in range(4):

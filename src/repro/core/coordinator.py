@@ -127,6 +127,13 @@ class QuorumCoordinator:
             "quorum.read_repairs", node=owner)
         self._m_coalesced = metrics.counter(
             "quorum.coalesced_reads", node=owner)
+        # End-to-end coordinator latency (the number the rebalance bench
+        # reports as p99): observed per request at quorum settle.
+        _lat_buckets = (0.0005, 0.001, 0.002, 0.005, 0.01, 0.05, 0.2)
+        self._m_write_lat = metrics.histogram(
+            "coord.write.latency", node=owner, buckets=_lat_buckets)
+        self._m_read_lat = metrics.histogram(
+            "coord.read.latency", node=owner, buckets=_lat_buckets)
 
     def _span(self, name: str):
         """Open a coordinator span (None without an active trace)."""
@@ -204,6 +211,7 @@ class QuorumCoordinator:
         """Parallel N-way replica write; returns at W acks (§III.C/F)."""
         self.coordinated_writes += 1
         span = self._span("coord.write")
+        started = self.sim.now
         cfg = self.config
         key = args["key"]
         vnode_id, replicas = yield from self._replica_set(key)
@@ -238,6 +246,7 @@ class QuorumCoordinator:
         for name, _exc in fails:
             self._suspect(name, vnode_id)
         self._span_end(span, status=outcome, acks=len(oks))
+        self._m_write_lat.observe(self.sim.now - started)
         return {"status": outcome, "vnode": vnode_id,
                 "acks": [name for name, _v in oks]}
 
@@ -271,6 +280,7 @@ class QuorumCoordinator:
             except RpcError:
                 shared = None  # the round's leader failed: detach
             if shared is not None and entry.started >= invoked:
+                self._m_read_lat.observe(self.sim.now - invoked)
                 return dict(shared)
             # The settled round predates us (its replica responses may
             # miss writes acked before we invoked) or failed: loop.
@@ -294,6 +304,7 @@ class QuorumCoordinator:
         self._inflight_reads.pop(token, None)
         if not entry.done.triggered:
             entry.done.succeed(result)
+        self._m_read_lat.observe(self.sim.now - invoked)
         return result
 
     def _read_once(self, args: Any):

@@ -21,7 +21,46 @@ from typing import Iterable, Optional
 
 from ..storage.hashtable import fnv1a
 
-__all__ = ["VnodeStatus", "Ring", "ImbalanceTable"]
+__all__ = ["VnodeStatus", "Ring", "ImbalanceTable", "HEAT_WEIGHTS",
+           "row_heat", "vnode_heat"]
+
+#: Default heat-metric weights (§III.B: capacity *and* read/write
+#: frequency).  One owned vnode carries a base weight so an idle
+#: cluster still balances by counts; writes weigh double reads (every
+#: write costs N replica applies plus persistence), and keys stand in
+#: for resident capacity.
+HEAT_WEIGHTS: dict[str, float] = {
+    "vnodes": 4.0,
+    "keys": 0.05,
+    "reads": 1.0,
+    "writes": 2.0,
+}
+
+
+def row_heat(row: dict, weights: Optional[dict] = None) -> float:
+    """Weighted heat of one imbalance-table row.
+
+    ``row`` carries the per-node aggregates (vnodes/keys/reads/writes);
+    missing fields count as zero, so partial rows (old publishers,
+    tests) still score.
+    """
+    w = weights if weights is not None else HEAT_WEIGHTS
+    return sum(row.get(field, 0) * weight
+               for field, weight in sorted(w.items()))
+
+
+def vnode_heat(stats: dict, weights: Optional[dict] = None) -> float:
+    """Weighted heat of one vnode's activity row.
+
+    A vnode always contributes the per-vnode base weight (it is one
+    unit of ownership) plus its weighted keys/reads/writes.
+    """
+    w = weights if weights is not None else HEAT_WEIGHTS
+    heat = w.get("vnodes", 0.0)
+    for field, weight in sorted(w.items()):
+        if field != "vnodes":
+            heat += stats.get(field, 0) * weight
+    return heat
 
 
 @dataclass
@@ -201,3 +240,39 @@ class ImbalanceTable:
             return 0.0
         values = [row.get(metric, 0) for row in self.rows.values()]
         return float(max(values) - min(values))
+
+    # -- heat metric (load-aware rebalancing) ---------------------------
+    def heat(self, node: str, weights: Optional[dict] = None) -> float:
+        """Weighted heat of one node's row (0.0 for unknown nodes)."""
+        row = self.rows.get(node)
+        return 0.0 if row is None else row_heat(row, weights)
+
+    def hottest(self, weights: Optional[dict] = None) -> Optional[str]:
+        """Node with the max heat; ties break on the larger name so the
+        choice is deterministic regardless of row insertion order."""
+        if not self.rows:
+            return None
+        return max(self.rows, key=lambda n: (row_heat(self.rows[n],
+                                                      weights), n))
+
+    def coldest(self, weights: Optional[dict] = None) -> Optional[str]:
+        """Node with the min heat (deterministic tiebreak, see
+        :meth:`hottest`)."""
+        if not self.rows:
+            return None
+        return min(self.rows, key=lambda n: (row_heat(self.rows[n],
+                                                      weights), n))
+
+    def heat_spread(self, weights: Optional[dict] = None) -> float:
+        """max - min heat across rows (0 when < 2 rows)."""
+        if len(self.rows) < 2:
+            return 0.0
+        values = [row_heat(row, weights) for row in self.rows.values()]
+        return max(values) - min(values)
+
+    def mean_heat(self, weights: Optional[dict] = None) -> float:
+        """Average heat across rows (0 when empty)."""
+        if not self.rows:
+            return 0.0
+        return sum(row_heat(row, weights)
+                   for row in self.rows.values()) / len(self.rows)

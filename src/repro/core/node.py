@@ -60,6 +60,11 @@ class SednaNode:
         self.obs = obs
         metrics = obs.metrics if obs is not None else None
         tracer = obs.tracer if obs is not None else None
+        if metrics is None:
+            from ..obs.metrics import DISABLED
+            handles = DISABLED
+        else:
+            handles = metrics
         self.rpc = RpcNode(network, name, service_time=REQUEST_HANDLING)
         self.rpc.tracer = tracer
         self.zk = ZkClient(sim, network, f"{name}-zk", zk_servers, zk_config,
@@ -91,12 +96,32 @@ class SednaNode:
         # Dedup of in-flight failure investigations.
         self._investigating: set[tuple[str, int]] = set()
 
+        # Live-migration state (donor side).  While a vnode id is in
+        # ``migrating_out`` every write/delete landing on it is applied
+        # locally *and* forwarded to the receiver, so no acked write is
+        # stranded on the donor when the assignment flips; the window
+        # lingers for a couple of lease periods past the cutover to
+        # cover stale-cache stragglers.  ``_migration_snaps`` holds the
+        # sorted key snapshot the chunk stream walks; the generation
+        # counter invalidates a pending linger-close when the same
+        # vnode re-enters migration.
+        self.migrating_out: dict[int, str] = {}
+        self._migration_snaps: dict[int, list[str]] = {}
+        self._migration_gen: dict[int, int] = {}
+
         # Stats.
         self.replica_writes = 0
         self.replica_reads = 0
         self.investigations = 0
         self.recoveries = 0
         self.repairs = 0
+        self.migration_forwards = 0
+        self.migration_forward_failures = 0
+        self._m_forwards = handles.counter("migrate.forwards", node=name)
+        self._m_forward_fails = handles.counter(
+            "migrate.forward_failures", node=name)
+        self._m_chunks_served = handles.counter(
+            "migrate.chunks_served", node=name)
 
         self._register_rpc()
 
@@ -124,6 +149,13 @@ class SednaNode:
         r("replica.repair", self._h_replica_repair)
         r("replica.digest", self._h_replica_digest)
         r("replica.fetch", self._h_replica_fetch)
+        # Live-migration protocol (rebalancer-driven, §III.B extension).
+        r("stats.vnodes", self._h_vnode_stats)
+        r("migrate.begin", self._h_migrate_begin)
+        r("migrate.chunk", self._h_migrate_chunk)
+        r("migrate.forward", self._h_migrate_forward)
+        r("migrate.end", self._h_migrate_end)
+        r("migrate.settle", self._h_migrate_settle)
 
     # ------------------------------------------------------------------
     # Membership (§III.D)
@@ -350,6 +382,11 @@ class SednaNode:
         self.zk.crash()
         self.cache.stop()
         self.persistence.stop()
+        # Any in-flight migration window dies with the memory; the
+        # rebalancer's ledger notices the dead donor and aborts/retries.
+        self.migrating_out.clear()
+        self._migration_snaps.clear()
+        self._migration_gen.clear()
 
     def restart(self):
         """Restart after a crash: fresh memory, recover from disk, rejoin.
@@ -413,6 +450,10 @@ class SednaNode:
                                           element.timestamp, element.source)
         self._index_key(key)
         self.vstats.record_write(vnode_id)
+        receiver = self._forward_target(vnode_id)
+        if receiver is not None:
+            self._spawn_forward(receiver, vnode_id,
+                                rows={key: wire_elements([element])})
         if status == WriteOutcome.OK:
             self.persistence.on_write(key, element)
         delay = self.persistence.write_delay()
@@ -444,6 +485,9 @@ class SednaNode:
         keys = self.vnode_keys.get(vnode_id)
         if keys is not None:
             keys.discard(args["key"])
+        receiver = self._forward_target(vnode_id)
+        if receiver is not None:
+            self._spawn_forward(receiver, vnode_id, deletes=[args["key"]])
         return {"status": "ok"}
 
     def _h_replica_mwrite(self, src: str, args: Any):
@@ -466,6 +510,13 @@ class SednaNode:
             if statuses[key] == WriteOutcome.OK:
                 self.persistence.on_write(
                     key, ValueElement(e["source"], e["ts"], e["value"]))
+        receiver = self._forward_target(vnode_id)
+        if receiver is not None:
+            self._spawn_forward(
+                receiver, vnode_id,
+                rows={e["key"]: wire_elements(
+                    [ValueElement(e["source"], e["ts"], e["value"])])
+                    for e in entries})
         delay = self.persistence.write_delay()
         if delay > 0.0:
             ev = self.sim.event()
@@ -502,6 +553,10 @@ class SednaNode:
             if keys is not None:
                 keys.discard(key)
             statuses[key] = "ok" if existed else "missing"
+        receiver = self._forward_target(vnode_id)
+        if receiver is not None:
+            self._spawn_forward(receiver, vnode_id,
+                                deletes=list(args["keys"]))
         return {"statuses": statuses}
 
     def _h_replica_transfer(self, src: str, args: Any):
@@ -554,6 +609,159 @@ class SednaNode:
             if elements:
                 rows[key] = wire_elements(elements)
         return {"rows": rows}
+
+    # ------------------------------------------------------------------
+    # Live migration (donor/receiver sides; driver in rebalance.py)
+    # ------------------------------------------------------------------
+    def _h_vnode_stats(self, src: str, args: Any):
+        """Per-vnode activity rows for the vnodes this node owns.
+
+        The rebalancer asks the *donor* directly instead of widening
+        the ZooKeeper imbalance row: the table stays "quite small"
+        (§III.B) and the answer is live rather than a push interval
+        stale.
+        """
+        stats = {}
+        for vnode_id in self.cache.ring.vnodes_of(self.name):
+            status = self.vstats.statuses.get(vnode_id)
+            if status is None:
+                stats[vnode_id] = {"keys": 0, "bytes": 0,
+                                   "reads": 0, "writes": 0}
+            else:
+                stats[vnode_id] = {"keys": status.keys,
+                                   "bytes": status.bytes,
+                                   "reads": status.reads,
+                                   "writes": status.writes}
+        return {"stats": stats}
+
+    def _h_migrate_begin(self, src: str, args: Any):
+        """Open the forwarding window and snapshot the chunk key list."""
+        vnode_id = args["vnode"]
+        receiver = args["to"]
+        current = self.migrating_out.get(vnode_id)
+        if current is not None and current != receiver:
+            raise RpcRejected("migrating")
+        self.migrating_out[vnode_id] = receiver
+        self._migration_gen[vnode_id] = \
+            self._migration_gen.get(vnode_id, 0) + 1
+        snapshot = sorted(self.vnode_keys.get(vnode_id, set()))
+        self._migration_snaps[vnode_id] = snapshot
+        return {"status": "ok", "keys": len(snapshot)}
+
+    def _h_migrate_chunk(self, src: str, args: Any):
+        """Ship one byte-budgeted chunk of the begin-time snapshot.
+
+        New keys written after ``migrate.begin`` ride the forwarding
+        window instead; keys deleted since the snapshot are skipped
+        (the cursor still advances past them).
+        """
+        vnode_id = args["vnode"]
+        if vnode_id not in self.migrating_out:
+            raise RpcRejected("not-migrating")
+        snapshot = self._migration_snaps.get(vnode_id, [])
+        cursor = args["cursor"]
+        budget = args["budget"]
+        rows = {}
+        size = 0
+        while cursor < len(snapshot):
+            key = snapshot[cursor]
+            cursor += 1
+            elements = self.store.read_all(key)
+            if not elements:
+                continue
+            blob = wire_elements(elements)
+            rows[key] = blob
+            size += len(key) + len(repr(blob))
+            if size >= budget:
+                break
+        self._m_chunks_served.inc()
+        return {"rows": rows, "next": cursor,
+                "done": cursor >= len(snapshot), "bytes": size}
+
+    def _h_migrate_forward(self, src: str, args: Any):
+        """Receiver side of the forwarding window: merge double-applied
+        writes (and replay deletes) for a vnode migrating in."""
+        for key in sorted(args.get("rows", {})):
+            self._merge_durably(key, unwire_elements(args["rows"][key]))
+        for key in args.get("deletes", ()):
+            self.store.delete(key)
+            keys = self.vnode_keys.get(args["vnode"])
+            if keys is not None:
+                keys.discard(key)
+        return {"status": "ok"}
+
+    def _h_migrate_end(self, src: str, args: Any):
+        """Close a migration on the donor.
+
+        On commit the ring is updated at once (further stale-cache
+        writes draw ``not-owner`` and retry against the new set) but
+        the forwarding window *lingers* two lease periods so double-
+        applies still cover writes already in flight to us.  On abort
+        the window closes immediately.
+        """
+        vnode_id = args["vnode"]
+        receiver = self.migrating_out.get(vnode_id)
+        if receiver is None:
+            return {"status": "idle"}
+        self._migration_snaps.pop(vnode_id, None)
+        if not args["committed"]:
+            self.migrating_out.pop(vnode_id, None)
+            return {"status": "aborted"}
+        self.cache.ring.assign(vnode_id, receiver)
+        gen = self._migration_gen.get(vnode_id, 0)
+        self.sim.process(self._linger_close(vnode_id, receiver, gen),
+                         name=f"{self.name}-linger-{vnode_id}")
+        return {"status": "committed"}
+
+    def _linger_close(self, vnode_id: int, receiver: str, gen: int):
+        """Drop the forwarding window after the stale-cache horizon,
+        unless the vnode re-entered migration meanwhile."""
+        yield self.sim.timeout(self.config.lease_base * 2)
+        if (self._migration_gen.get(vnode_id) == gen
+                and self.migrating_out.get(vnode_id) == receiver):
+            self.migrating_out.pop(vnode_id, None)
+
+    def _h_migrate_settle(self, src: str, args: Any):
+        """Receiver-side cutover notice: adopt ownership locally and
+        schedule a post-cutover digest reconcile, mirroring the join
+        handoff's catch-up (stale caches keep routing writes to the old
+        replica set for up to a lease)."""
+        vnode_id = args["vnode"]
+        self.cache.ring.assign(vnode_id, self.name)
+        self.vstats.status(vnode_id)  # materialize the stats row
+        self.sim.process(self._post_migration_reconcile(vnode_id),
+                         name=f"{self.name}-settle-{vnode_id}")
+        return {"status": "ok"}
+
+    def _post_migration_reconcile(self, vnode_id: int):
+        yield self.sim.timeout(self.config.lease_base * 2)
+        if self.running:
+            yield from self.reconcile_vnode(vnode_id)
+
+    def _forward_target(self, vnode_id: int) -> Optional[str]:
+        return self.migrating_out.get(vnode_id)
+
+    def _spawn_forward(self, receiver: str, vnode_id: int,
+                       rows: Optional[dict] = None,
+                       deletes: Optional[list] = None) -> None:
+        """Fire-and-forget double-apply of a write/delete to the
+        migration receiver (one retry; terminal failures are counted —
+        the pre-cutover digest verify re-pulls anything still missing)."""
+        self.migration_forwards += 1
+        self._m_forwards.inc()
+        args = {"vnode": vnode_id, "rows": rows or {},
+                "deletes": deletes or []}
+        self.sim.process(self._forward(receiver, args),
+                         name=f"{self.name}-fwd-{vnode_id}")
+
+    def _forward(self, receiver: str, args: Any):
+        try:
+            yield from self.rpc.call_retry(
+                receiver, "migrate.forward", args,
+                timeout=self.config.request_timeout, attempts=2)
+        except (RpcTimeout, RpcRejected):
+            self.migration_forward_failures += 1
+            self._m_forward_fails.inc()
 
     # ------------------------------------------------------------------
     # Coordinator plumbing

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
-__all__ = ["summarize", "percentile", "LatencySeries"]
+__all__ = ["summarize", "percentile", "spread_stats", "LatencySeries"]
 
 
 def percentile(values: list[float], pct: float) -> float:
@@ -38,6 +38,26 @@ def summarize(values: Iterable[float]) -> dict:
         "p95": percentile(data, 95),
         "p99": percentile(data, 99),
         "total": sum(data),
+    }
+
+
+def spread_stats(values: Iterable[float]) -> dict:
+    """max/min/mean/spread of a per-node series, plus the relative
+    spread (spread over mean — the balance number the rebalance bench
+    compares count-only vs load-aware on)."""
+    data = list(values)
+    if not data:
+        return {"count": 0, "max": 0.0, "min": 0.0, "mean": 0.0,
+                "spread": 0.0, "rel_spread": 0.0}
+    mean = sum(data) / len(data)
+    spread = max(data) - min(data)
+    return {
+        "count": len(data),
+        "max": max(data),
+        "min": min(data),
+        "mean": mean,
+        "spread": spread,
+        "rel_spread": spread / mean if mean else 0.0,
     }
 
 

@@ -235,6 +235,33 @@ class RpcNode:
         ev.callbacks = None  # defuse
         raise RpcTimeout(f"{method} to {dst} after {timeout}s")
 
+    def call_retry(self, dst: str, method: str, args: Any,
+                   timeout: float, attempts: int = 2,
+                   backoff: float = 0.0) -> Generator[Event, Any, Any]:
+        """:meth:`call` with bounded retries on timeout/refusal.
+
+        Used by best-effort side channels (migration write forwarding,
+        chunk pulls) where one transient drop should not abort a whole
+        protocol round.  Retries are paced by ``backoff`` simulated
+        seconds; the last failure is re-raised so callers still see the
+        terminal outcome.
+        """
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        last: Optional[RpcError] = None
+        for attempt in range(attempts):
+            if attempt > 0 and backoff > 0.0:
+                yield self.sim.timeout(backoff)
+            try:
+                result = yield from self.call(dst, method, args,
+                                              timeout=timeout)
+            except (RpcTimeout, RpcRejected) as err:
+                last = err
+                continue
+            return result
+        assert last is not None
+        raise last
+
 
 class QuorumWait:
     """Callback-driven quorum fan-in: count completions, never rescan.

@@ -10,7 +10,8 @@ whenever any acker survived.
 """
 
 from repro.chaos.history import History
-from repro.chaos.invariants import FinalState, check_freshness
+from repro.chaos.invariants import (FinalState, check_freshness,
+                                    check_migrations)
 
 
 def _history(read_status="found", read_ts=1.0, read_src="c1"):
@@ -82,3 +83,78 @@ class TestDurabilityLossCarveOut:
         anomalies = check_freshness(_history(read_status="miss"),
                                     FinalState(), crashes=crashes)
         assert [a.invariant for a in anomalies] == ["freshness"]
+
+
+def _migration_history(deleted=False):
+    """One acked write (and optionally a delete) of key ``k``."""
+    h = History()
+    w = h.begin("c1", "write_latest", "k", 1.0, value="a", ts=1.0)
+    h.complete(w, 1.1, "ok", acks=("n1", "n2"))
+    if deleted:
+        d = h.begin("c1", "delete", "k", 2.0)
+        h.complete(d, 2.1, "ok", acks=("n1", "n2"))
+    return h
+
+
+def _migrated_state(holders):
+    """Key ``k`` lives on vnode 4, replicas n2 (post-cutover) and n1."""
+    return FinalState(replica_sets={"k": (4, ["n2", "n1"])},
+                      holders={"k": holders})
+
+
+def _entry(state="done", **over):
+    entry = {"vnode": 4, "donor": "n1", "receiver": "n2",
+             "state": state, "attempts": 0, "chunks": 1,
+             "bytes": 64, "reason": ""}
+    entry.update(over)
+    return entry
+
+
+class TestMigrationInvariant:
+    def test_done_migration_with_holder_is_clean(self):
+        anomalies = check_migrations(
+            _migration_history(),
+            _migrated_state({"n2": [("c1", 1.0, "a")]}),
+            migrations=(_entry(),))
+        assert anomalies == []
+
+    def test_done_migration_without_holder_flags_key(self):
+        anomalies = check_migrations(
+            _migration_history(), _migrated_state({}),
+            migrations=(_entry(),))
+        assert [a.invariant for a in anomalies] == ["migration"]
+        assert not anomalies[0].expected
+        assert "vnode 4" in anomalies[0].detail
+        assert "n1 -> n2" in anomalies[0].detail
+
+    def test_unresolved_ledger_entry_is_an_anomaly(self):
+        anomalies = check_migrations(
+            _migration_history(),
+            _migrated_state({"n2": [("c1", 1.0, "a")]}),
+            migrations=(_entry(state="copying"),))
+        assert [a.invariant for a in anomalies] == ["migration"]
+        assert "unresolved" in anomalies[0].detail
+
+    def test_aborted_migration_makes_no_claim(self):
+        # An aborted copy left the donor authoritative; the global
+        # durability checker covers the key, not invariant 6.
+        anomalies = check_migrations(
+            _migration_history(), _migrated_state({}),
+            migrations=(_entry(state="aborted", reason="quiesce"),))
+        assert anomalies == []
+
+    def test_deleted_key_is_not_flagged(self):
+        anomalies = check_migrations(
+            _migration_history(deleted=True), _migrated_state({}),
+            migrations=(_entry(),))
+        assert anomalies == []
+
+    def test_other_vnodes_keys_ignored(self):
+        state = FinalState(replica_sets={"k": (9, ["n2", "n1"])},
+                           holders={"k": {}})
+        assert check_migrations(_migration_history(), state,
+                                migrations=(_entry(),)) == []
+
+    def test_no_ledger_no_work(self):
+        assert check_migrations(_migration_history(),
+                                _migrated_state({})) == []

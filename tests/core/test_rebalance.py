@@ -5,7 +5,7 @@ import pytest
 from repro.core.cache import ZkLayout
 from repro.core.cluster import SednaCluster
 from repro.core.config import SednaConfig
-from repro.core.rebalance import Rebalancer
+from repro.core.rebalance import Rebalancer, pick_migration_vnode
 from repro.zk.server import ZkConfig
 
 
@@ -148,3 +148,155 @@ class TestRebalancer:
         # Version-checked moves: no vnode lost, no duplicate ownership.
         assert sum(after.values()) == cluster.config.num_vnodes
         assert max(after.values()) - min(after.values()) <= 3
+
+
+class TestPickVnode:
+    """Regression for the ``owned[0]`` bug: the donor vnode is chosen
+    by per-vnode activity with a deterministic tiebreak."""
+
+    def test_hottest_vnode_wins_not_owned0(self):
+        stats = {4: {"reads": 2, "writes": 0},
+                 7: {"reads": 50, "writes": 20},
+                 9: {"reads": 5, "writes": 1}}
+        assert pick_migration_vnode([4, 7, 9], stats) == 7
+
+    def test_tie_breaks_to_lowest_vnode_id(self):
+        assert pick_migration_vnode([9, 5, 2], {}) == 2
+        same = {5: {"reads": 3}, 9: {"reads": 3}}
+        assert pick_migration_vnode([9, 5], same) == 5
+
+    def test_order_of_owned_list_is_irrelevant(self):
+        stats = {1: {"writes": 9}, 2: {"writes": 1}, 3: {"writes": 5}}
+        for owned in ([1, 2, 3], [3, 2, 1], [2, 3, 1]):
+            assert pick_migration_vnode(owned, stats) == 1
+
+    def test_limit_excludes_overheated_vnodes(self):
+        stats = {1: {"writes": 1000}, 2: {"reads": 3}}
+        assert pick_migration_vnode([1, 2], stats, limit=50.0) == 2
+
+    def test_no_candidate_under_limit(self):
+        stats = {1: {"writes": 1000}}
+        assert pick_migration_vnode([1], stats, limit=50.0) is None
+        assert pick_migration_vnode([], {}) is None
+
+
+class TestLiveMigration:
+    def seed_keys(self, cluster, n=40):
+        client = cluster.client()
+
+        def seed():
+            for i in range(n):
+                yield from client.write_latest(f"mig{i}", i)
+            return True
+
+        cluster.run(seed())
+        return client
+
+    def test_chunked_migration_ships_all_keys(self):
+        cluster = build_skewed()
+        client = self.seed_keys(cluster)
+        rebalancer = Rebalancer(cluster.nodes["node1"], interval=1.0,
+                                threshold=1, chunk_bytes=64)
+        rebalancer.start()
+        cluster.settle(30.0)
+        rebalancer.stop()
+        assert rebalancer.moves > 0
+        # Tiny chunk budget forces multi-chunk streams.
+        assert rebalancer.chunks > rebalancer.moves
+        assert rebalancer.bytes_moved > 0
+        ledger = rebalancer.ledger()
+        assert all(m["state"] in ("done", "aborted") or m["attempts"] >= 0
+                   for m in ledger)
+
+        def read_back():
+            values = []
+            for i in range(40):
+                values.append((yield from client.read_latest(f"mig{i}")))
+            return values
+
+        assert cluster.run(read_back()) == list(range(40))
+
+    def test_transfer_failure_lands_in_ledger_and_retries(self):
+        """Satellite bugfix: a failed transfer is recorded and retried
+        next pass instead of silently swallowed — the keys arrive."""
+        cluster = build_skewed()
+        client = self.seed_keys(cluster)
+        # Cut the receiver-to-be (node1 owns nothing, so it is the
+        # coldest node) off the data plane; its ZK session endpoint
+        # stays up so no recovery path interferes.
+        others = [n for n in cluster.network.endpoints if n != "node1"]
+        part = cluster.failures.partition(["node1"], others)
+        rebalancer = Rebalancer(cluster.nodes["node2"], interval=1.0,
+                                threshold=1, max_attempts=20)
+        rebalancer.start()
+        cluster.settle(4.0)
+        assert rebalancer.transfer_failures > 0, \
+            "partitioned receiver must fail at least one transfer step"
+        assert rebalancer.moves == 0
+        part.heal()
+        cluster.settle(25.0)
+        rebalancer.stop()
+        assert rebalancer.moves > 0
+        retried = [m for m in rebalancer.ledger()
+                   if m["state"] == "done" and m["attempts"] > 0]
+        assert retried, "a previously failed migration must complete"
+        # The receiver really holds the migrated vnodes' rows.
+        node1 = cluster.nodes["node1"]
+        owned = cluster.nodes["node2"].cache.ring.vnodes_of("node1")
+        moved_here = [m for m in rebalancer.ledger()
+                      if m["state"] == "done" and m["receiver"] == "node1"
+                      and m["vnode"] in owned]
+        assert moved_here
+        held = 0
+        for m in moved_here:
+            for key in sorted(node1.vnode_keys.get(m["vnode"], set())):
+                if node1.store.read_all(key):
+                    held += 1
+        assert held > 0, "migrated keys must be present on the receiver"
+
+        def read_back():
+            values = []
+            for i in range(40):
+                values.append((yield from client.read_latest(f"mig{i}")))
+            return values
+
+        assert cluster.run(read_back()) == list(range(40))
+
+    def test_forwarding_window_covers_concurrent_writes(self):
+        """Writes racing a migration are double-applied to the receiver
+        so no acked write is lost across the cutover."""
+        cluster = build_skewed()
+        n_keys = 120
+        client = self.seed_keys(cluster, n=n_keys)
+        # A tiny per-pass byte budget parks every copy mid-stream, so
+        # forwarding windows stay open across whole pass intervals
+        # while the churn below rewrites the migrating keys.
+        rebalancer = Rebalancer(cluster.nodes["node1"], interval=0.5,
+                                threshold=1, chunk_bytes=128,
+                                pass_byte_budget=256)
+        rebalancer.start()
+
+        def churn():
+            # Rewrite every key repeatedly while migrations stream.
+            for round_no in range(6):
+                for i in range(n_keys):
+                    yield from client.write_latest(f"mig{i}",
+                                                   round_no * 1000 + i)
+            return True
+
+        cluster.run(churn())
+        cluster.settle(30.0)
+        rebalancer.stop()
+        assert rebalancer.moves > 0
+        forwards = sum(node.migration_forwards
+                       for node in cluster.nodes.values())
+        assert forwards > 0, "no write hit an open forwarding window"
+
+        def read_back():
+            values = []
+            for i in range(n_keys):
+                values.append((yield from client.read_latest(f"mig{i}")))
+            return values
+
+        assert cluster.run(read_back()) == [5000 + i
+                                            for i in range(n_keys)]
