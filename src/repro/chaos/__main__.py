@@ -54,6 +54,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="host a load-aware rebalancer so live "
                              "chunked migrations race the fault "
                              "schedule (adds the migration invariant)")
+    parser.add_argument("--causal", choices=("dvv", "lww"), default=None,
+                        help="add a causal workload slice: 'dvv' runs "
+                             "it through the dotted-version-vector "
+                             "mode (checked by the no-silent-loss "
+                             "invariant), 'lww' runs the identical "
+                             "concurrency pattern through plain "
+                             "write_latest for comparison")
     args = parser.parse_args(argv)
 
     seeds = _parse_seeds(args.seeds) if args.seeds else [args.seed]
@@ -63,7 +70,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              duration=args.duration,
                              n_nodes=args.nodes,
                              hazards=args.hazards,
-                             rebalance=args.rebalance).run()
+                             rebalance=args.rebalance,
+                             causal=args.causal).run()
         print(report.describe())
         if not report.ok or report.hazards:
             failed += 1

@@ -43,6 +43,11 @@ class OpRecord:
     result_source: Optional[str] = None
     result_value: Any = None
     result_elements: tuple = ()       # ((source, ts, value), ...) for read_all
+    # Causal (DVV) fields — docs/protocols.md §16.  Serialized only
+    # when set, so histories of non-causal runs keep the exact byte
+    # form (and digest) they had before the causal mode existed.
+    ctx: tuple = ()                   # supplied/returned causal context
+    dot: Optional[tuple] = None       # (replica, counter) the write minted
 
     @property
     def done(self) -> bool:
@@ -51,7 +56,7 @@ class OpRecord:
 
     def to_line(self) -> str:
         """Canonical one-line form (feeds the history digest)."""
-        return ("|".join([
+        fields = [
             str(self.op_id), self.client, self.kind, self.key,
             repr(self.invoked), repr(self.ts), repr(self.value),
             repr(self.completed), str(self.status),
@@ -60,7 +65,11 @@ class OpRecord:
             repr(self.result_value),
             ";".join(f"{s},{repr(t)},{repr(v)}"
                      for s, t, v in self.result_elements),
-        ]))
+        ]
+        if self.ctx or self.dot is not None:
+            fields.append(";".join(f"{r},{c}" for r, c in self.ctx))
+            fields.append(repr(self.dot))
+        return "|".join(fields)
 
 
 class History:
@@ -72,10 +81,12 @@ class History:
 
     # -- recording --------------------------------------------------------
     def begin(self, client: str, kind: str, key: str, now: float,
-              value: Any = None, ts: Optional[float] = None) -> OpRecord:
+              value: Any = None, ts: Optional[float] = None,
+              ctx: tuple = ()) -> OpRecord:
         """Open a record at invocation time; returns it for completion."""
         record = OpRecord(op_id=len(self.records), client=client, kind=kind,
-                          key=key, invoked=now, value=value, ts=ts)
+                          key=key, invoked=now, value=value, ts=ts,
+                          ctx=tuple(tuple(pair) for pair in ctx))
         self.records.append(record)
         return record
 
@@ -84,7 +95,9 @@ class History:
                  result_ts: Optional[float] = None,
                  result_source: Optional[str] = None,
                  result_value: Any = None,
-                 result_elements: tuple = ()) -> None:
+                 result_elements: tuple = (),
+                 ctx: Optional[tuple] = None,
+                 dot: Optional[tuple] = None) -> None:
         """Close a record at response time."""
         record.completed = now
         record.status = status
@@ -94,6 +107,10 @@ class History:
         record.result_source = result_source
         record.result_value = result_value
         record.result_elements = tuple(result_elements)
+        if ctx is not None:
+            record.ctx = tuple(tuple(pair) for pair in ctx)
+        if dot is not None:
+            record.dot = tuple(dot)
 
     def tally(self, tap_record) -> None:
         """`NetworkTap.on_record` hook: count by (kind, method)."""
@@ -139,6 +156,17 @@ class History:
                 continue
             out.append(record)
         return out
+
+    def causal_keys(self) -> list[str]:
+        """Keys any causal (DVV) write was attempted on, sorted."""
+        return sorted({r.key for r in self.records
+                       if r.kind == "write_causal"})
+
+    def acked_causal_writes(self, key: str) -> list[OpRecord]:
+        """Quorum-acknowledged causal writes on ``key``, op order."""
+        return [r for r in self.records
+                if r.key == key and r.kind == "write_causal"
+                and r.status == "ok"]
 
     # -- fingerprinting ---------------------------------------------------
     def to_bytes(self) -> bytes:

@@ -33,6 +33,10 @@ Five invariants, matching the promises the cluster actually makes:
 6. **migration safety** — when the run hosted a rebalancer, every
    ledger entry ends resolved and no key of a migrated vnode became
    unreachable (see :func:`check_migrations`).
+7. **causal safety** — no concurrent causal (DVV) write silently
+   lost: every acked ``write_causal`` survives as a sibling or was
+   knowingly superseded by a context-carrying write (see
+   :func:`check_causal`; docs/protocols.md §16).
 
 Keys touched by a ``delete`` are excluded from 1-4: the store keeps no
 tombstones, so anti-entropy may legitimately resurrect a deleted key
@@ -45,11 +49,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..storage.versioned import DvvRow, ctx_covers, unwire_dvv_row
 from .history import History
 
 __all__ = ["Anomaly", "FinalState", "check_all", "check_durability",
            "check_freshness", "check_replication", "check_value_lists",
-           "check_cache_convergence", "check_migrations"]
+           "check_cache_convergence", "check_migrations", "check_causal",
+           "causal_outcomes", "lww_concurrent_losses"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +92,9 @@ class FinalState:
     holders: dict[str, dict[str, list[tuple]]] = field(default_factory=dict)
     node_caches: dict[str, list[str]] = field(default_factory=dict)
     client_caches: dict[str, list[str]] = field(default_factory=dict)
+    # Causal (DVV) rows: key -> {replica_name: wire_dvv_row blob} over
+    # the key's authoritative replica set (docs/protocols.md §16).
+    dvv_holders: dict[str, dict[str, dict]] = field(default_factory=dict)
 
 
 def _merged_elements(state: FinalState, key: str) -> dict[str, tuple]:
@@ -320,19 +329,157 @@ def check_migrations(history: History, state: FinalState,
     return anomalies
 
 
+def _merged_dvv(state: FinalState, key: str) -> DvvRow:
+    """Join every replica's causal row for ``key`` (uncapped)."""
+    merged = DvvRow()
+    for blob in state.dvv_holders.get(key, {}).values():
+        if blob:
+            merged.merge(unwire_dvv_row(blob))
+    return merged
+
+
+def _causal_fate(write, acked, merged_dots):
+    """``preserved`` / ``superseded`` / ``lost`` for one acked causal
+    write.
+
+    Preserved: its dot survives as a sibling of the merged final row.
+    Superseded: some *other* acked causal write's supplied context
+    covers the dot — that writer had read (or been handed, via the
+    write ack's sibling list) this version before overwriting it, so
+    the loss was informed.  Anything else is a silent loss.
+    """
+    if write.dot is None:
+        return "lost"
+    if tuple(write.dot) in merged_dots:
+        return "preserved"
+    for other in acked:
+        if other is write or not other.ctx:
+            continue
+        if ctx_covers(dict(other.ctx), tuple(write.dot)):
+            return "superseded"
+    return "lost"
+
+
+def check_causal(history: History, state: FinalState,
+                 crashes: tuple = ()) -> list[Anomaly]:
+    """Invariant 7: no concurrent causal write silently lost.
+
+    Every quorum-acked ``write_causal`` must either survive as a
+    sibling of the merged final row or have been *knowingly*
+    superseded by a later context-carrying write (see
+    :func:`_causal_fate`).  The memory-first carve-out of invariant 2
+    applies: when every acker of a write crashed after the ack, the
+    dot may be provably gone from live memory — reported as an
+    *expected* ``causal-durability-loss``, not a failure.
+    """
+    anomalies = []
+    tainted = history.deleted_keys()
+    for key in history.causal_keys():
+        if key in tainted:
+            continue
+        acked = history.acked_causal_writes(key)
+        if not acked:
+            continue
+        merged = _merged_dvv(state, key)
+        merged_dots = {s.dot for s in merged.siblings}
+        for write in acked:
+            fate = _causal_fate(write, acked, merged_dots)
+            if fate != "lost":
+                continue
+            ack_set_wiped = write.acks and all(
+                any(node == acker and t > write.completed
+                    for t, node in crashes)
+                for acker in write.acks)
+            if ack_set_wiped:
+                anomalies.append(Anomaly(
+                    "causal-durability-loss", key,
+                    f"op#{write.op_id} ({write.client}) dot={write.dot} "
+                    f"lost after its whole ack set crashed",
+                    expected=True))
+            else:
+                anomalies.append(Anomaly(
+                    "causal", key,
+                    f"concurrent write silently lost: op#{write.op_id} "
+                    f"({write.client}) dot={write.dot} "
+                    f"value={write.value!r} — not a sibling of the final "
+                    f"row and no acked write's context covers it"))
+    return anomalies
+
+
+def causal_outcomes(history: History, state: FinalState) -> dict:
+    """Per-fate tallies of acked causal writes (BENCH_dvv.json)."""
+    out = {"acked": 0, "preserved": 0, "superseded": 0, "lost": 0}
+    tainted = history.deleted_keys()
+    for key in history.causal_keys():
+        if key in tainted:
+            continue
+        acked = history.acked_causal_writes(key)
+        merged_dots = {s.dot for s in _merged_dvv(state, key).siblings}
+        for write in acked:
+            out["acked"] += 1
+            out[_causal_fate(write, acked, merged_dots)] += 1
+    return out
+
+
+def lww_concurrent_losses(history: History, state: FinalState,
+                          keys=None) -> dict[str, int]:
+    """Per-key count of updates last-write-wins destroyed *blind*.
+
+    An acked ``write_latest`` ``w`` is a blindly destroyed concurrent
+    update when the earliest acked write beating it in (ts, source)
+    order came from a *different* client that had not read ``w`` (or
+    newer) on the key before invoking — nothing in the overwriter's
+    causal past contained ``w``, yet only the overwriter survives.
+    This mirrors the DVV supersession rule exactly (a sibling dies
+    only to a write whose context covers it, and reads are how LWW
+    clients acquire "context"), so the tally is the apples-to-apples
+    baseline DVV mode is paired against in BENCH_dvv.json.
+    """
+    losses: dict[str, int] = {}
+    tainted = history.deleted_keys()
+    for key in (sorted(keys) if keys is not None
+                else history.written_keys()):
+        if key in tainted:
+            continue
+        acked = history.acked_writes(key, kind="write_latest")
+        reads = [r for r in history.ops(kind="read_latest")
+                 if r.key == key and r.status == "found"]
+        count = 0
+        for write in acked:
+            beaters = [o for o in acked
+                       if (o.ts, o.client) > (write.ts, write.client)]
+            if not beaters:
+                continue  # the key's final survivor
+            first = min(beaters, key=lambda r: (r.ts, r.client))
+            if first.client == write.client:
+                continue  # own later write: causally after, not blind
+            seen = any(
+                r.client == first.client and r.completed <= first.invoked
+                and (r.result_ts, r.result_source) >= (write.ts,
+                                                       write.client)
+                for r in reads)
+            if not seen:
+                count += 1
+        if count:
+            losses[key] = count
+    return losses
+
+
 CHECKS = (check_durability, check_freshness, check_replication,
-          check_value_lists, check_cache_convergence, check_migrations)
+          check_value_lists, check_cache_convergence, check_migrations,
+          check_causal)
 
 
 def check_all(history: History, state: FinalState,
               crashes: tuple = (),
               migrations: tuple = ()) -> list[Anomaly]:
     """Run every invariant; no unexpected anomalies == the run was
-    safe.  ``crashes`` feeds the freshness checker's durability-loss
-    carve-out; ``migrations`` feeds the migration checker's ledger."""
+    safe.  ``crashes`` feeds the freshness and causal checkers'
+    durability-loss carve-outs; ``migrations`` feeds the migration
+    checker's ledger."""
     anomalies: list[Anomaly] = []
     for check in CHECKS:
-        if check is check_freshness:
+        if check in (check_freshness, check_causal):
             anomalies.extend(check(history, state, crashes=crashes))
         elif check is check_migrations:
             anomalies.extend(check(history, state, migrations=migrations))

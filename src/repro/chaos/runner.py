@@ -36,11 +36,12 @@ from ..core.config import SednaConfig
 from ..core.gc import GarbageCollector
 from ..core.types import FullKey
 from ..net.rpc import RpcRejected, RpcTimeout
+from ..storage.versioned import wire_dvv_row
 from ..net.simulator import AllOf
 from ..net.tap import NetworkTap
 from ..zk.server import ZkConfig
 from .history import History
-from .invariants import Anomaly, FinalState, check_all
+from .invariants import Anomaly, FinalState, causal_outcomes, check_all
 from .schedule import Schedule, ScheduleGenerator
 
 __all__ = ["ChaosRunner", "ChaosReport"]
@@ -109,6 +110,13 @@ class ChaosReport:
                           if m["state"] == "aborted")
             lines.append(f"  migrations: {len(self.migrations)} driven "
                          f"({done} committed, {aborted} aborted)")
+        if self.history.causal_keys():
+            fates = causal_outcomes(self.history, self.state)
+            lines.append(
+                f"  causal: {fates['acked']} acked "
+                f"({fates['preserved']} preserved, "
+                f"{fates['superseded']} superseded, "
+                f"{fates['lost']} lost)")
         if self.hazard_report:
             lines.append("  " + self.hazard_report.replace("\n", "\n  "))
         return "\n".join(lines)
@@ -138,6 +146,7 @@ class ChaosRunner:
     LW_PREFIX = "lw"     # write_latest keys, shared across clients
     VA_PREFIX = "va"     # write_all keys (per-source value lists)
     DEL_PREFIX = "del"   # delete-churned keys (tainted for invariants)
+    CW_PREFIX = "cw"     # causal-mode keys (causal="dvv"/"lww" only)
 
     def __init__(self, seed: int, profile: str = "mixed",
                  duration: float = 10.0, n_nodes: int = 6,
@@ -150,11 +159,16 @@ class ChaosRunner:
                  zk_config: Optional[ZkConfig] = None,
                  hazards: bool = False,
                  obs: bool = False,
-                 rebalance: bool = False):
+                 rebalance: bool = False,
+                 causal: Optional[str] = None,
+                 n_cw_keys: int = 4):
         if hazards and obs:
             # Both want the simulator's single tracer slot.
             raise ValueError("hazards and obs are mutually exclusive: "
                              "the kernel has one tracer slot")
+        if causal not in (None, "dvv", "lww"):
+            raise ValueError(f"causal must be None, 'dvv' or 'lww': "
+                             f"{causal!r}")
         self.seed = seed
         self.profile = profile
         self.duration = duration
@@ -165,8 +179,21 @@ class ChaosRunner:
         self.n_va_keys = n_va_keys
         self.n_del_keys = n_del_keys
         self.max_down = max_down
-        self.config = config if config is not None else SednaConfig(
-            num_vnodes=num_vnodes)
+        self.causal = causal
+        self.n_cw_keys = n_cw_keys
+        # Per-(client, key) causal contexts, refreshed by causal reads.
+        self._contexts: dict[tuple[str, str], list] = {}
+        if config is not None:
+            self.config = config
+        elif causal == "dvv":
+            # Keep the causal invariant exact: a capped-out sibling is
+            # vv-covered but absent, indistinguishable (to the checker)
+            # from a silent loss.  The cap itself is unit-tested; the
+            # sweep runs effectively uncapped.
+            self.config = SednaConfig(num_vnodes=num_vnodes,
+                                      dvv_sibling_cap=1024)
+        else:
+            self.config = SednaConfig(num_vnodes=num_vnodes)
         self.zk_config = zk_config if zk_config is not None else ZkConfig(
             session_timeout=1.0)
         self.hazards = hazards
@@ -335,7 +362,15 @@ class ChaosRunner:
             counter += 1
             value = f"{client.name}:{counter}"
             roll = rng.random()
-            if roll < 0.24:
+            if self.causal is not None and roll < 0.30:
+                # Causal slice.  Key and action are drawn here with the
+                # same rng stream in both modes, so a dvv and an lww run
+                # of one seed hit identical keys with identical intents
+                # — the BENCH_dvv comparison is apples to apples.  With
+                # causal off this branch never draws, leaving default
+                # runs byte-identical to pre-causal history digests.
+                yield from self._op_causal(client, rng, value)
+            elif roll < 0.24:
                 key = f"{self.LW_PREFIX}-{rng.randrange(self.n_lw_keys)}"
                 yield from self._op_write(client, "write_latest", key, value)
             elif roll < 0.34:
@@ -468,6 +503,77 @@ class ChaosRunner:
             responders=tuple(result.get("responders", ())),
             result_elements=tuple((s, t, v)
                                   for s, t, v in result["elements"]))
+
+    def _op_causal(self, client, rng, value: str):
+        """One causal-slice op: read, context write or blind write.
+
+        In ``dvv`` mode these are real causal ops; in ``lww`` mode the
+        *same* key/action draws run as plain write_latest/read_latest,
+        so the two modes expose the identical concurrency pattern to
+        the two conflict-resolution disciplines.
+        """
+        key = f"{self.CW_PREFIX}-{rng.randrange(self.n_cw_keys)}"
+        action = rng.random()
+        encoded = FullKey.of(key).encoded()
+        if self.causal == "lww":
+            if action < 0.25:
+                yield from self._op_read_latest(client, key)
+            else:
+                yield from self._op_write(client, "write_latest", key, value)
+            return
+        if action < 0.25:
+            yield from self._op_causal_read(client, encoded)
+        else:
+            # Context write when this client holds a context from an
+            # earlier read; blind (concurrent-by-construction) write on
+            # the rest — and always when no context is held yet.
+            ctx = self._contexts.get((client.name, encoded))
+            if action >= 0.65 or ctx is None:
+                ctx = []
+            yield from self._op_causal_write(client, encoded, value, ctx)
+
+    def _op_causal_write(self, client, encoded: str, value, ctx):
+        self._count("write_causal")
+        args = {"key": encoded, "value": value, "ts": client._timestamp(),
+                "source": client.name, "ctx": list(ctx)}
+        record = self.history.begin(client.name, "write_causal", encoded,
+                                    self.sim.now, value=value, ts=args["ts"],
+                                    ctx=tuple(tuple(p) for p in ctx))
+        span = self._mint(client, "write_causal", encoded)
+        try:
+            result = yield from client.coordinator.coordinate_causal_write(
+                args)
+        except (RpcTimeout, RpcRejected):
+            self._mint_end(span, status="failure")
+            self.history.complete(record, self.sim.now, "failure")
+            return
+        self._mint_end(span, status=result["status"])
+        self.history.complete(record, self.sim.now, result["status"],
+                              acks=tuple(result.get("acks", ())),
+                              dot=tuple(result["dot"]))
+
+    def _op_causal_read(self, client, encoded: str):
+        self._count("read_causal")
+        record = self.history.begin(client.name, "read_causal", encoded,
+                                    self.sim.now)
+        span = self._mint(client, "read_causal", encoded)
+        try:
+            result = yield from client.coordinator.coordinate_causal_read(
+                {"key": encoded})
+        except (RpcTimeout, RpcRejected):
+            self._mint_end(span, status="failure")
+            self.history.complete(record, self.sim.now, "failure")
+            return
+        found = bool(result.get("found"))
+        self._mint_end(span, status="ok", found=found)
+        context = tuple(tuple(p) for p in result.get("context", ()))
+        self._contexts[(client.name, encoded)] = list(context)
+        self.history.complete(
+            record, self.sim.now, "found" if found else "miss",
+            responders=tuple(result.get("responders", ())),
+            result_elements=tuple((s, t, v)
+                                  for s, t, v in result.get("siblings", ())),
+            ctx=context)
 
     def _op_delete(self, client, key: str):
         self._count("delete")
@@ -714,6 +820,20 @@ class ChaosRunner:
                 holders[name] = [(e.source, e.timestamp, e.value)
                                  for e in node.store.read_all(key)]
             state.holders[key] = holders
+        for key in self.history.causal_keys():
+            vnode_id, replicas = ring.replicas_for_key(key,
+                                                       self.config.replicas)
+            state.replica_sets.setdefault(key, (vnode_id, replicas))
+            dvv_holders: dict[str, dict] = {}
+            for name in replicas:
+                node = self.cluster.nodes.get(name)
+                if node is None or not node.running:
+                    dvv_holders[name] = {}
+                    continue
+                row = node.store.dvv_rows.get(key)
+                dvv_holders[name] = wire_dvv_row(row) if row is not None \
+                    else {}
+            state.dvv_holders[key] = dvv_holders
         for name in sorted(self.cluster.nodes):
             node = self.cluster.nodes[name]
             if node.running:

@@ -33,6 +33,13 @@ def digest_diff(mine: dict, theirs: dict) -> tuple[list[str], list[str]]:
 
     A key needs sync in a direction when that side has a (source, ts)
     pair the other side does not dominate.
+
+    Ordering audit note: the strict per-source ``ts >`` comparisons are
+    tie-safe *without* the (timestamp, source) tie-break used
+    elsewhere, because both sides of each comparison carry the same
+    source — and one client's timestamps never collide (the client
+    clock is strictly increasing per source), so equal (source, ts)
+    pairs denote the same write.
     """
     pull: list[str] = []
     push: list[str] = []
@@ -46,6 +53,47 @@ def digest_diff(mine: dict, theirs: dict) -> tuple[list[str], list[str]]:
                for src, ts in my_versions.items()):
             push.append(key)
     return sorted(pull), sorted(push)
+
+
+def dvv_digest_diff(mine: dict, theirs: dict) -> tuple[list[str], list[str]]:
+    """Causal-row keys to pull and to push.
+
+    Digest entries are ``[sorted vv pairs, sorted sibling dots]``
+    (:meth:`~repro.core.node.SednaNode.vnode_dvv_digest`).  The DVV
+    merge is idempotent and commutative, so whenever the entries differ
+    at all the row is exchanged in both directions — one reconcile
+    round leaves both replicas with the joined row and equal digests.
+    """
+    pull: list[str] = []
+    push: list[str] = []
+    for key in sorted(set(mine) | set(theirs)):
+        if mine.get(key) == theirs.get(key):
+            continue
+        if key in theirs:
+            pull.append(key)
+        if key in mine:
+            push.append(key)
+    return pull, push
+
+
+def dvv_covered(mine: dict, theirs: dict) -> list[str]:
+    """Causal-row keys of ``mine`` whose events ``theirs`` has not seen.
+
+    Coverage is version-vector dominance: every counter in my entry's
+    vv must be <= the peer's.  A sibling I hold that the peer's vv
+    covers but its sibling list lacks was *knowingly* superseded there,
+    so vv dominance alone is the safe hand-off criterion (GC, migration
+    cutover verify).
+    """
+    missing: list[str] = []
+    for key in sorted(mine):
+        my_vv = dict(tuple(pair) for pair in mine[key][0])
+        their_entry = theirs.get(key)
+        their_vv = (dict(tuple(pair) for pair in their_entry[0])
+                    if their_entry else {})
+        if any(cnt > their_vv.get(rep, 0) for rep, cnt in my_vv.items()):
+            missing.append(key)
+    return missing
 
 
 class AntiEntropyManager:

@@ -13,6 +13,7 @@ benchmark harness.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..net.rpc import RpcNode, RpcRejected, RpcTimeout
@@ -26,7 +27,8 @@ from .config import SednaConfig
 from .coordinator import QuorumCoordinator
 from .types import DEFAULT_DATASET, DEFAULT_TABLE, FullKey
 
-__all__ = ["SednaClient", "SmartSednaClient"]
+__all__ = ["CausalReadResult", "CausalWriteAck", "SednaClient",
+           "SmartSednaClient"]
 
 
 def _init_client_obs(client, obs) -> None:
@@ -76,6 +78,61 @@ def _client_record_read(self, t0: float) -> None:
 def _client_fail(self) -> None:
     self.failures += 1
     self._m_failures.inc()
+
+
+@dataclass(frozen=True)
+class CausalWriteAck:
+    """Result of :meth:`write_causal` (docs/protocols.md §16).
+
+    ``context`` is the minting replica's causal context in wire form;
+    passing it to the next :meth:`write_causal` on the same key
+    supersedes exactly the versions in ``siblings`` (which is why the
+    ack carries them — overwriting is always informed, never silent).
+    """
+
+    status: str
+    dot: Optional[tuple]
+    context: tuple
+    siblings: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == WriteOutcome.OK
+
+
+@dataclass(frozen=True)
+class CausalReadResult:
+    """Result of :meth:`read_causal` (docs/protocols.md §16).
+
+    ``siblings`` holds every concurrent version as (source, timestamp,
+    value) triples; ``context`` is the causal context to thread into
+    the write that reconciles them.
+    """
+
+    found: bool
+    siblings: tuple
+    context: tuple
+
+    @property
+    def values(self) -> list:
+        """Sibling values only, storage order (oldest first)."""
+        return [v for _s, _ts, v in self.siblings]
+
+
+def _causal_write_ack(result: dict, ctx) -> CausalWriteAck:
+    return CausalWriteAck(
+        status=result["status"],
+        dot=tuple(result["dot"]) if result.get("dot") else None,
+        context=tuple((r, c) for r, c in result.get("context", ctx)),
+        siblings=tuple((s, ts, v)
+                       for s, ts, v in result.get("siblings", [])))
+
+
+def _causal_read_result(result: dict) -> CausalReadResult:
+    return CausalReadResult(
+        found=bool(result.get("found")),
+        siblings=tuple((s, ts, v) for s, ts, v in result.get("siblings", [])),
+        context=tuple((r, c) for r, c in result.get("context", [])))
 
 
 class SednaClient:
@@ -254,6 +311,54 @@ class SednaClient:
             self._fail()
             self._trace_end(span, status="failure")
             return False
+
+    # -- causal APIs (docs/protocols.md §16) ----------------------------------
+    def write_causal(self, key: str, value: Any, context=None,
+                     table: str = DEFAULT_TABLE,
+                     dataset: str = DEFAULT_DATASET):
+        """Dotted-version-vector write: concurrent writers each survive
+        as siblings instead of being silently last-write-wins'd.
+
+        ``context`` is the causal context from a prior
+        :meth:`read_causal` (or a prior write's ack) on this key; omit
+        it for a blind write, which the server keeps *alongside* any
+        concurrent versions.
+        """
+        args = {"key": self._encode(key, table, dataset), "value": value,
+                "ts": self._timestamp(), "source": self.name,
+                "ctx": [list(pair) for pair in (context or ())]}
+        t0 = self.sim.now
+        span = self._trace("write_causal")
+        try:
+            result = yield from self._request("sedna.cwrite", args)
+        except (RpcTimeout, RpcRejected):
+            self._fail()
+            self._record_write(t0)
+            self._trace_end(span, status="failure")
+            return CausalWriteAck(WriteOutcome.FAILURE, None,
+                                  tuple(tuple(p) for p in (context or ())))
+        self._record_write(t0)
+        self._trace_end(span, status=result["status"])
+        return _causal_write_ack(result, context or ())
+
+    def read_causal(self, key: str, table: str = DEFAULT_TABLE,
+                    dataset: str = DEFAULT_DATASET):
+        """Quorum read of every surviving sibling plus the causal
+        context to thread into the reconciling write; None on failure.
+        """
+        args = {"key": self._encode(key, table, dataset)}
+        t0 = self.sim.now
+        span = self._trace("read_causal")
+        try:
+            result = yield from self._request("sedna.cread", args)
+        except (RpcTimeout, RpcRejected):
+            self._fail()
+            self._record_read(t0)
+            self._trace_end(span, status="failure")
+            return None
+        self._record_read(t0)
+        self._trace_end(span, status="ok", found=bool(result.get("found")))
+        return _causal_read_result(result)
 
     # -- batch APIs (docs/protocols.md §12) -----------------------------------
     def multi_write(self, items: dict, mode: str = "latest",
@@ -515,6 +620,45 @@ class SmartSednaClient:
         if not result.get("found"):
             return None
         return ValueElement(result["source"], result["ts"], result["value"])
+
+    # -- causal APIs (docs/protocols.md §16) ----------------------------------
+    def write_causal(self, key: str, value: Any, context=None,
+                     table: str = DEFAULT_TABLE,
+                     dataset: str = DEFAULT_DATASET):
+        """Dotted-version-vector write, coordinated client-side."""
+        args = {"key": self._encode(key, table, dataset), "value": value,
+                "ts": self._timestamp(), "source": self.name,
+                "ctx": [list(pair) for pair in (context or ())]}
+        t0 = self.sim.now
+        span = self._trace("write_causal")
+        try:
+            result = yield from self.coordinator.coordinate_causal_write(args)
+        except (RpcTimeout, RpcRejected):
+            self._fail()
+            self._record_write(t0)
+            self._trace_end(span, status="failure")
+            return CausalWriteAck(WriteOutcome.FAILURE, None,
+                                  tuple(tuple(p) for p in (context or ())))
+        self._record_write(t0)
+        self._trace_end(span, status=result["status"])
+        return _causal_write_ack(result, context or ())
+
+    def read_causal(self, key: str, table: str = DEFAULT_TABLE,
+                    dataset: str = DEFAULT_DATASET):
+        """Quorum sibling read, coordinated client-side; None on failure."""
+        args = {"key": self._encode(key, table, dataset)}
+        t0 = self.sim.now
+        span = self._trace("read_causal")
+        try:
+            result = yield from self.coordinator.coordinate_causal_read(args)
+        except (RpcTimeout, RpcRejected):
+            self._fail()
+            self._record_read(t0)
+            self._trace_end(span, status="failure")
+            return None
+        self._record_read(t0)
+        self._trace_end(span, status="ok", found=bool(result.get("found")))
+        return _causal_read_result(result)
 
     # -- batch APIs (docs/protocols.md §12) -----------------------------------
     def multi_write(self, items: dict, mode: str = "latest",

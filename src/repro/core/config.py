@@ -38,6 +38,11 @@ class SednaConfig:
     write_quorum: int = 2
     """W — acks needed before a write returns."""
 
+    dvv_sibling_cap: int = 16
+    """Causal mode (DVV): max concurrent siblings kept per key.  The
+    oldest siblings beyond the cap are dropped; their dots stay covered
+    by the row's version vector, so capping is merge-safe."""
+
     # Request handling.
     request_timeout: float = 0.5
     """Coordinator deadline for one replica RPC."""
@@ -91,5 +96,7 @@ class SednaConfig:
             raise ValueError("quorum constraint violated: need W > N/2")
         if self.num_vnodes < 1:
             raise ValueError("num_vnodes must be >= 1")
+        if self.dvv_sibling_cap < 1:
+            raise ValueError("dvv_sibling_cap must be >= 1")
         if self.persistence not in ("none", "snapshot", "wal"):
             raise ValueError(f"unknown persistence strategy {self.persistence!r}")

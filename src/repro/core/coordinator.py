@@ -36,7 +36,9 @@ from typing import Any, Callable, Optional
 
 from ..net.rpc import QuorumWait, RpcError, RpcNode, RpcRejected, RpcTimeout
 from ..net.simulator import Event, Simulator
-from ..storage.versioned import (ValueElement, VersionedStore, WriteOutcome)
+from ..storage.versioned import (DvvRow, ValueElement, VersionedStore,
+                                 WriteOutcome, unwire_dvv_row, wire_context,
+                                 wire_dvv_row)
 from .cache import MappingCache
 from .config import SednaConfig
 
@@ -110,6 +112,8 @@ class QuorumCoordinator:
         self.coordinated_multi_deletes = 0
         self.coalesced_reads = 0
         self.read_repairs = 0
+        self.coordinated_causal_writes = 0
+        self.coordinated_causal_reads = 0
         # Observability: fan-out depth / laggard / repair series plus
         # coordinator-level spans (both no-ops without an obs bundle).
         self._tracer = obs.tracer if obs is not None else None
@@ -355,13 +359,16 @@ class QuorumCoordinator:
             raise RpcRejected(f"read-quorum-failed:{err}")
         for name, _exc in fails:
             self._suspect(name, vnode_id)
-        # Merge responses: newest element per source.
+        # Merge responses: newest element per source under the full
+        # (timestamp, source) order.  Each reply carries the row's
+        # write-mode flag so LWW rows collapse here too — the repair
+        # payload must not re-inflate a collapsed row on the replicas.
         merged = VersionedStore()
         responses: dict[str, list[ValueElement]] = {}
         for name, value in oks:
             elements = unwire_elements(value["elements"])
             responses[name] = elements
-            merged.merge_elements(key, elements)
+            merged.merge_elements(key, elements, lww=value.get("lww"))
         merged_elements = merged.read_all(key)
         latest = merged.read_latest(key)
 
@@ -382,7 +389,7 @@ class QuorumCoordinator:
             for name, value in laggards.oks:
                 elements = unwire_elements(value["elements"])
                 responses[name] = elements
-                merged.merge_elements(key, elements)
+                merged.merge_elements(key, elements, lww=value.get("lww"))
             merged_elements = merged.read_all(key)
             latest = merged.read_latest(key)
 
@@ -406,7 +413,8 @@ class QuorumCoordinator:
             # fire-and-forget so divergent third replicas converge on
             # the next read instead of lingering stale.
             repair_payload = {"vnode": vnode_id, "key": key,
-                              "elements": wire_elements(merged_elements)}
+                              "elements": wire_elements(merged_elements),
+                              "lww": merged.row(key).lww}
             repair_calls = [(r, self._replica_call(r, "replica.repair",
                                                    repair_payload))
                             for r in stale]
@@ -428,7 +436,8 @@ class QuorumCoordinator:
             # their late responses and repair fire-and-forget.
             answered = set(responses)
             repair_payload = {"vnode": vnode_id, "key": key,
-                              "elements": wire_elements(merged_elements)}
+                              "elements": wire_elements(merged_elements),
+                              "lww": merged.row(key).lww}
 
             def late_check(done, name):
                 if not done.ok:
@@ -497,6 +506,191 @@ class QuorumCoordinator:
         self._span_end(span, status="ok", acks=len(oks))
         return {"status": "ok", "vnode": vnode_id,
                 "acks": [name for name, _v in oks]}
+
+    # -- causal mode (DVV) ----------------------------------------------------
+    def coordinate_causal_write(self, args: Any):
+        """Causal (DVV) quorum write: mint a dot, replicate the row.
+
+        Phase 1 picks the first reachable replica as the *dot-minting*
+        node (``replica.cwrite``): the client's causal context discards
+        the siblings it has seen and the write gets a fresh
+        ``(replica, counter)`` dot.  Phase 2 replicates the resulting
+        row to the remaining replicas (``replica.cmerge``) until W
+        total acks are in.  The reply carries the dot and the row's
+        version vector — the context for the client's next write.
+        """
+        self.coordinated_causal_writes += 1
+        span = self._span("coord.cwrite")
+        started = self.sim.now
+        cfg = self.config
+        key = args["key"]
+        vnode_id, replicas = yield from self._replica_set(key)
+        if len(replicas) < cfg.write_quorum:
+            raise RpcRejected("not-enough-replicas")
+        payload = {"vnode": vnode_id, "key": key, "value": args["value"],
+                   "ts": args["ts"], "source": args["source"],
+                   "ctx": list(args.get("ctx") or [])}
+        minter = None
+        minted = None
+        mint_fail = None
+        for candidate in replicas:
+            call = [(candidate, self._replica_call(candidate,
+                                                   "replica.cwrite",
+                                                   payload))]
+            wait = QuorumWait(self.sim, call, 1, cfg.request_timeout)
+            try:
+                oks, _fails = yield from wait.wait()
+            except (RpcTimeout, RpcError) as err:
+                mint_fail = err
+                self._suspect(candidate, vnode_id)
+                continue
+            minter, minted = oks[0]
+            break
+        if minter is None:
+            if not args.get("_retried"):
+                yield from self.cache.invalidate(vnode_id)
+                retry = dict(args)
+                retry["_retried"] = True
+                result = yield from self.coordinate_causal_write(retry)
+                self._span_end(span, status="retried")
+                return result
+            self._span_end(span, status="failed")
+            raise RpcRejected(f"causal-write-failed:{mint_fail}")
+        row_wire = minted["row"]
+        others = [r for r in replicas if r != minter]
+        calls = [(r, self._replica_call(r, "replica.cmerge",
+                                        {"vnode": vnode_id, "key": key,
+                                         "row": row_wire}))
+                 for r in others]
+        acks = [minter]
+        needed = cfg.write_quorum - 1
+        if needed > 0 and calls:
+            wait = QuorumWait(self.sim, calls, min(needed, len(calls)),
+                              cfg.request_timeout)
+            try:
+                oks, fails = yield from wait.wait()
+            except (RpcTimeout, RpcError) as err:
+                self._post_quorum_watch(calls, vnode_id, set())
+                if not args.get("_retried"):
+                    # Stale mapping: invalidate and retry once.  The
+                    # first dot may survive on the minter; the retry
+                    # mints a fresh sibling, which the client's next
+                    # context-carrying write supersedes — safe, never
+                    # silently lost.
+                    yield from self.cache.invalidate(vnode_id)
+                    retry = dict(args)
+                    retry["_retried"] = True
+                    result = yield from self.coordinate_causal_write(retry)
+                    self._span_end(span, status="retried")
+                    return result
+                self._span_end(span, status="failed")
+                raise RpcRejected(f"causal-replicate-failed:{err}")
+            acks.extend(name for name, _v in oks)
+            self._post_quorum_watch(calls, vnode_id, {n for n, _v in oks})
+            for name, _exc in fails:
+                self._suspect(name, vnode_id)
+        self._span_end(span, status="ok", acks=len(acks))
+        self._m_write_lat.observe(self.sim.now - started)
+        # The ack context is the minting replica's row vv, which may
+        # cover concurrent siblings the client never read — so the ack
+        # also carries those siblings' values (Riak's return_body).  A
+        # follow-up write with this context supersedes exactly the
+        # versions listed here: an *informed* overwrite, never a
+        # silent loss.
+        return {"status": "ok", "vnode": vnode_id, "dot": minted["dot"],
+                "context": row_wire["vv"],
+                "siblings": [[s, ts, v] for _r, _c, s, ts, v
+                             in row_wire["siblings"]],
+                "acks": acks}
+
+    def coordinate_causal_read(self, args: Any):
+        """Causal (DVV) quorum read: merge R replicas' rows server-side.
+
+        The merged row's siblings are every concurrent version still
+        alive; its version vector is the causal context returned to the
+        client.  Replicas whose copy differs from the merge get the
+        merged row pushed back (``replica.cmerge`` read repair),
+        waiting only for as many acks as R-equality requires.
+        """
+        self.coordinated_causal_reads += 1
+        span = self._span("coord.cread")
+        started = self.sim.now
+        cfg = self.config
+        key = args["key"]
+        vnode_id, replicas = yield from self._replica_set(key)
+        if len(replicas) < cfg.read_quorum:
+            raise RpcRejected("not-enough-replicas")
+        payload = {"vnode": vnode_id, "key": key}
+        calls = [(r, self._replica_call(r, "replica.cread", payload))
+                 for r in replicas]
+        wait = QuorumWait(self.sim, calls, cfg.read_quorum,
+                          cfg.request_timeout)
+        try:
+            oks, fails = yield from wait.wait()
+        except (RpcTimeout, RpcError) as err:
+            self._post_quorum_watch(calls, vnode_id, set())
+            warming = any(isinstance(exc, RpcRejected)
+                          and "warming" in str(exc)
+                          for _n, exc in wait.fails)
+            if warming:
+                waits = args.get("_warm_waits", 0)
+                if waits < self._warm_wait_limit():
+                    yield self.sim.timeout(cfg.request_timeout)
+                    retry = dict(args)
+                    retry["_warm_waits"] = waits + 1
+                    result = yield from self.coordinate_causal_read(retry)
+                    self._span_end(span, status="warm-retried")
+                    return result
+            if not args.get("_retried"):
+                yield from self.cache.invalidate(vnode_id)
+                retry = dict(args)
+                retry["_retried"] = True
+                result = yield from self.coordinate_causal_read(retry)
+                self._span_end(span, status="retried")
+                return result
+            self._span_end(span, status="failed")
+            raise RpcRejected(f"causal-read-failed:{err}")
+        for name, _exc in fails:
+            self._suspect(name, vnode_id)
+        merged = DvvRow()
+        shapes: dict[str, tuple] = {}
+        for name, value in oks:
+            if value["row"] is None:
+                shapes[name] = DvvRow().shape()
+                continue
+            row = unwire_dvv_row(value["row"])
+            shapes[name] = row.shape()
+            merged.merge(row)
+        agree = sum(1 for shape in shapes.values()
+                    if shape == merged.shape())
+        stale = [name for name in sorted(shapes)
+                 if shapes[name] != merged.shape()]
+        if stale and (merged.siblings or merged.vv):
+            row_wire = wire_dvv_row(merged)
+            repair_calls = [(r, self._replica_call(
+                r, "replica.cmerge",
+                {"vnode": vnode_id, "key": key, "row": row_wire}))
+                for r in stale]
+            self.read_repairs += 1
+            self._m_read_repairs.inc()
+            needed = cfg.read_quorum - agree
+            if needed > 0:
+                repair_wait = QuorumWait(self.sim, repair_calls,
+                                         min(needed, len(repair_calls)),
+                                         cfg.request_timeout)
+                try:
+                    yield from repair_wait.wait()
+                except (RpcTimeout, RpcError) as err:
+                    self._span_end(span, status="failed")
+                    raise RpcRejected(f"causal-repair-failed:{err}")
+        self._post_quorum_watch(calls, vnode_id, {n for n, _v in oks})
+        self._span_end(span, status="ok", found=bool(merged.siblings))
+        self._m_read_lat.observe(self.sim.now - started)
+        return {"found": bool(merged.siblings),
+                "siblings": [[s.source, s.timestamp, s.value]
+                             for s in merged.siblings],
+                "context": wire_context(merged.vv),
+                "responders": sorted(shapes)}
 
     # -- batched operations ---------------------------------------------------
     def _group_by_vnode(self, keys):
@@ -682,9 +876,11 @@ class QuorumCoordinator:
         def absorb(name: str, reply: dict) -> None:
             rows = {k: unwire_elements(blob)
                     for k, blob in reply["rows"].items()}
+            flags = reply.get("lww", {})
             responses[name] = rows
             for k in keys:
-                merged.merge_elements(k, rows.get(k, []))
+                merged.merge_elements(k, rows.get(k, []),
+                                      lww=flags.get(k))
 
         for name, value in oks:
             absorb(name, value)
@@ -746,7 +942,10 @@ class QuorumCoordinator:
         for name in sorted(repair_rows):
             install_calls[name] = self._replica_call(
                 name, "replica.install",
-                {"vnode": vnode_id, "rows": repair_rows[name]})
+                {"vnode": vnode_id, "rows": repair_rows[name],
+                 "lww": {k: merged.row(k).lww for k in repair_rows[name]
+                         if merged.row(k) is not None
+                         and merged.row(k).lww is not None}})
         # R-equality per key: where fewer than R copies agree on the
         # freshest, wait for enough repair acks before answering (the
         # same rule as the single-key read; failure is per key).
@@ -789,8 +988,12 @@ class QuorumCoordinator:
                            for e in els):
                     lacking[k] = rows_by_key[k]
             if lacking:
-                self._replica_call(name, "replica.install",
-                                   {"vnode": vnode_id, "rows": lacking})
+                self._replica_call(
+                    name, "replica.install",
+                    {"vnode": vnode_id, "rows": lacking,
+                     "lww": {k: merged.row(k).lww for k in lacking
+                             if merged.row(k) is not None
+                             and merged.row(k).lww is not None}})
 
         for name, ev in calls:
             if name in responses:

@@ -18,7 +18,8 @@ from its last up-to-date holder.
 from __future__ import annotations
 
 from ..net.rpc import RpcRejected, RpcTimeout
-from .antientropy import digest_diff
+from ..storage.versioned import wire_dvv_row
+from .antientropy import digest_diff, dvv_covered
 from .coordinator import wire_elements
 from .node import SednaNode
 
@@ -83,10 +84,12 @@ class GarbageCollector:
         if node.name in replicas or not replicas:
             return 0
         mine = node.vnode_digest(vnode_id)
-        if not mine:
+        mine_dvv = node.vnode_dvv_digest(vnode_id)
+        if not mine and not mine_dvv:
             node.vnode_keys.pop(vnode_id, None)
             return 0
-        # Every current replica must dominate our versions first.
+        # Every current replica must dominate our versions first —
+        # causal rows included (vv dominance, see dvv_covered).
         for peer in replicas:
             try:
                 reply = yield from node.rpc.call(
@@ -95,18 +98,26 @@ class GarbageCollector:
             except (RpcTimeout, RpcRejected):
                 return 0  # cannot verify -> keep the data, retry later
             _pull, push = digest_diff(mine, reply["digest"])
-            if push:
+            dvv_push = dvv_covered(mine_dvv, reply.get("dvv", {}))
+            if push or dvv_push:
                 rows = {}
                 for key in push:
                     elements = node.store.read_all(key)
                     if elements:
                         rows[key] = wire_elements(elements)
+                dvv_rows = {}
+                for key in dvv_push:
+                    row = node.store.dvv_rows.get(key)
+                    if row is not None:
+                        dvv_rows[key] = wire_dvv_row(row)
                 try:
                     yield from node.rpc.call(
                         peer, "replica.install",
-                        {"vnode": vnode_id, "rows": rows},
+                        {"vnode": vnode_id, "rows": rows,
+                         "lww": node._lww_flags(rows),
+                         "dvv_rows": dvv_rows},
                         timeout=node.config.request_timeout * 2)
-                    self.rows_pushed += len(rows)
+                    self.rows_pushed += len(rows) + len(dvv_rows)
                 except (RpcTimeout, RpcRejected):
                     return 0
         # Safe: drop the local copies.

@@ -33,7 +33,9 @@ from ..net.transport import Network
 from ..obs.metrics import VnodeStatsFeed
 from ..persistence.disk import SimDisk
 from ..persistence.strategy import make_strategy
-from ..storage.versioned import ValueElement, VersionedStore, WriteOutcome
+from ..storage.versioned import (ValueElement, VersionedStore, WriteOutcome,
+                                 unwire_context, unwire_dvv_row,
+                                 wire_dvv_row)
 from ..zk.client import ZkClient
 from ..zk.server import ZkConfig
 from ..zk.znode import BadVersionError, NodeExistsError, NoNodeError
@@ -73,7 +75,8 @@ class SednaNode:
         self.cache = MappingCache(sim, self.zk, self.config,
                                   metrics=metrics, owner=name)
         self.store = VersionedStore(clock=lambda: sim.now,
-                                    metrics=metrics, node=name)
+                                    metrics=metrics, node=name,
+                                    dvv_sibling_cap=self.config.dvv_sibling_cap)
         self.disk = disk if disk is not None else SimDisk()
         self.persistence = make_strategy(self.config.persistence, self.disk,
                                          name, self.config.snapshot_interval)
@@ -137,9 +140,14 @@ class SednaNode:
         r("sedna.mwrite", self._h_mwrite)
         r("sedna.mread", self._h_mread)
         r("sedna.mdelete", self._h_mdelete)
+        r("sedna.cwrite", self._h_cwrite)
+        r("sedna.cread", self._h_cread)
         # Replica-to-replica API.
         r("replica.write", self._h_replica_write)
         r("replica.read", self._h_replica_read)
+        r("replica.cwrite", self._h_replica_cwrite)
+        r("replica.cmerge", self._h_replica_cmerge)
+        r("replica.cread", self._h_replica_cread)
         r("replica.delete", self._h_replica_delete)
         r("replica.mwrite", self._h_replica_mwrite)
         r("replica.mread", self._h_replica_mread)
@@ -335,17 +343,49 @@ class SednaNode:
                 timeout=self.config.request_timeout * 4)
         except (RpcTimeout, RpcRejected):
             return False
+        flags = result.get("lww", {})
         for key, blob in result["rows"].items():
-            self._merge_durably(key, unwire_elements(blob))
+            self._merge_durably(key, unwire_elements(blob),
+                                lww=flags.get(key))
+        self._merge_dvv_rows(result.get("dvv_rows"))
         return True
 
-    def _merge_durably(self, key: str, elements: list[ValueElement]) -> None:
+    def _merge_durably(self, key: str, elements: list[ValueElement],
+                       lww: Optional[bool] = None) -> None:
         """Merge foreign elements and log them to persistence — migrated
-        replicas must survive a power loss just like written ones."""
-        self.store.merge_elements(key, elements)
+        replicas must survive a power loss just like written ones.
+
+        ``lww`` is the sender's knowledge of the row's write mode, so
+        merges into collapsed ``write_latest`` rows prune superseded
+        sources instead of re-inflating the value list.
+        """
+        self.store.merge_elements(key, elements, lww=lww)
         self._index_key(key)
         for element in elements:
             self.persistence.on_write(key, element)
+
+    def _lww_flags(self, keys) -> dict[str, bool]:
+        """Write-mode flags for the given keys (known modes only) —
+        shipped beside every bulk row payload so receivers merge with
+        the right discipline."""
+        flags = {}
+        for key in keys:
+            row = self.store.rows.get(key)
+            if row is not None and row.lww is not None:
+                flags[key] = row.lww
+        return flags
+
+    def _merge_dvv_rows(self, blobs: Optional[dict]) -> None:
+        """Merge a wire map of causal rows (bulk-transfer receive side).
+
+        Causal rows are not logged to persistence: the DVV mode is an
+        in-memory replication mode; durability across power loss comes
+        from the replica set, not the disk strategies (documented in
+        docs/protocols.md §16).
+        """
+        for key in sorted(blobs or {}):
+            self.store.causal_merge(key, unwire_dvv_row(blobs[key]))
+            self._index_key(key)
 
     def _imbalance_pusher(self):
         """Periodically publish this node's imbalance-table row (§III.B)."""
@@ -453,7 +493,8 @@ class SednaNode:
         receiver = self._forward_target(vnode_id)
         if receiver is not None:
             self._spawn_forward(receiver, vnode_id,
-                                rows={key: wire_elements([element])})
+                                rows={key: wire_elements([element])},
+                                lww={key: args["mode"] == "latest"})
         if status == WriteOutcome.OK:
             self.persistence.on_write(key, element)
         delay = self.persistence.write_delay()
@@ -476,8 +517,11 @@ class SednaNode:
             raise RpcRejected("warming")
         self.replica_reads += 1
         self.vstats.record_read(vnode_id)
-        elements = self.store.read_all(args["key"])
-        return {"elements": wire_elements(elements)}
+        key = args["key"]
+        elements = self.store.read_all(key)
+        row = self.store.rows.get(key)
+        return {"elements": wire_elements(elements),
+                "lww": row.lww if row is not None else None}
 
     def _h_replica_delete(self, src: str, args: Any):
         self.store.delete(args["key"])
@@ -516,7 +560,8 @@ class SednaNode:
                 receiver, vnode_id,
                 rows={e["key"]: wire_elements(
                     [ValueElement(e["source"], e["ts"], e["value"])])
-                    for e in entries})
+                    for e in entries},
+                lww={e["key"]: e["mode"] == "latest" for e in entries})
         delay = self.persistence.write_delay()
         if delay > 0.0:
             ev = self.sim.event()
@@ -541,7 +586,7 @@ class SednaNode:
         rows = {key: wire_elements(elements)
                 for key, elements in self.store.read_multi(keys).items()
                 if elements}
-        return {"rows": rows}
+        return {"rows": rows, "lww": self._lww_flags(rows)}
 
     def _h_replica_mdelete(self, src: str, args: Any):
         """Batched replica.delete with per-key outcomes."""
@@ -559,28 +604,93 @@ class SednaNode:
                                 deletes=list(args["keys"]))
         return {"statuses": statuses}
 
+    def _h_replica_cwrite(self, src: str, args: Any):
+        """Causal (DVV) dot-minting write: apply the client's context,
+        mint a fresh dot, return the resulting row for replication."""
+        vnode_id = args["vnode"]
+        if self.cache.loaded and not self._owns(vnode_id):
+            self.sim.process(self.cache.invalidate(vnode_id))
+            raise RpcRejected("not-owner")
+        self.replica_writes += 1
+        key = args["key"]
+        dot, row = self.store.causal_update(
+            key, args["value"], args["ts"], args["source"],
+            unwire_context(args.get("ctx")), self.name)
+        self._index_key(key)
+        self.vstats.record_write(vnode_id)
+        receiver = self._forward_target(vnode_id)
+        if receiver is not None:
+            self._spawn_forward(receiver, vnode_id,
+                                dvv_rows={key: wire_dvv_row(row)})
+        return {"status": "ok", "dot": list(dot),
+                "row": wire_dvv_row(row)}
+
+    def _h_replica_cmerge(self, src: str, args: Any):
+        """Causal (DVV) row merge: replication fan-out, read repair and
+        anti-entropy all land here (idempotent)."""
+        vnode_id = args["vnode"]
+        if self.cache.loaded and not self._owns(vnode_id):
+            self.sim.process(self.cache.invalidate(vnode_id))
+            raise RpcRejected("not-owner")
+        self.replica_writes += 1
+        key = args["key"]
+        self.store.causal_merge(key, unwire_dvv_row(args["row"]))
+        self._index_key(key)
+        self.vstats.record_write(vnode_id)
+        receiver = self._forward_target(vnode_id)
+        if receiver is not None:
+            row = self.store.causal_read(key)
+            self._spawn_forward(receiver, vnode_id,
+                                dvv_rows={key: wire_dvv_row(row)})
+        return {"status": "ok"}
+
+    def _h_replica_cread(self, src: str, args: Any):
+        """Causal (DVV) read: the whole row (siblings + context)."""
+        vnode_id = args["vnode"]
+        if self.cache.loaded and not self._owns(vnode_id):
+            self.sim.process(self.cache.invalidate(vnode_id))
+            raise RpcRejected("not-owner")
+        status = self.vnode_status.get(vnode_id)
+        if status is not None and status.warming:
+            raise RpcRejected("warming")
+        self.replica_reads += 1
+        self.vstats.record_read(vnode_id)
+        row = self.store.causal_read(args["key"])
+        return {"row": wire_dvv_row(row) if row is not None else None}
+
     def _h_replica_transfer(self, src: str, args: Any):
         """Ship every row of one vnode (re-duplication / rebalance)."""
         vnode_id = args["vnode"]
         rows = {}
+        dvv_rows = {}
         # sorted(): set order is hash order, and the row dict's order
         # is wire-visible (replay identity across PYTHONHASHSEEDs).
         for key in sorted(self.vnode_keys.get(vnode_id, set())):
             elements = self.store.read_all(key)
             if elements:
                 rows[key] = wire_elements(elements)
-        return {"rows": rows}
+            drow = self.store.dvv_rows.get(key)
+            if drow is not None:
+                dvv_rows[key] = wire_dvv_row(drow)
+        return {"rows": rows, "lww": self._lww_flags(rows),
+                "dvv_rows": dvv_rows}
 
     def _h_replica_install(self, src: str, args: Any):
         """Receive a vnode's rows (the re-duplication target side)."""
+        flags = args.get("lww", {})
         for key, blob in args["rows"].items():
-            self._merge_durably(key, unwire_elements(blob))
-        return {"status": "ok", "installed": len(args["rows"])}
+            self._merge_durably(key, unwire_elements(blob),
+                                lww=flags.get(key))
+        self._merge_dvv_rows(args.get("dvv_rows"))
+        return {"status": "ok",
+                "installed": len(args["rows"]) + len(args.get("dvv_rows")
+                                                     or {})}
 
     def _h_replica_repair(self, src: str, args: Any):
         """Read-repair: merge the coordinator's freshest elements."""
         self.repairs += 1
-        self._merge_durably(args["key"], unwire_elements(args["elements"]))
+        self._merge_durably(args["key"], unwire_elements(args["elements"]),
+                            lww=args.get("lww"))
         return {"status": "ok"}
 
     def vnode_digest(self, vnode_id: int) -> dict[str, list[tuple]]:
@@ -597,18 +707,42 @@ class SednaNode:
                                      for e in elements)
         return digest
 
+    def vnode_dvv_digest(self, vnode_id: int) -> dict[str, list]:
+        """Per-key causal digests of one vnode: key -> [vv, dots].
+
+        ``vv`` is the sorted version vector, ``dots`` the sorted
+        sibling dots — together they identify the row state without
+        shipping sibling values.
+        """
+        digest: dict[str, list] = {}
+        for key in sorted(self.vnode_keys.get(vnode_id, set())):
+            row = self.store.dvv_rows.get(key)
+            if row is not None and (row.vv or row.siblings):
+                digest[key] = [
+                    [[rep, cnt] for rep, cnt in sorted(row.vv.items())],
+                    [[rep, cnt] for rep, cnt in
+                     sorted(s.dot for s in row.siblings)]]
+        return digest
+
     def _h_replica_digest(self, src: str, args: Any):
         """Anti-entropy: report this replica's digest for a vnode."""
-        return {"digest": self.vnode_digest(args["vnode"])}
+        return {"digest": self.vnode_digest(args["vnode"]),
+                "dvv": self.vnode_dvv_digest(args["vnode"])}
 
     def _h_replica_fetch(self, src: str, args: Any):
         """Anti-entropy: ship the requested keys' full rows."""
         rows = {}
-        for key in args["keys"]:
+        for key in args.get("keys", ()):
             elements = self.store.read_all(key)
             if elements:
                 rows[key] = wire_elements(elements)
-        return {"rows": rows}
+        dvv_rows = {}
+        for key in args.get("dvv_keys", ()):
+            row = self.store.dvv_rows.get(key)
+            if row is not None:
+                dvv_rows[key] = wire_dvv_row(row)
+        return {"rows": rows, "lww": self._lww_flags(rows),
+                "dvv_rows": dvv_rows}
 
     # ------------------------------------------------------------------
     # Live migration (donor/receiver sides; driver in rebalance.py)
@@ -662,27 +796,36 @@ class SednaNode:
         cursor = args["cursor"]
         budget = args["budget"]
         rows = {}
+        dvv_rows = {}
         size = 0
         while cursor < len(snapshot):
             key = snapshot[cursor]
             cursor += 1
             elements = self.store.read_all(key)
-            if not elements:
-                continue
-            blob = wire_elements(elements)
-            rows[key] = blob
-            size += len(key) + len(repr(blob))
+            if elements:
+                blob = wire_elements(elements)
+                rows[key] = blob
+                size += len(key) + len(repr(blob))
+            drow = self.store.dvv_rows.get(key)
+            if drow is not None:
+                blob = wire_dvv_row(drow)
+                dvv_rows[key] = blob
+                size += len(key) + len(repr(blob))
             if size >= budget:
                 break
         self._m_chunks_served.inc()
-        return {"rows": rows, "next": cursor,
+        return {"rows": rows, "lww": self._lww_flags(rows),
+                "dvv_rows": dvv_rows, "next": cursor,
                 "done": cursor >= len(snapshot), "bytes": size}
 
     def _h_migrate_forward(self, src: str, args: Any):
         """Receiver side of the forwarding window: merge double-applied
         writes (and replay deletes) for a vnode migrating in."""
+        flags = args.get("lww", {})
         for key in sorted(args.get("rows", {})):
-            self._merge_durably(key, unwire_elements(args["rows"][key]))
+            self._merge_durably(key, unwire_elements(args["rows"][key]),
+                                lww=flags.get(key))
+        self._merge_dvv_rows(args.get("dvv_rows"))
         for key in args.get("deletes", ()):
             self.store.delete(key)
             keys = self.vnode_keys.get(args["vnode"])
@@ -743,14 +886,17 @@ class SednaNode:
 
     def _spawn_forward(self, receiver: str, vnode_id: int,
                        rows: Optional[dict] = None,
-                       deletes: Optional[list] = None) -> None:
+                       deletes: Optional[list] = None,
+                       lww: Optional[dict] = None,
+                       dvv_rows: Optional[dict] = None) -> None:
         """Fire-and-forget double-apply of a write/delete to the
         migration receiver (one retry; terminal failures are counted —
         the pre-cutover digest verify re-pulls anything still missing)."""
         self.migration_forwards += 1
         self._m_forwards.inc()
         args = {"vnode": vnode_id, "rows": rows or {},
-                "deletes": deletes or []}
+                "deletes": deletes or [], "lww": lww or {},
+                "dvv_rows": dvv_rows or {}}
         self.sim.process(self._forward(receiver, args),
                          name=f"{self.name}-fwd-{vnode_id}")
 
@@ -836,6 +982,14 @@ class SednaNode:
     def _h_mdelete(self, src: str, args: Any) -> Event:
         return self._deferred(self.coordinator.coordinate_multi_delete(args),
                               "coord-mdelete")
+
+    def _h_cwrite(self, src: str, args: Any) -> Event:
+        return self._deferred(self.coordinator.coordinate_causal_write(args),
+                              "coord-cwrite")
+
+    def _h_cread(self, src: str, args: Any) -> Event:
+        return self._deferred(self.coordinator.coordinate_causal_read(args),
+                              "coord-cread")
 
     # ------------------------------------------------------------------
     # Lazy failure recovery (§III.C–D)
@@ -944,14 +1098,19 @@ class SednaNode:
         keys = self.vnode_keys.get(vnode_id, set())
         if keys:
             rows = {}
+            dvv_rows = {}
             for key in sorted(keys):
                 elements = self.store.read_all(key)
                 if elements:
                     rows[key] = wire_elements(elements)
+                drow = self.store.dvv_rows.get(key)
+                if drow is not None:
+                    dvv_rows[key] = wire_dvv_row(drow)
             try:
                 yield from self.rpc.call(
                     target, "replica.install",
-                    {"vnode": vnode_id, "rows": rows},
+                    {"vnode": vnode_id, "rows": rows,
+                     "lww": self._lww_flags(rows), "dvv_rows": dvv_rows},
                     timeout=self.config.request_timeout * 4)
             except (RpcTimeout, RpcRejected):
                 pass
@@ -971,7 +1130,9 @@ class SednaNode:
             try:
                 yield from self.rpc.call(
                     target, "replica.install",
-                    {"vnode": vnode_id, "rows": result["rows"]},
+                    {"vnode": vnode_id, "rows": result["rows"],
+                     "lww": result.get("lww", {}),
+                     "dvv_rows": result.get("dvv_rows", {})},
                     timeout=self.config.request_timeout * 4)
             except (RpcTimeout, RpcRejected):
                 continue
@@ -989,11 +1150,12 @@ class SednaNode:
         callers needing a *complete* inbound sync (vnode handoff) can
         tell success from a round of swallowed timeouts.
         """
-        from .antientropy import digest_diff  # local import: no cycle
+        from .antientropy import digest_diff, dvv_digest_diff
         replicas = self.cache.ring.replicas_for(vnode_id,
                                                 self.config.replicas)
         peers = [r for r in replicas if r != self.name]
         mine = self.vnode_digest(vnode_id)
+        mine_dvv = self.vnode_dvv_digest(vnode_id)
         pulled = 0
         pushed = 0
         failed_peers = 0
@@ -1007,33 +1169,52 @@ class SednaNode:
                 continue
             theirs = reply["digest"]
             pull, push = digest_diff(mine, theirs)
-            if pull:
+            dvv_pull, dvv_push = dvv_digest_diff(mine_dvv,
+                                                 reply.get("dvv", {}))
+            if pull or dvv_pull:
                 try:
                     fetched = yield from self.rpc.call(
                         peer, "replica.fetch",
-                        {"vnode": vnode_id, "keys": pull},
+                        {"vnode": vnode_id, "keys": pull,
+                         "dvv_keys": dvv_pull},
                         timeout=self.config.request_timeout * 2)
                 except (RpcTimeout, RpcRejected):
                     fetched = None
                     failed_peers += 1
                 if fetched is not None:
+                    flags = fetched.get("lww", {})
                     for key, blob in fetched["rows"].items():
-                        self._merge_durably(key, unwire_elements(blob))
+                        self._merge_durably(key, unwire_elements(blob),
+                                            lww=flags.get(key))
                         pulled += 1
+                    for key in sorted(fetched.get("dvv_rows") or {}):
+                        if self.store.causal_merge(
+                                key, unwire_dvv_row(
+                                    fetched["dvv_rows"][key])):
+                            pulled += 1
+                        self._index_key(key)
                     mine = self.vnode_digest(vnode_id)
-            if push:
+                    mine_dvv = self.vnode_dvv_digest(vnode_id)
+            if push or dvv_push:
                 rows = {}
                 for key in push:
                     elements = self.store.read_all(key)
                     if elements:
                         rows[key] = wire_elements(elements)
-                if rows:
+                dvv_rows = {}
+                for key in dvv_push:
+                    row = self.store.dvv_rows.get(key)
+                    if row is not None:
+                        dvv_rows[key] = wire_dvv_row(row)
+                if rows or dvv_rows:
                     try:
                         yield from self.rpc.call(
                             peer, "replica.install",
-                            {"vnode": vnode_id, "rows": rows},
+                            {"vnode": vnode_id, "rows": rows,
+                             "lww": self._lww_flags(rows),
+                             "dvv_rows": dvv_rows},
                             timeout=self.config.request_timeout * 2)
-                        pushed += len(rows)
+                        pushed += len(rows) + len(dvv_rows)
                     except (RpcTimeout, RpcRejected):
                         continue
         return pulled, pushed, failed_peers
@@ -1070,6 +1251,10 @@ class SednaNode:
             "coordinated_multi_reads": self.coordinator.coordinated_multi_reads,
             "coordinated_multi_deletes": self.coordinator.coordinated_multi_deletes,
             "coalesced_reads": self.coordinator.coalesced_reads,
+            "coordinated_causal_writes":
+                self.coordinator.coordinated_causal_writes,
+            "coordinated_causal_reads":
+                self.coordinator.coordinated_causal_reads,
             "replica_writes": self.replica_writes,
             "replica_reads": self.replica_reads,
             "investigations": self.investigations,

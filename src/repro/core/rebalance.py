@@ -38,7 +38,7 @@ from typing import Optional
 
 from ..net.rpc import RpcRejected, RpcTimeout
 from ..zk.znode import BadVersionError, NoNodeError
-from .antientropy import digest_diff
+from .antientropy import digest_diff, dvv_covered
 from .cache import ZkLayout
 from .hashring import HEAT_WEIGHTS, ImbalanceTable, vnode_heat
 from .node import SednaNode
@@ -460,10 +460,12 @@ class Rebalancer:
                     {"vnode": vnode_id, "cursor": migration.cursor,
                      "budget": min(self.chunk_bytes, max(budget, 1))},
                     timeout=timeout)
-                if chunk["rows"]:
+                if chunk["rows"] or chunk.get("dvv_rows"):
                     yield from rpc.call(
                         migration.receiver, "migrate.forward",
-                        {"vnode": vnode_id, "rows": chunk["rows"]},
+                        {"vnode": vnode_id, "rows": chunk["rows"],
+                         "lww": chunk.get("lww", {}),
+                         "dvv_rows": chunk.get("dvv_rows", {})},
                         timeout=timeout)
                 migration.cursor = chunk["next"]
                 migration.chunks += 1
@@ -514,17 +516,24 @@ class Rebalancer:
                 migration.receiver, "replica.digest", {"vnode": vnode_id},
                 timeout=timeout)
             pull, _push = digest_diff(recv_d["digest"], donor_d["digest"])
-            if not pull:
+            # Causal rows: the receiver must have *seen* every donor
+            # event (vv dominance) before the assignment flips.
+            dvv_pull = dvv_covered(donor_d.get("dvv", {}),
+                                   recv_d.get("dvv", {}))
+            if not pull and not dvv_pull:
                 return True
             fetched = yield from rpc.call(
-                migration.donor, "replica.fetch", {"keys": pull},
+                migration.donor, "replica.fetch",
+                {"keys": pull, "dvv_keys": dvv_pull},
                 timeout=timeout)
-            if fetched["rows"]:
+            if fetched["rows"] or fetched.get("dvv_rows"):
                 yield from rpc.call(
                     migration.receiver, "migrate.forward",
-                    {"vnode": vnode_id, "rows": fetched["rows"]},
+                    {"vnode": vnode_id, "rows": fetched["rows"],
+                     "lww": fetched.get("lww", {}),
+                     "dvv_rows": fetched.get("dvv_rows", {})},
                     timeout=timeout)
-            migration.note(f"verify-pull:{len(pull)}")
+            migration.note(f"verify-pull:{len(pull) + len(dvv_pull)}")
         return False
 
     def _cutover(self, migration: Migration):

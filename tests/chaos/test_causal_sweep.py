@@ -1,0 +1,78 @@
+"""Chaos sweeps of the causal (DVV) mode: the "no concurrent write
+silently lost" invariant under partition profiles.
+
+The quick checks run in tier-1; the seeds 0-7 acceptance sweep is
+marked ``slow`` (``pytest -m slow tests/chaos``).  The same seeds run
+in ``lww`` mode feed the paired BENCH_dvv comparison (see
+``benchmarks/test_dvv_sweep.py``).
+"""
+
+import pytest
+
+from repro.chaos import ChaosRunner
+from repro.chaos.invariants import causal_outcomes, lww_concurrent_losses
+
+
+def run_causal(seed, mode="dvv", duration=8.0):
+    return ChaosRunner(seed=seed, profile="partition", duration=duration,
+                       causal=mode).run()
+
+
+class TestCausalChaosQuick:
+    def test_no_concurrent_write_silently_lost(self):
+        report = run_causal(seed=0)
+        assert report.ok, report.describe()
+        fates = causal_outcomes(report.history, report.state)
+        assert fates["acked"] > 0, "workload drove no causal writes"
+        assert fates["lost"] == 0, report.describe()
+        # The partition window actually manufactured concurrency.
+        assert fates["preserved"] + fates["superseded"] == fates["acked"]
+
+    def test_rerun_is_byte_identical(self):
+        a = run_causal(seed=2)
+        b = run_causal(seed=2)
+        assert a.ok and b.ok, (a.describe(), b.describe())
+        assert a.digest == b.digest
+        assert a.history.to_bytes() == b.history.to_bytes()
+
+    def test_default_mode_untouched_by_causal_code(self):
+        """A causal=None run draws the same rng stream and serializes
+        the same history bytes as before the causal mode existed: no
+        causal ops, no ctx/dot fields in any line."""
+        report = ChaosRunner(seed=1, profile="partition",
+                             duration=6.0).run()
+        assert report.ok, report.describe()
+        assert not report.history.causal_keys()
+        for record in report.history.records:
+            assert record.ctx == () and record.dot is None
+            assert record.to_line().count("|") == 14
+
+    def test_lww_mode_same_draws_plain_writes(self):
+        """lww mode maps the causal slice onto write_latest and still
+        holds the classic invariants (nothing about LWW is *unsafe* in
+        the checked sense — it just destroys concurrent updates, which
+        lww_concurrent_losses tallies)."""
+        report = run_causal(seed=0, mode="lww")
+        assert report.ok, report.describe()
+        assert not report.history.causal_keys()
+        cw = [k for k in report.history.written_keys() if "cw-" in k]
+        assert cw, "lww causal slice wrote no cw keys"
+        losses = lww_concurrent_losses(report.history, report.state,
+                                       keys=cw)
+        assert sum(losses.values()) > 0, \
+            "expected LWW to blindly destroy at least one concurrent update"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(8))
+def test_causal_sweep(seed):
+    """Acceptance criterion: seeds 0-7 under the partition profile,
+    DVV preserves every concurrent write (zero silently lost) and the
+    rerun is byte-identical."""
+    a = run_causal(seed, duration=10.0)
+    assert a.ok, a.describe()
+    fates = causal_outcomes(a.history, a.state)
+    assert fates["lost"] == 0, a.describe()
+    assert fates["acked"] > 0
+    b = run_causal(seed, duration=10.0)
+    assert a.digest == b.digest

@@ -167,6 +167,59 @@ class TestReplicationSupport:
         store.merge_elements("k", incoming)
         assert len(store.read_all("k")) == 1
 
+    def test_merge_tie_broken_by_source(self, store):
+        """Regression: merge_elements must use the same (timestamp,
+        source) order as write_latest — a strict ``timestamp >`` alone
+        made replicas disagree on equal-timestamp ties depending on
+        whether the element arrived by write or by merge."""
+        store.write_all("k", "low", 1.0, "s1")
+        changed = store.merge_elements("k", [ValueElement("s1", 1.0,
+                                                          "low-again")])
+        assert not changed          # equal (ts, source): not newer
+        store.merge_elements("k", [ValueElement("s2", 1.0, "high")])
+        # Two replicas that saw the writes in opposite orders converge
+        # on the same latest: (1.0, "s2") > (1.0, "s1").
+        other = VersionedStore()
+        other.merge_elements("k", [ValueElement("s2", 1.0, "high")])
+        other.merge_elements("k", [ValueElement("s1", 1.0, "low")])
+        assert (store.read_latest("k").source
+                == other.read_latest("k").source == "s2")
+
+    def test_merge_into_lww_row_stays_collapsed(self, store):
+        """Regression: anti-entropy re-inflated write_latest rows.
+
+        A write_latest row holds exactly one element; per-source merge
+        append used to tack superseded sources back on, so digests
+        never converged and anti-entropy churned forever.  Merging
+        with ``lww=True`` (the flag replication now ships) must prune
+        back to the single latest element."""
+        store.write_latest("k", "new", 2.0, "s2")
+        changed = store.merge_elements(
+            "k", [ValueElement("s1", 1.0, "stale")], lww=True)
+        elements = store.read_all("k")
+        assert len(elements) == 1 and elements[0].value == "new"
+        del changed
+
+    def test_lww_merge_digests_converge(self):
+        """Two replicas of a write_latest key reach identical element
+        sets (hence identical anti-entropy digests) after one exchange
+        in each direction — the perpetual-churn proof."""
+        a, b = VersionedStore(), VersionedStore()
+        a.write_latest("k", "v1", 1.0, "s1")
+        a.write_latest("k", "v2", 2.0, "s2")   # collapsed to one on a
+        b.write_latest("k", "v1", 1.0, "s1")   # b missed the second write
+        digest = lambda s: [(e.source, e.timestamp)          # noqa: E731
+                            for e in s.read_all("k")]
+        # Exchange both ways, shipping the lww flag like replication.
+        b.merge_elements("k", a.read_all("k"), lww=a.rows["k"].lww)
+        a.merge_elements("k", b.read_all("k"), lww=b.rows["k"].lww)
+        assert digest(a) == digest(b) == [("s2", 2.0)]
+        # Idempotent from here: another round changes nothing.
+        assert not b.merge_elements("k", a.read_all("k"),
+                                    lww=a.rows["k"].lww)
+        assert not a.merge_elements("k", b.read_all("k"),
+                                    lww=b.rows["k"].lww)
+
 
 # -- property tests -------------------------------------------------------
 
