@@ -52,7 +52,7 @@ TRIALS = 7
 
 def _events_executed(sim: Simulator) -> int:
     """Scheduling sequence counter ~ events pushed through the kernel."""
-    return next(sim._seq)
+    return sim.events_scheduled
 
 
 def _build_mixed_workload(sim: Simulator, store) -> None:

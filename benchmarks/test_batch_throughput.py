@@ -39,7 +39,7 @@ KERNEL_FLOOR = 100_000.0
 
 def _events_executed(sim: Simulator) -> int:
     """Scheduling sequence counter ~ events pushed through the kernel."""
-    return next(sim._seq)
+    return sim.events_scheduled
 
 
 def _fresh_cluster(seed: int) -> SednaCluster:

@@ -1,7 +1,38 @@
 """Microbench: DES kernel event throughput (per the HPC guides, the
-substrate hot loop is measured, not guessed)."""
+substrate hot loop is measured, not guessed).
+
+Two measurements over the same timeout-chain ticker workload:
+
+* ``test_kernel_event_throughput`` — the historical pytest-benchmark
+  run (workload-identical across PRs so numbers stay comparable);
+* ``test_kernel_events_per_sec`` — a direct best-of-N events/sec
+  measurement written to ``benchmarks/results/BENCH_kernel.json``.
+
+The second test always asserts a conservative absolute floor.  With
+``PERF_SMOKE=1`` (the CI perf-smoke job) it additionally fails when
+throughput drops more than ``REGRESSION_TOLERANCE`` below the
+checked-in baseline (``benchmarks/baselines/kernel_baseline.json``).
+Refresh the baseline only alongside a deliberate kernel change, with
+the new numbers in the PR description.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
 
 from repro.net.simulator import Simulator
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE_PATH = Path(__file__).parent / "baselines" / "kernel_baseline.json"
+
+TICKER_EVENTS = 100_000
+ROUNDS = 5
+# Absolute floor on any hardware: even the pre-overhaul kernel did
+# ~6x this on a laptop; below it the hot path has regressed badly.
+KERNEL_FLOOR = 150_000.0
+# Perf-smoke rule: fail on >30% events/sec regression vs the baseline.
+REGRESSION_TOLERANCE = 0.30
 
 
 def _run_events(n: int) -> float:
@@ -16,6 +47,51 @@ def _run_events(n: int) -> float:
     return sim.now
 
 
+def _events_per_sec(n: int = TICKER_EVENTS, rounds: int = ROUNDS) -> float:
+    """Best-of-N wallclock throughput of the ticker workload."""
+    best = 0.0
+    for _ in range(rounds):
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(n):
+                yield sim.timeout(0.001)
+
+        sim.process(ticker())
+        t0 = time.perf_counter()
+        sim.run()
+        dt = time.perf_counter() - t0
+        best = max(best, sim.events_scheduled / dt)
+    return best
+
+
 def test_kernel_event_throughput(benchmark):
     result = benchmark(lambda: _run_events(20_000))
     assert result > 0
+
+
+def test_kernel_events_per_sec():
+    eps = _events_per_sec()
+    out = {
+        "workload": "timeout-chain ticker",
+        "events": TICKER_EVENTS,
+        "rounds": ROUNDS,
+        "events_per_sec": round(eps),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_kernel.json").write_text(
+        json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"\nkernel throughput: {eps / 1e6:.2f}M events/sec")
+
+    assert eps > KERNEL_FLOOR, \
+        f"kernel below absolute floor: {eps:.0f} < {KERNEL_FLOOR:.0f} ev/s"
+
+    if os.environ.get("PERF_SMOKE") == "1":
+        baseline = json.loads(BASELINE_PATH.read_text())["events_per_sec"]
+        floor = baseline * (1.0 - REGRESSION_TOLERANCE)
+        assert eps >= floor, (
+            f"perf-smoke regression: {eps:.0f} ev/s is more than "
+            f"{REGRESSION_TOLERANCE:.0%} below the checked-in baseline "
+            f"{baseline} ev/s (floor {floor:.0f}).  If a deliberate "
+            f"change moved kernel throughput, refresh "
+            f"benchmarks/baselines/kernel_baseline.json in the same PR.")

@@ -143,8 +143,9 @@ class AntiEntropyManager:
                 if self.node.name in ring.replicas_for(v, n)]
 
     def _loop(self):
+        pass_timer = self.sim.recurring(self.interval)
         while self.running and self.node.running:
-            yield self.sim.timeout(self.interval)
+            yield pass_timer.tick()
             if not (self.running and self.node.running):
                 return
             yield from self.run_pass()

@@ -206,8 +206,10 @@ class MappingCache:
                 and self.zk.rpc.endpoint.up)
 
     def _lease_loop(self, generation: int):
+        # tick(self.lease): the adaptive lease length changes per round.
+        lease_timer = self.sim.recurring(self.lease)
         while self._alive(generation):
-            yield self.sim.timeout(self.lease)
+            yield lease_timer.tick(self.lease)
             if not self._alive(generation):
                 return
             changes = yield from self.refresh()

@@ -27,6 +27,7 @@ from ..persistence.disk import SimDisk
 from ..zk.ensemble import ZkEnsemble
 from ..zk.server import ZkConfig
 from .cache import ZkLayout
+from .hashring import build_assignment
 from .client import SednaClient, SmartSednaClient
 from .config import SednaConfig
 from .node import SednaNode
@@ -115,8 +116,9 @@ class SednaCluster:
         for path in (ZkLayout.REAL_NODES, ZkLayout.VNODES,
                      ZkLayout.CHANGELOG, ZkLayout.IMBALANCE):
             yield from zk.create(path, b"")
-        for vnode_id in range(self.config.num_vnodes):
-            owner = self.node_names[vnode_id % len(self.node_names)]
+        owners = build_assignment(self.config.num_vnodes, self.node_names,
+                                  self.config.placement)
+        for vnode_id, owner in enumerate(owners):
             yield from zk.create(ZkLayout.vnode(vnode_id), owner.encode())
         yield from zk.create(ZkLayout.CONFIG,
                              str(self.config.num_vnodes).encode())

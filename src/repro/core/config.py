@@ -25,6 +25,12 @@ class SednaConfig:
     paper sizes ~100 vnodes per real node (e.g. 100,000 for 1,000
     servers); tests use smaller rings."""
 
+    placement: str = "modulo"
+    """Bootstrap vnode → node placement: ``modulo`` (round-robin
+    striping, the historical default) or ``jump`` (jump consistent
+    hash — minimal monotonic remapping as the cluster grows; see
+    ``core.hashring.build_assignment``)."""
+
     retrieval_threads: int = 8
     """Concurrent vnode-acquisition workers during join (paper: 8-16)."""
 
@@ -96,6 +102,8 @@ class SednaConfig:
             raise ValueError("quorum constraint violated: need W > N/2")
         if self.num_vnodes < 1:
             raise ValueError("num_vnodes must be >= 1")
+        if self.placement not in ("modulo", "jump"):
+            raise ValueError(f"unknown placement {self.placement!r}")
         if self.dvv_sibling_cap < 1:
             raise ValueError("dvv_sibling_cap must be >= 1")
         if self.persistence not in ("none", "snapshot", "wal"):

@@ -66,8 +66,9 @@ class ActiveDetector:
         return [n for n in ring.real_nodes() if n != self.node.name]
 
     def _loop(self):
+        probe_timer = self.sim.recurring(self.interval)
         while self.running and self.node.running:
-            yield self.sim.timeout(self.interval)
+            yield probe_timer.tick()
             if not (self.running and self.node.running):
                 return
             peers = self._known_peers()

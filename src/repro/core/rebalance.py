@@ -280,9 +280,10 @@ class Rebalancer:
 
     # ------------------------------------------------------------------
     def _loop(self):
+        pass_timer = self.sim.recurring(self.interval)
         try:
             while self.running and self.node.running:
-                yield self.sim.timeout(self.interval)
+                yield pass_timer.tick()
                 if not (self.running and self.node.running):
                     return
                 try:

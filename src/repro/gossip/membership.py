@@ -77,8 +77,9 @@ class GossipNode:
 
     # -- protocol ------------------------------------------------------------
     def _loop(self):
+        beat = self.sim.recurring(self.interval)
         while self.running:
-            yield self.sim.timeout(self.interval)
+            yield beat.tick()
             if not self.running:
                 return
             self.heartbeat += 1

@@ -16,7 +16,6 @@ Handlers may answer synchronously (return a value), raise
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .simulator import AnyOf, Event, Simulator
@@ -51,6 +50,12 @@ _RESP = "resp"
 _NOTIFY = "notify"
 
 
+def _observed(_ev: Event) -> None:
+    """Shared no-op observer: marks an event's outcome as witnessed so
+    the kernel's unhandled-failure alarm stays quiet.  One module-level
+    function instead of a fresh lambda per call/wait."""
+
+
 class RpcNode:
     """An endpoint that speaks request/response.
 
@@ -77,10 +82,7 @@ class RpcNode:
         self._handlers: dict[str, Callable[[str, Any], Any]] = {}
         self._notify_handler: Optional[Callable[[str, Any], None]] = None
         self._pending: dict[int, Event] = {}
-        # Reverse map (event -> call id) so a timed-out call is forgotten
-        # in O(1) instead of scanning every pending call.
-        self._event_ids: dict[Event, int] = {}
-        self._ids = itertools.count(1)
+        self._last_id = 0
         # Stats
         self.calls_issued = 0
         self.calls_timed_out = 0
@@ -103,15 +105,13 @@ class RpcNode:
             if self._notify_handler is not None:
                 self._notify_handler(msg.src, msg.payload["body"])
         elif kind == _RESP:
-            ev = self._pending.pop(msg.payload["id"], None)
-            if ev is not None:
-                self._event_ids.pop(ev, None)
-            if ev is not None and not ev.triggered:
-                status = msg.payload["status"]
-                if status == "ok":
-                    ev.succeed(msg.payload["result"])
+            payload = msg.payload
+            ev = self._pending.pop(payload["id"], None)
+            if ev is not None and not ev._triggered:
+                if payload["status"] == "ok":
+                    ev.succeed(payload["result"])
                 else:
-                    ev.fail(RpcRejected(msg.payload.get("result", "")))
+                    ev.fail(RpcRejected(payload.get("result", "")))
 
     def _serve(self, msg: Message) -> None:
         payload = msg.payload
@@ -187,21 +187,20 @@ class RpcNode:
         self.endpoint.send(dst, {"kind": _NOTIFY, "body": body})
 
     # -- client side --------------------------------------------------------
-    def call_async(self, dst: str, method: str, args: Any) -> Event:
-        """Issue a request; returns an event with the result.
+    def _issue(self, dst: str, method: str, args: Any) -> tuple[Event, int]:
+        """Send a request; return the completion event and its call id.
 
-        The event *fails* with :class:`RpcRejected` on refuse.  It never
-        times out by itself — combine with :meth:`call` or a timeout
-        race for deadline semantics.
+        Handing the id back to the caller lets :meth:`call` forget a
+        timed-out call with one ``_pending`` pop — the previous design
+        kept a reverse event→id dict updated on every issue and reply.
         """
-        call_id = next(self._ids)
+        self._last_id = call_id = self._last_id + 1
         ev = self.sim.event()
         # RPC outcomes are always *observable*, never mandatory-to-wait:
         # a fire-and-forget call whose reply is a refusal must not trip
         # the kernel's unhandled-failure alarm.
-        ev.callbacks.append(lambda _e: None)
+        ev.callbacks.append(_observed)
         self._pending[call_id] = ev
-        self._event_ids[ev] = call_id
         self.calls_issued += 1
         request: dict[str, Any] = {
             "kind": _REQ, "id": call_id, "method": method, "args": args,
@@ -211,7 +210,16 @@ class RpcNode:
             if ctx is not None:
                 request["tr"] = [ctx[0], ctx[1]]
         self.endpoint.send(dst, request)
-        return ev
+        return ev, call_id
+
+    def call_async(self, dst: str, method: str, args: Any) -> Event:
+        """Issue a request; returns an event with the result.
+
+        The event *fails* with :class:`RpcRejected` on refuse.  It never
+        times out by itself — combine with :meth:`call` or a timeout
+        race for deadline semantics.
+        """
+        return self._issue(dst, method, args)[0]
 
     def call(self, dst: str, method: str, args: Any,
              timeout: float) -> Generator[Event, Any, Any]:
@@ -220,18 +228,16 @@ class RpcNode:
         Raises :class:`RpcTimeout` when no response arrives in
         ``timeout`` seconds and :class:`RpcRejected` on refuse.
         """
-        ev = self.call_async(dst, method, args)
+        ev, call_id = self._issue(dst, method, args)
         deadline = self.sim.timeout(timeout)
         yield AnyOf(self.sim, (ev, deadline))
-        if ev.triggered:
-            if ev.ok:
-                return ev.value
-            raise ev.value
+        if ev._triggered:
+            if ev._ok:
+                return ev._value
+            raise ev._value
         # Timed out: forget the pending call so a late reply is ignored.
         self.calls_timed_out += 1
-        call_id = self._event_ids.pop(ev, None)
-        if call_id is not None:
-            self._pending.pop(call_id, None)
+        self._pending.pop(call_id, None)
         ev.callbacks = None  # defuse
         raise RpcTimeout(f"{method} to {dst} after {timeout}s")
 
@@ -305,6 +311,15 @@ class QuorumWait:
     still absorbed — a quorum met at t also reports the third ack that
     landed at t, which keeps repair/ack accounting identical to a
     coordinator that drains its mailbox before deciding.
+
+    Allocation note: the envelope deliberately is NOT free-list pooled.
+    Laggard replies hold callbacks into the wait long after it settles
+    (the coordinator's read-repair path feeds on them), so recycling
+    would need generation tags on every callback — and measured CPython
+    allocation is cheaper than the extra indirection.  Churn is cut
+    instead: anonymous entries share one bound reply handler (no
+    per-call closure), the settle callback is a bound method (no
+    lambda), and the observer noop is module-level.
     """
 
     __slots__ = ("sim", "needed", "fail_fast", "oks", "fails", "done",
@@ -322,15 +337,23 @@ class QuorumWait:
         # The wait is observable, never mandatory: a waiter that went
         # away (coalesced follower, fire-and-forget repair) must not
         # trip the kernel's unhandled-failure alarm.
-        self.done.callbacks.append(lambda _e: None)
+        self.done.callbacks.append(_observed)
         self._settled = False
         self._armed = False
         self._pending_exc: Optional[RpcError] = None
-        calls = list(calls)
+        if not isinstance(calls, list):
+            calls = list(calls)
         self._outstanding = len(calls)
+        anon_cb = None
         for name, ev in calls:
             if ev.callbacks is None:
                 self._on_reply(name, ev)
+            elif name is None:
+                # Anonymous entry: one shared bound handler instead of a
+                # closure per in-flight call.
+                if anon_cb is None:
+                    anon_cb = self._on_anon_reply
+                ev.callbacks.append(anon_cb)
             else:
                 ev.callbacks.append(
                     lambda done_ev, _n=name: self._on_reply(_n, done_ev))
@@ -342,6 +365,9 @@ class QuorumWait:
         if self.fail_fast:
             return len(self.oks) + self._outstanding < self.needed
         return self._outstanding == 0 and len(self.oks) < self.needed
+
+    def _on_anon_reply(self, ev: Event) -> None:
+        self._on_reply(None, ev)
 
     def _on_reply(self, name: Any, ev: Event) -> None:
         if self._settled:
@@ -370,9 +396,11 @@ class QuorumWait:
             return
         self._armed = True
         self._pending_exc = exc
-        self.sim.schedule_callback(0.0, self._finalize)
+        # Same scheduling as schedule_callback(0.0, ...) — one timeout,
+        # one sequence number — minus the wrapper lambda.
+        self.sim.timeout(0.0).callbacks.append(self._finalize)
 
-    def _finalize(self) -> None:
+    def _finalize(self, _ev: Optional[Event] = None) -> None:
         if self._settled:
             return
         self._settled = True

@@ -84,8 +84,9 @@ class SnapshotPersistence(PersistenceStrategy):
         self._running = False
 
     def _flusher(self):
+        flush_timer = self._sim.recurring(self.interval)
         while self._running:
-            yield self._sim.timeout(self.interval)
+            yield flush_timer.tick()
             if not self._running:
                 return
             self.flush_now()

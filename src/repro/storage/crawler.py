@@ -63,8 +63,9 @@ class ExpiryCrawler:
         self.running = False
 
     def _loop(self):
+        sweep = self.sim.recurring(self.interval)
         while self.running:
-            yield self.sim.timeout(self.interval)
+            yield sweep.tick()
             if not self.running:
                 return
             self.passes += 1

@@ -115,8 +115,9 @@ class TriggerRuntime:
     # -- scanning -------------------------------------------------------------
     def _scanner(self, node: SednaNode, tid: int):
         batch = 64
+        scan_timer = self.sim.recurring(self.config.scan_interval)
         while True:
-            yield self.sim.timeout(self.config.scan_interval)
+            yield scan_timer.tick()
             if not self._started:
                 return
             if not (node.running and node.rpc.endpoint.up):

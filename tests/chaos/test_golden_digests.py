@@ -1,0 +1,60 @@
+"""Golden end-state digest guard: kernel refactors must not move a
+single event.
+
+The fixture (``golden_digests.json``) was recorded from the
+pre-overhaul kernel; every config × seed digest is the sha256 of the
+run's serialized history — its replay identity.  A mismatch means the
+deterministic interleaving changed, which for a pure performance
+change is a regression by definition (see ``repro.chaos.goldens`` for
+the regen policy).
+
+The quick tier-1 guard replays seed 0 of each canonical config; the
+full seeds 0–7 sweep is marked ``slow`` (CI runs it; locally:
+``pytest -m slow tests/chaos/test_golden_digests.py``).
+"""
+
+import pytest
+
+from repro.chaos.goldens import (GOLDEN_CONFIGS, GOLDEN_SEEDS, golden_path,
+                                 load_goldens, run_config)
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return load_goldens()
+
+
+class TestFixtureShape:
+    def test_fixture_exists_and_covers_all_configs(self, goldens):
+        assert set(goldens) == set(GOLDEN_CONFIGS)
+        for name, digests in goldens.items():
+            assert set(digests) == set(GOLDEN_SEEDS), name
+            for digest in digests.values():
+                assert len(digest) == 64 and int(digest, 16) >= 0
+
+    def test_fixture_is_checked_in(self):
+        assert golden_path().is_file()
+
+
+@pytest.mark.parametrize("config", sorted(GOLDEN_CONFIGS))
+def test_quick_guard_seed0(config, goldens):
+    """One seed per config in tier-1: catches any kernel change that
+    moves the interleaving, at ~1/8th the full sweep's cost."""
+    report = run_config(config, 0)
+    assert report.ok, report.describe()
+    assert report.digest == goldens[config][0], (
+        f"{config} seed=0 digest moved — the deterministic interleaving "
+        f"changed.  If this was a deliberate protocol/workload change, "
+        f"regenerate with `python -m repro.chaos.goldens --regen` and "
+        f"review the diff; if it accompanies a kernel/RPC refactor, it "
+        f"is a determinism regression.")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("config", sorted(GOLDEN_CONFIGS))
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_full_golden_sweep(config, seed, goldens):
+    report = run_config(config, seed)
+    assert report.ok, report.describe()
+    assert report.digest == goldens[config][seed], \
+        f"{config} seed={seed} digest moved"

@@ -1,0 +1,195 @@
+"""Invariant tests for the jump-consistent-hash placement backend.
+
+Jump consistent hash (Lamping & Veach) earns its place only if it
+actually delivers the two properties the ISSUE names: *monotonic
+minimal remapping* when the cluster grows, and key spread no worse
+than the ketama baseline.  These tests pin both, plus the pure-function
+determinism every bootstrapping node relies on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ketama import KetamaRing
+from repro.core.config import SednaConfig
+from repro.core.hashring import Ring, build_assignment, jump_hash
+
+
+def node_names(n):
+    return [f"n{i}" for i in range(n)]
+
+
+class TestJumpHashFunction:
+    def test_range(self):
+        for key in range(1000):
+            assert 0 <= jump_hash(key * 0x9E3779B97F4A7C15, 7) < 7
+
+    def test_single_bucket(self):
+        assert jump_hash(123456789, 1) == 0
+
+    def test_rejects_no_buckets(self):
+        with pytest.raises(ValueError):
+            jump_hash(1, 0)
+
+    def test_deterministic(self):
+        assert [jump_hash(k, 11) for k in range(64)] \
+            == [jump_hash(k, 11) for k in range(64)]
+
+    @given(key=st.integers(min_value=0, max_value=(1 << 64) - 1),
+           buckets=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=200)
+    def test_monotone_under_growth(self, key, buckets):
+        """The defining jump-hash property: adding bucket n either
+        leaves the key in place or moves it to the NEW bucket — never
+        shuffles it between existing ones."""
+        before = jump_hash(key, buckets)
+        after = jump_hash(key, buckets + 1)
+        assert after == before or after == buckets
+
+
+class TestBuildAssignment:
+    def test_modulo_matches_historical_striping(self):
+        nodes = node_names(3)
+        assert build_assignment(8, nodes) \
+            == [nodes[v % 3] for v in range(8)]
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            build_assignment(8, node_names(3), "ketama")
+
+    def test_needs_nodes(self):
+        with pytest.raises(ValueError):
+            build_assignment(8, [], "jump")
+
+    def test_jump_is_deterministic(self):
+        a = build_assignment(512, node_names(9), "jump")
+        b = build_assignment(512, node_names(9), "jump")
+        assert a == b
+
+    def test_jump_covers_every_node(self):
+        owners = set(build_assignment(1024, node_names(10), "jump"))
+        assert owners == set(node_names(10))
+
+    def test_jump_minimal_remap_on_add(self):
+        """Growing n -> n+1 moves only vnodes that land on the new node
+        (monotone), and about 1/(n+1) of them (minimal)."""
+        num_vnodes = 4096
+        for n in (3, 9, 31):
+            before = build_assignment(num_vnodes, node_names(n), "jump")
+            after = build_assignment(num_vnodes, node_names(n + 1), "jump")
+            new_node = f"n{n}"
+            moved = 0
+            for old, new in zip(before, after):
+                if new != old:
+                    assert new == new_node, \
+                        "jump placement shuffled between existing nodes"
+                    moved += 1
+            expected = num_vnodes / (n + 1)
+            assert expected * 0.5 <= moved <= expected * 1.5, \
+                f"n={n}: moved {moved}, expected ~{expected:.0f}"
+
+    def test_jump_remove_last_is_exact_inverse(self):
+        """Shrinking by dropping the highest node restores the smaller
+        placement exactly — the monotonicity property read backwards."""
+        small = build_assignment(2048, node_names(7), "jump")
+        grown = build_assignment(2048, node_names(8), "jump")
+        shrunk = build_assignment(2048, node_names(7), "jump")
+        assert shrunk == small
+        assert sum(a != b for a, b in zip(small, grown)) > 0
+
+    def test_modulo_remap_on_add_is_catastrophic(self):
+        """The contrast motivating the backend: striping reshuffles
+        nearly everything when the node count changes."""
+        num_vnodes = 4096
+        before = build_assignment(num_vnodes, node_names(9), "modulo")
+        after = build_assignment(num_vnodes, node_names(10), "modulo")
+        moved = sum(a != b for a, b in zip(before, after))
+        assert moved > num_vnodes * 0.5
+
+    @given(n=st.integers(min_value=1, max_value=40),
+           num_vnodes=st.integers(min_value=1, max_value=1024))
+    @settings(max_examples=60)
+    def test_jump_monotone_property(self, n, num_vnodes):
+        before = build_assignment(num_vnodes, node_names(n), "jump")
+        after = build_assignment(num_vnodes, node_names(n + 1), "jump")
+        for old, new in zip(before, after):
+            assert new == old or new == f"n{n}"
+
+
+class TestSpreadVsKetama:
+    def test_key_spread_no_worse_than_ketama_10k_keys(self):
+        """10k keys through vnode-mod + jump placement spread at least
+        as evenly across 10 nodes as the same keys through the ketama
+        continuum (100 points/server) — the placement-quality bar.
+
+        Ring sized at the paper's ~100+ vnodes per node scale; with a
+        coarse ring the key→vnode hash variance dominates and neither
+        side's placement matters."""
+        nodes = node_names(10)
+        num_vnodes = 4096
+        ring = Ring(num_vnodes)
+        ring.load(build_assignment(num_vnodes, nodes, "jump"))
+        ketama = KetamaRing(nodes, points_per_server=100)
+
+        jump_load = dict.fromkeys(nodes, 0)
+        ketama_load = dict.fromkeys(nodes, 0)
+        for i in range(10_000):
+            key = f"bench-key-{i:06d}"
+            jump_load[ring.owner(ring.vnode_of(key))] += 1
+            ketama_load[ketama.node_for(key.encode())] += 1
+
+        def imbalance(load):
+            return max(load.values()) / (min(load.values()) or 1)
+
+        assert imbalance(jump_load) <= imbalance(ketama_load), \
+            (jump_load, ketama_load)
+
+    def test_vnode_count_spread_beats_ketama_points(self):
+        """Per-node vnode counts under jump stay within a tight band of
+        the ideal num_vnodes/n."""
+        nodes = node_names(10)
+        counts = dict.fromkeys(nodes, 0)
+        for owner in build_assignment(4096, nodes, "jump"):
+            counts[owner] += 1
+        ideal = 4096 / 10
+        for owner, got in counts.items():
+            assert 0.75 * ideal <= got <= 1.25 * ideal, counts
+
+
+class TestConfigPlumbing:
+    def test_config_accepts_jump(self):
+        assert SednaConfig(placement="jump").placement == "jump"
+
+    def test_config_default_is_modulo(self):
+        assert SednaConfig().placement == "modulo"
+
+    def test_config_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            SednaConfig(placement="rendezvous")
+
+
+class TestClusterBootstrap:
+    def test_cluster_boots_and_serves_with_jump_placement(self):
+        from repro.core.cluster import SednaCluster
+
+        cluster = SednaCluster(
+            n_nodes=3, zk_size=1,
+            config=SednaConfig(num_vnodes=12, placement="jump"), seed=7)
+        cluster.start()
+        ring = cluster.nodes["node0"].cache.ring
+        assert ring.snapshot() == build_assignment(
+            12, cluster.node_names, "jump")
+
+        client = cluster.client()
+        sim = cluster.sim
+
+        def workload():
+            status = yield from client.write_latest("k1", "v1")
+            value = yield from client.read_latest("k1")
+            return status, value
+
+        proc = sim.process(workload())
+        status, value = sim.run(until=proc)
+        assert status == "ok"
+        assert value == "v1"

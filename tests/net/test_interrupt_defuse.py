@@ -1,0 +1,142 @@
+"""Regression tests for interrupt defusing (mark-defused wakeups).
+
+The pre-overhaul kernel detached an interrupted process from its
+awaited event by scanning ``callbacks.remove`` — but a *scheduled*
+interrupt event could still be in the queue when the process finished
+at the same timestamp, and its resume callback then advanced a
+finished generator: ``SimulationError: <Process ...> already
+triggered``.  The kernel now defuses stale wakeups with an identity
+guard (``event is not self._target``), which both fixes the crash and
+makes interrupt O(1) instead of O(waiters).
+
+These tests pin the new contract:
+
+* racing interrupts at one simulated instant deliver exactly ONE
+  :class:`Interrupt`, carrying the LATEST cause;
+* an event abandoned by an interrupt may still fire without resuming
+  the process a second time;
+* a process that finishes while a stale interrupt event is queued is
+  left alone when that event pops.
+"""
+
+import pytest
+
+from repro.net.simulator import Interrupt, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestDoubleInterruptSameInstant:
+    def test_single_delivery_latest_cause_wins(self, sim):
+        """Two interrupts from the same callback: the old kernel let the
+        first (dangling) interrupt event advance the already-finished
+        generator and crashed; now the stale one is defused and the
+        victim sees one Interrupt with the second cause."""
+        interrupts_seen = []
+
+        def victim():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt as irq:
+                interrupts_seen.append(irq.cause)
+                return f"interrupted:{irq.cause}"
+            return "done"
+
+        proc = sim.process(victim())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt("first")
+            proc.interrupt("second")
+
+        sim.process(interrupter())
+        assert sim.run(until=proc) == "interrupted:second"
+        assert interrupts_seen == ["second"]
+        assert sim.now == 1.0
+
+    def test_triple_interrupt_still_single_delivery(self, sim):
+        seen = []
+
+        def victim():
+            while True:
+                try:
+                    yield sim.timeout(10.0)
+                except Interrupt as irq:
+                    seen.append((sim.now, irq.cause))
+
+        proc = sim.process(victim())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            for cause in ("a", "b", "c"):
+                proc.interrupt(cause)
+            yield sim.timeout(1.0)
+            proc.interrupt("later")
+
+        sim.process(interrupter())
+        sim.run(until=3.0)
+        assert seen == [(1.0, "c"), (2.0, "later")]
+
+    def test_victim_finishing_on_interrupt_defuses_stale_event(self, sim):
+        """The exact ISSUE shape: the victim returns *at the same
+        timestamp* a second interrupt event is still queued for.  The
+        stale event must pop as a no-op instead of resuming the
+        finished generator."""
+
+        def victim():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt:
+                return "finished-at-interrupt-time"
+
+        proc = sim.process(victim())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt(1)
+            proc.interrupt(2)  # queued after; victim is finished when it pops
+
+        sim.process(interrupter())
+        assert sim.run(until=proc) == "finished-at-interrupt-time"
+        sim.run()  # drain: the stale interrupt event pops harmlessly
+        assert not proc.is_alive
+
+
+class TestAbandonedEventDefuse:
+    def test_abandoned_event_fires_without_double_resume(self, sim):
+        """Interrupting a waiter leaves its resume callback on the
+        abandoned event (no O(n) removal); when that event fires the
+        stale callback must be dropped by the guard."""
+        trace = []
+
+        def victim():
+            try:
+                yield sim.timeout(2.0)
+                trace.append("timeout-delivered")
+            except Interrupt:
+                trace.append(("interrupted", sim.now))
+            yield sim.timeout(5.0)
+            trace.append(("second-wait-done", sim.now))
+
+        proc = sim.process(victim())
+        sim.schedule_callback(1.0, lambda: proc.interrupt())
+        sim.run()
+        # The abandoned t=2.0 timeout fired mid-way through the second
+        # wait; the guard must not have resumed the process early.
+        assert trace == [("interrupted", 1.0), ("second-wait-done", 6.0)]
+
+    def test_interrupt_finished_process_still_errors(self, sim):
+        """Defusing must not soften the explicit-misuse error."""
+        from repro.net.simulator import SimulationError
+
+        def quick():
+            yield sim.timeout(0.1)
+            return "done"
+
+        proc = sim.process(quick())
+        sim.run(until=proc)
+        with pytest.raises(SimulationError):
+            proc.interrupt()

@@ -173,10 +173,10 @@ class TestGatherQuorumWrapper:
 
 
 class TestRpcNodeCleanup:
-    def test_timed_out_call_is_forgotten_in_both_maps(self, sim):
-        """The reverse event->id map keeps timeout cleanup O(1); both
-        maps must end empty so neither leaks across thousands of
-        timed-out calls."""
+    def test_timed_out_call_is_forgotten(self, sim):
+        """call() learns its id at issue time, so timeout cleanup is a
+        single O(1) pop; the pending map must end empty so it never
+        leaks across thousands of timed-out calls."""
         net = Network(sim, latency=NoLatency())
         client = RpcNode(net, "cleanup-client")
         # No server registered at "ghost": the call can only time out.
@@ -188,10 +188,9 @@ class TestRpcNodeCleanup:
 
         assert drive(sim, caller())
         assert client._pending == {}
-        assert client._event_ids == {}
         assert client.calls_timed_out == 1
 
-    def test_answered_call_is_forgotten_in_both_maps(self, sim):
+    def test_answered_call_is_forgotten(self, sim):
         net = Network(sim, latency=NoLatency())
         client = RpcNode(net, "ans-client")
         server = RpcNode(net, "ans-server")
@@ -203,4 +202,3 @@ class TestRpcNodeCleanup:
 
         assert drive(sim, caller()) == "pong"
         assert client._pending == {}
-        assert client._event_ids == {}
