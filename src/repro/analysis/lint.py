@@ -60,7 +60,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
 __all__ = ["RULES", "Violation", "LintReport", "lint_source",
-           "lint_file", "lint_paths", "main"]
+           "lint_file", "lint_paths", "is_waived", "main"]
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
@@ -85,6 +85,26 @@ RULES: dict[str, str] = {
 }
 
 _WAIVER_RE = re.compile(r"#\s*repro:\s*allow\[([\w*-]+(?:\s*,\s*[\w*-]+)*)\]")
+
+
+def is_waived(lines: Sequence[str], rule: str, line: int) -> bool:
+    """True when ``rule`` is waived at 1-based ``line`` of ``lines``.
+
+    A waiver comment (``# repro: allow[rule-id]``; ``allow[*]`` matches
+    every rule, comma-separated ids are allowed) on the flagged line or
+    the line directly above it suppresses the finding.  Shared by the
+    per-file lint and the interprocedural protocol analyzer so both
+    speak the exact same waiver dialect.
+    """
+    for lineno in (line, line - 1):
+        if 1 <= lineno <= len(lines):
+            match = _WAIVER_RE.search(lines[lineno - 1])
+            if match:
+                allowed = {part.strip()
+                           for part in match.group(1).split(",")}
+                if rule in allowed or "*" in allowed:
+                    return True
+    return False
 
 _WALL_CLOCK_SUFFIXES = (
     "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
@@ -261,15 +281,7 @@ class _Checker(ast.NodeVisitor):
 
     # -- reporting ---------------------------------------------------------
     def _waived(self, rule: str, line: int) -> bool:
-        for lineno in (line, line - 1):
-            if 1 <= lineno <= len(self.lines):
-                match = _WAIVER_RE.search(self.lines[lineno - 1])
-                if match:
-                    allowed = {part.strip()
-                               for part in match.group(1).split(",")}
-                    if rule in allowed or "*" in allowed:
-                        return True
-        return False
+        return is_waived(self.lines, rule, line)
 
     def _flag(self, rule: str, node: ast.AST, detail: str = "") -> None:
         line = getattr(node, "lineno", 0)

@@ -5,6 +5,13 @@ Loaded from the repository's root ``conftest.py`` via
 when sim code grows a wall-clock read, an unseeded RNG or a bare-set
 fan-out — before the flake it would cause ever reaches a chaos replay.
 
+The interprocedural protocol analyzer
+(:mod:`repro.analysis.protocol`) can ride the same hook.  It is off by
+default (it indexes the whole tree, not just the package) and enabled
+with ``REPRO_PROTOCOL_ANALYSIS=1`` or ``--repro-protocol`` — CI's
+tier-1 job sets the env var so protocol drift fails the suite exactly
+like a lint finding.
+
 Options
 -------
 ``--no-repro-lint``
@@ -13,16 +20,21 @@ Options
 ``--repro-lint-paths``
     Comma-separated roots to lint; defaults to the installed
     ``repro`` package source.
+``--repro-protocol``
+    Run the protocol analyzer too (same effect as
+    ``REPRO_PROTOCOL_ANALYSIS=1``).
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Optional
 
 import pytest
 
 from .lint import LintReport, lint_paths
+from .protocol import _DEFAULT_BASELINE, analyze_protocol_for_pytest
 
 
 def _default_paths() -> list[str]:
@@ -41,16 +53,27 @@ def pytest_addoption(parser: pytest.Parser) -> None:
     group.addoption("--repro-lint-paths", default="",
                     help="comma-separated paths to lint instead of "
                          "the repro package")
+    group.addoption("--repro-protocol", action="store_true",
+                    default=False,
+                    help="run the interprocedural protocol analyzer "
+                         "(also enabled by REPRO_PROTOCOL_ANALYSIS=1)")
 
 
 class _LintSession:
-    """Holds the session's lint result for the terminal summary."""
+    """Holds the session's results for the terminal summary."""
 
     def __init__(self) -> None:
         self.report: Optional[LintReport] = None
+        self.protocol_summary: Optional[str] = None
 
 
 _STATE = _LintSession()
+
+
+def _protocol_enabled(config: pytest.Config) -> bool:
+    if config.getoption("--repro-protocol"):
+        return True
+    return os.environ.get("REPRO_PROTOCOL_ANALYSIS", "") not in ("", "0")
 
 
 def pytest_configure(config: pytest.Config) -> None:
@@ -73,6 +96,23 @@ def pytest_configure(config: pytest.Config) -> None:
             f"({len(report.active)} violation(s); see "
             "docs/protocols.md §13, waive with '# repro: "
             "allow[rule-id]'):\n" + "\n".join(lines))
+    if _protocol_enabled(config):
+        _run_protocol_analysis(config)
+
+
+def _run_protocol_analysis(config: pytest.Config) -> None:
+    root = Path(str(config.rootpath))
+    new, summary = analyze_protocol_for_pytest(
+        root, baseline=root / _DEFAULT_BASELINE)
+    _STATE.protocol_summary = summary
+    if new:
+        lines = [v.render() for v in new]
+        raise pytest.UsageError(
+            f"protocol analysis failed ({len(new)} new finding(s); "
+            "see docs/protocols.md §18, waive with '# repro: "
+            "allow[rule-id]' or refresh the baseline with "
+            "'python -m repro.analysis.protocol --write-baseline'):\n"
+            + "\n".join(lines))
 
 
 def pytest_terminal_summary(terminalreporter) -> None:
@@ -83,3 +123,5 @@ def pytest_terminal_summary(terminalreporter) -> None:
     terminalreporter.write_line(
         f"repro determinism lint: {report.files_checked} file(s) "
         f"clean, {waived} waived finding(s)")
+    if _STATE.protocol_summary is not None:
+        terminalreporter.write_line(_STATE.protocol_summary)

@@ -151,6 +151,60 @@ class MemcachedClusterClient:
                 self.failures += 1
         return True
 
+    def set_multi(self, pairs: dict):
+        """Batch store: shard the pairs, one ``mc.mset`` per server.
+
+        Real memcached clients coalesce multi-key writes into one
+        round-trip per shard; this is the fair-comparison counterpart
+        of Sedna's ``mwrite`` batch path.
+        """
+        t0 = self.sim.now
+        by_server: dict[str, dict] = {}
+        for key, value in pairs.items():
+            by_server.setdefault(self._shard(key), {})[key] = value
+        stored = 0
+        for server in sorted(by_server):
+            try:
+                result = yield from self.rpc.call(
+                    server, "mc.mset", {"pairs": by_server[server]},
+                    timeout=self.timeout)
+                stored += sum(1 for ok in result["results"].values() if ok)
+            except (RpcTimeout, RpcRejected):
+                self.failures += 1
+        self.write_latencies.append(self.sim.now - t0)
+        return stored
+
+    def get_multi(self, keys: list):
+        """Batch read: one ``mc.mget`` per shard, merged result dict."""
+        t0 = self.sim.now
+        by_server: dict[str, list] = {}
+        for key in keys:
+            by_server.setdefault(self._shard(key), []).append(key)
+        found: dict = {}
+        for server in sorted(by_server):
+            try:
+                result = yield from self.rpc.call(
+                    server, "mc.mget", {"keys": by_server[server]},
+                    timeout=self.timeout)
+                for key, value in result["values"].items():
+                    if value is not None:
+                        found[key] = value
+            except (RpcTimeout, RpcRejected):
+                self.failures += 1
+        self.read_latencies.append(self.sim.now - t0)
+        return found
+
+    def stats(self):
+        """Fleet-wide ``stats`` sweep: one dict per reachable server."""
+        per_server: dict[str, Any] = {}
+        for server in self.servers:
+            try:
+                per_server[server] = yield from self.rpc.call(
+                    server, "mc.stats", {}, timeout=self.timeout)
+            except (RpcTimeout, RpcRejected):
+                self.failures += 1
+        return per_server
+
 
 class MemcachedCluster:
     """Assembly: N memcached servers on the simulated network."""

@@ -46,9 +46,10 @@ class ActiveDetector:
         self.probes = 0
         self.deaths_confirmed = 0
         self.proactive_recoveries = 0
-        # The node needs a ping handler exactly once.
-        if "replica.ping" not in node.rpc._handlers:
-            node.rpc.register("replica.ping", lambda src, args: "pong")
+        # The node registers the replica.ping handler itself (see
+        # SednaNode._register_rpc): every handler must exist before the
+        # endpoint serves traffic, so a late-attached detector cannot
+        # be the one to add it.
 
     def start(self) -> None:
         """Spawn the probe loop."""

@@ -31,7 +31,7 @@ virtual nodes number".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 from ..storage.hashtable import fnv1a
 
@@ -119,7 +119,8 @@ HEAT_WEIGHTS: dict[str, float] = {
 }
 
 
-def row_heat(row: dict, weights: Optional[dict] = None) -> float:
+def row_heat(row: Mapping[str, float],
+             weights: Optional[Mapping[str, float]] = None) -> float:
     """Weighted heat of one imbalance-table row.
 
     ``row`` carries the per-node aggregates (vnodes/keys/reads/writes);
@@ -131,7 +132,8 @@ def row_heat(row: dict, weights: Optional[dict] = None) -> float:
                for field, weight in sorted(w.items()))
 
 
-def vnode_heat(stats: dict, weights: Optional[dict] = None) -> float:
+def vnode_heat(stats: Mapping[str, float],
+               weights: Optional[Mapping[str, float]] = None) -> float:
     """Weighted heat of one vnode's activity row.
 
     A vnode always contributes the per-vnode base weight (it is one
@@ -169,7 +171,7 @@ class Ring:
 
     UNASSIGNED = ""
 
-    def __init__(self, num_vnodes: int):
+    def __init__(self, num_vnodes: int) -> None:
         if num_vnodes < 1:
             raise ValueError("need at least one virtual node")
         self.num_vnodes = num_vnodes
@@ -282,7 +284,7 @@ class ImbalanceTable:
     the whole table to decide which vnodes should move.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.rows: dict[str, dict] = {}
 
     @staticmethod

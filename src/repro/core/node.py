@@ -157,6 +157,10 @@ class SednaNode:
         r("replica.repair", self._h_replica_repair)
         r("replica.digest", self._h_replica_digest)
         r("replica.fetch", self._h_replica_fetch)
+        # Liveness probe for the failure detector.  Registered here so
+        # the wire surface is complete before the endpoint serves any
+        # traffic; attaching a detector later must not widen it.
+        r("replica.ping", lambda src, args: "pong")
         # Live-migration protocol (rebalancer-driven, §III.B extension).
         r("stats.vnodes", self._h_vnode_stats)
         r("migrate.begin", self._h_migrate_begin)
@@ -1174,6 +1178,12 @@ class SednaNode:
                                                  reply.get("dvv", {}))
             if pull or dvv_pull:
                 try:
+                    # The vnode key is diagnostic context (taps key
+                    # repair traffic by vnode); the handler works off
+                    # the explicit key lists.  Dropping it would shrink
+                    # the wire size and shift the latency model,
+                    # breaking golden digests.
+                    # repro: allow[rpc-payload-mismatch]
                     fetched = yield from self.rpc.call(
                         peer, "replica.fetch",
                         {"vnode": vnode_id, "keys": pull,

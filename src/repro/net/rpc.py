@@ -21,12 +21,24 @@ from typing import Any, Callable, Generator, Iterable, Optional
 from .simulator import AnyOf, Event, Simulator
 from .transport import Message, Network
 
-__all__ = ["RpcError", "RpcTimeout", "RpcRejected", "RpcNode", "QuorumWait",
-           "gather_quorum"]
+__all__ = ["RpcError", "RpcTimeout", "RpcRejected", "LateRegistrationError",
+           "RpcNode", "QuorumWait", "gather_quorum"]
 
 
 class RpcError(Exception):
     """Base class for RPC failures."""
+
+
+class LateRegistrationError(RuntimeError):
+    """A *new* method was registered after the endpoint served traffic.
+
+    The wire surface of a node must be complete before the first
+    request is dispatched; otherwise whether a request lands on a
+    handler or a ``no-such-method`` refusal depends on delivery order.
+    Swapping the handler of an already-registered method stays legal
+    (fault injection and tracing wrappers patch the dispatch table),
+    as does an explicit ``allow_late=True``.
+    """
 
 
 class RpcTimeout(RpcError):
@@ -80,6 +92,7 @@ class RpcNode:
         self.service_time = service_time
         self._busy_until = 0.0
         self._handlers: dict[str, Callable[[str, Any], Any]] = {}
+        self._served = False
         self._notify_handler: Optional[Callable[[str, Any], None]] = None
         self._pending: dict[int, Event] = {}
         self._last_id = 0
@@ -93,8 +106,18 @@ class RpcNode:
         self.tracer: Optional[Any] = None
 
     # -- server side ------------------------------------------------------
-    def register(self, method: str, handler: Callable[[str, Any], Any]) -> None:
-        """Register ``handler(src_name, args)`` for ``method`` requests."""
+    def register(self, method: str, handler: Callable[[str, Any], Any],
+                 *, allow_late: bool = False) -> None:
+        """Register ``handler(src_name, args)`` for ``method`` requests.
+
+        Raises :class:`LateRegistrationError` when ``method`` is new
+        and the endpoint has already served a request; see that class
+        for the rationale and the sanctioned exceptions.
+        """
+        if self._served and method not in self._handlers and not allow_late:
+            raise LateRegistrationError(
+                f"{self.name}: method {method!r} registered after the "
+                f"endpoint served traffic")
         self._handlers[method] = handler
 
     def _on_message(self, msg: Message) -> None:
@@ -116,7 +139,7 @@ class RpcNode:
     def _serve(self, msg: Message) -> None:
         payload = msg.payload
         method = payload["method"]
-        handler = self._handlers.get(method)
+        self._served = True
         tracer = self.tracer
         trace_ctx = payload.get("tr") if tracer is not None else None
         serve_span: list[Any] = []
@@ -132,10 +155,14 @@ class RpcNode:
             })
 
         def execute() -> None:
+            # Dispatch-table lookup happens here, at execution time, not
+            # at delivery: with a service queue, resolving the handler
+            # early would freeze a snapshot of the table and make the
+            # two paths (queued vs immediate) observably different.
+            handler = self._handlers.get(method)
             if trace_ctx is not None:
                 # Re-adopt the caller's context carried in the envelope:
-                # the event graph cannot see through the service queue or
-                # a handler registered after delivery.
+                # the event graph cannot see through the service queue.
                 tracer.adopt(trace_ctx)
                 span = tracer.begin(f"rpc.{method}", node=self.name)
                 if span is not None:

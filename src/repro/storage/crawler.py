@@ -14,6 +14,8 @@ reproduces it:
 
 from __future__ import annotations
 
+from typing import Generator
+
 from ..net.simulator import Simulator
 from .memstore import MemStore
 
@@ -42,7 +44,7 @@ class ExpiryCrawler:
     """Background sweeper for one MemStore."""
 
     def __init__(self, sim: Simulator, store: MemStore,
-                 interval: float = 5.0, items_per_pass: int = 1000):
+                 interval: float = 5.0, items_per_pass: int = 1000) -> None:
         self.sim = sim
         self.store = store
         self.interval = interval
@@ -62,7 +64,7 @@ class ExpiryCrawler:
         """Stop at the next wakeup."""
         self.running = False
 
-    def _loop(self):
+    def _loop(self) -> Generator[object, object, None]:
         sweep = self.sim.recurring(self.interval)
         while self.running:
             yield sweep.tick()

@@ -32,7 +32,8 @@ def fnv1a(key: bytes) -> int:
 class _Cell:
     __slots__ = ("hash", "key", "value", "next")
 
-    def __init__(self, h: int, key: bytes, value: Any, nxt: Optional["_Cell"]):
+    def __init__(self, h: int, key: bytes, value: Any,
+                 nxt: Optional["_Cell"]) -> None:
         self.hash = h
         self.key = key
         self.value = value
@@ -55,7 +56,7 @@ class HashTable:
     """
 
     def __init__(self, initial_power: int = 4, max_load: float = 1.5,
-                 migrate_per_op: int = 2):
+                 migrate_per_op: int = 2) -> None:
         self._power = initial_power
         self._buckets: list[Optional[_Cell]] = [None] * (1 << initial_power)
         self._old: Optional[list[Optional[_Cell]]] = None
@@ -76,7 +77,7 @@ class HashTable:
         """True while an incremental migration is in progress."""
         return self._old is not None
 
-    def _bucket_of(self, h: int, table: list) -> int:
+    def _bucket_of(self, h: int, table: list[Optional[_Cell]]) -> int:
         return h & (len(table) - 1)
 
     def _step_migration(self) -> None:
@@ -109,7 +110,9 @@ class HashTable:
             self._buckets = [None] * (1 << self._power)
             self.expansions += 1
 
-    def _find(self, key: bytes):
+    def _find(self, key: bytes) -> tuple[
+            Optional[list[Optional[_Cell]]], Optional[int],
+            Optional[_Cell], Optional[_Cell], int]:
         """Yield the (table, index, prev, cell) chain positions to search."""
         h = fnv1a(key)
         tables = [self._buckets]
@@ -155,6 +158,7 @@ class HashTable:
         table, idx, prev, cell, _h = self._find(key)
         if cell is None:
             return None
+        assert table is not None and idx is not None
         if prev is None:
             table[idx] = cell.next
         else:

@@ -18,7 +18,7 @@ class LruNode:
 
     __slots__ = ("item", "prev", "next", "owner")
 
-    def __init__(self, item: Any):
+    def __init__(self, item: Any) -> None:
         self.item = item
         self.prev: Optional["LruNode"] = None
         self.next: Optional["LruNode"] = None
@@ -30,7 +30,7 @@ class LruList:
 
     __slots__ = ("head", "tail", "size")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.head: Optional[LruNode] = None
         self.tail: Optional[LruNode] = None
         self.size = 0

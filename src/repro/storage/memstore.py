@@ -17,7 +17,10 @@ token invalidated by every mutation.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 from .hashtable import HashTable
 from .lru import LruList, LruNode
@@ -47,7 +50,7 @@ class Item:
                  "lru_node")
 
     def __init__(self, key: bytes, value: bytes, flags: int,
-                 expires_at: float, cas: int, slab_class: SlabClass):
+                 expires_at: float, cas: int, slab_class: SlabClass) -> None:
         self.key = key
         self.value = value
         self.flags = flags
@@ -78,8 +81,9 @@ class MemStore:
     """
 
     def __init__(self, memory_limit: int = 64 << 20,
-                 clock: Callable[[], float] = None,
-                 metrics=None, node: str = ""):
+                 clock: Optional[Callable[[], float]] = None,
+                 metrics: Optional["MetricsRegistry"] = None,
+                 node: str = "") -> None:
         self.slabs = SlabAllocator(memory_limit)
         self.table = HashTable(initial_power=6)
         self.clock = clock if clock is not None else (lambda: 0.0)

@@ -253,7 +253,7 @@ class ProtocolSession:
     the store and their responses accumulate in the returned bytes.
     """
 
-    def __init__(self, store: MemStore):
+    def __init__(self, store: MemStore) -> None:
         self.store = store
         self._buffer = b""
         self.closed = False

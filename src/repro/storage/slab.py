@@ -62,7 +62,7 @@ class SlabAllocator:
     """
 
     def __init__(self, memory_limit: int, page_size: int = 1 << 20,
-                 min_chunk: int = 96, growth_factor: float = 1.25):
+                 min_chunk: int = 96, growth_factor: float = 1.25) -> None:
         if memory_limit < page_size:
             raise ValueError("memory limit smaller than one page")
         if growth_factor <= 1.0:

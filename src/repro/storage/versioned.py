@@ -22,7 +22,11 @@ trigger runtime.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import (TYPE_CHECKING, Any, Callable, Iterable, Iterator,
+                    Optional)
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ValueElement", "Row", "WriteOutcome", "VersionedStore",
            "element_order", "DvvSibling", "DvvRow", "ctx_covers",
@@ -143,7 +147,7 @@ class DvvRow:
     __slots__ = ("vv", "siblings")
 
     def __init__(self, vv: Optional[dict[str, int]] = None,
-                 siblings: Optional[list[DvvSibling]] = None):
+                 siblings: Optional[list[DvvSibling]] = None) -> None:
         self.vv: dict[str, int] = dict(vv or {})
         self.siblings: list[DvvSibling] = sorted(siblings or [],
                                                  key=_sibling_order)
@@ -227,7 +231,7 @@ def wire_context(ctx: dict[str, int]) -> list[list]:
     return [[rep, cnt] for rep, cnt in sorted(ctx.items())]
 
 
-def unwire_context(blob) -> dict[str, int]:
+def unwire_context(blob: Optional[Iterable[Any]]) -> dict[str, int]:
     """Inverse of :func:`wire_context` (tolerates tuples)."""
     return {rep: cnt for rep, cnt in (blob or [])}
 
@@ -268,8 +272,9 @@ class VersionedStore:
         handles are shared no-ops.
     """
 
-    def __init__(self, clock: Callable[[], float] = None,
-                 metrics=None, node: str = "", dvv_sibling_cap: int = 16):
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 metrics: Optional["MetricsRegistry"] = None,
+                 node: str = "", dvv_sibling_cap: int = 16) -> None:
         self.clock = clock if clock is not None else (lambda: 0.0)
         self.rows: dict[str, Row] = {}
         # Causal-mode (DVV) rows live beside the timestamped rows; a
@@ -368,7 +373,10 @@ class VersionedStore:
         self._m_bytes_written.inc(self._value_size(value))
         return WriteOutcome.OK
 
-    def write_multi(self, entries) -> dict[str, str]:
+    def write_multi(
+            self,
+            entries: Iterable[tuple[str, Any, float, str, str]],
+    ) -> dict[str, str]:
         """Apply a batch of writes in order; one outcome per key.
 
         ``entries`` yields ``(key, value, timestamp, source, mode)``
@@ -413,7 +421,8 @@ class VersionedStore:
             self._m_bytes_read.inc(self._value_size(el.value))
         return elements
 
-    def read_multi(self, keys) -> dict[str, list[ValueElement]]:
+    def read_multi(
+            self, keys: Iterable[str]) -> dict[str, list[ValueElement]]:
         """Batch :meth:`read_all`; absent keys map to empty lists.
 
         The store side of the batched quorum read

@@ -143,6 +143,10 @@ class ZkClient:
 
     def connect(self, timeout: Optional[float] = None):
         """Open a session and start the keep-alive pinger."""
+        # Fail-fast by design: _call already rotated through every
+        # server, so an escape here means the whole ensemble is down
+        # and the connecting process should crash visibly.
+        # repro: allow[rpc-unhandled-failure]
         result = yield from self._call("zk.connect",
                                        {"timeout": timeout})
         self.session_id = result["session"]
@@ -184,6 +188,9 @@ class ZkClient:
     # -- data operations ---------------------------------------------------
     def _write(self, op: dict):
         self._m_writes.inc()
+        # Fail-fast by design: total-ensemble outage during a metadata
+        # write crashes the writing process rather than ack silently.
+        # repro: allow[rpc-unhandled-failure]
         result = yield from self._call("zk.write",
                                        {"session": self.session_id or 0,
                                         "op": op})
@@ -276,6 +283,8 @@ class ZkClient:
                 "watcher": self.name, "epoch": self.last_epoch,
                 "zxid": self.last_zxid}
         self._m_reads.inc()
+        # Fail-fast by design: see connect().
+        # repro: allow[rpc-unhandled-failure]
         result = yield from self._call("zk.read", args)
         self._advance_frontier(result)
         if watch is not None:
@@ -290,6 +299,8 @@ class ZkClient:
                 "watcher": self.name, "epoch": self.last_epoch,
                 "zxid": self.last_zxid}
         self._m_reads.inc()
+        # Fail-fast by design: see connect().
+        # repro: allow[rpc-unhandled-failure]
         result = yield from self._call("zk.read", args)
         self._advance_frontier(result)
         if watch is not None:

@@ -187,13 +187,14 @@ class ZkServer:
         r("zk.read", self._h_read)
         r("zk.write", self._h_write)
         r("zk.close", self._h_close)
-        # Peer-facing.
+        # Peer-facing.  Commit and new-leader announcements travel the
+        # one-way notify channel (_on_notify -> _on_commit /
+        # _adopt_leader), not request/response RPC, so they have no
+        # entries here.
         r("zk.propose", self._h_propose)
-        r("zk.commit", self._h_commit)
         r("zk.sync_req", self._h_sync_req)
         r("zk.sync", self._h_sync)
         r("zk.vote_req", self._h_vote_req)
-        r("zk.new_leader", self._h_new_leader)
 
     # ======================================================================
     # Client-facing handlers
@@ -396,11 +397,6 @@ class ZkServer:
             raise RpcRejected("stale-epoch")
         self._pending[args["zxid"]] = args["op"]
         return "ack"
-
-    def _h_commit(self, src: str, args: Any):
-        """Commit delivered as RPC (sync path); same as the notify path."""
-        self._on_commit(args["zxid"], args.get("op"), args["epoch"], src)
-        return "ok"
 
     def _on_commit(self, zxid: int, op: Optional[dict], epoch: int,
                    src: Optional[str] = None) -> None:
@@ -614,6 +610,11 @@ class ZkServer:
             # the newest reign must win over a deposed leader whose
             # higher zxid is an orphaned tail of an older epoch.
             my_vote = (self.epoch, self.applied_zxid, self.name)
+            # The poll payload is diagnostic context for taps/traces;
+            # voters answer with their own credentials and ignore it.
+            # Dropping the keys would shrink the wire size and shift
+            # the latency model, breaking golden digests.
+            # repro: allow[rpc-payload-mismatch]
             calls = [self.rpc.call_async(peer, "zk.vote_req",
                                          {"candidate": self.name,
                                           "zxid": self.applied_zxid})
@@ -644,10 +645,6 @@ class ZkServer:
         """Answer an election poll with our own credentials."""
         return {"zxid": self.applied_zxid, "name": self.name,
                 "epoch": self.epoch}
-
-    def _h_new_leader(self, src: str, args: Any):
-        self._adopt_leader(args["leader"], args["epoch"])
-        return "ok"
 
     def _adopt_leader(self, leader: str, epoch: int) -> None:
         if epoch < self.epoch:

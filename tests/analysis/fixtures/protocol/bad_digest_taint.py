@@ -1,0 +1,20 @@
+# Seeded fault: a wall-clock read two calls away from History.digest()
+# taints the recorded state.  The per-file lint sees only stamp(); the
+# interprocedural pass connects it to the digest surface.
+import time
+
+
+class History:
+    def __init__(self):
+        self.records = []
+
+    def digest(self):
+        return summarize(self.records)
+
+
+def summarize(records):
+    return stamp(len(records))
+
+
+def stamp(n):
+    return (n, time.time())  # repro: allow[wall-clock]

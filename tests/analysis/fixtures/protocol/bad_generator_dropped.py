@@ -1,0 +1,10 @@
+# Seeded fault: a generator called as a bare statement does nothing.
+
+
+def worker(n):
+    yield n
+
+
+def main():
+    worker(3)
+    return "done"

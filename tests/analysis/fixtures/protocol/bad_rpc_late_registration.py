@@ -1,0 +1,23 @@
+# Seeded fault: fx.late is registered from inside a running generator
+# process, i.e. after the endpoint may already be serving traffic.
+
+
+class Node:
+    def __init__(self, rpc):
+        self.rpc = rpc
+        self.rpc.register("fx.early", self._h_early)
+
+    def _h_early(self, src, args):
+        return "ok"
+
+    def _h_late(self, src, args):
+        return "ok"
+
+    def serve_loop(self):
+        yield 1
+        self.rpc.register("fx.late", self._h_late)
+
+    def client(self):
+        a = yield from self.rpc.call("peer", "fx.early", {}, timeout=1.0)
+        b = yield from self.rpc.call("peer", "fx.late", {}, timeout=1.0)
+        return a, b

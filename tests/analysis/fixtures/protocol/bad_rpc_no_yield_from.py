@@ -1,0 +1,15 @@
+# Seeded fault: rpc.call returns a generator; calling it without
+# ``yield from`` creates the generator and never runs the request.
+
+
+class Node:
+    def __init__(self, rpc):
+        self.rpc = rpc
+        self.rpc.register("fx.op", self._h_op)
+
+    def _h_op(self, src, args):
+        return "ok"
+
+    def do(self):
+        result = self.rpc.call("peer", "fx.op", {}, timeout=1.0)
+        return result

@@ -1,0 +1,18 @@
+# Seeded fault: the call site misspells "value" as "valu", so the
+# payload misses a key the handler reads unconditionally AND carries a
+# key the handler never looks at.
+
+
+class Node:
+    def __init__(self, rpc):
+        self.rpc = rpc
+        self.rpc.register("fx.write", self._h_write)
+
+    def _h_write(self, src, args):
+        return args["key"], args["value"], args.get("mode")
+
+    def do(self):
+        ok = yield from self.rpc.call("peer", "fx.write",
+                                      {"key": b"k", "valu": b"v"},
+                                      timeout=1.0)
+        return ok

@@ -1,0 +1,22 @@
+# Seeded fault: the probe's RpcTimeout escapes through _loop all the
+# way to the sim.process target -- no try on the path, no call_retry.
+
+
+class Node:
+    def __init__(self, sim, rpc):
+        self.sim = sim
+        self.rpc = rpc
+        self.rpc.register("fx.ping", self._h_ping)
+        self.sim.process(self._loop(), name="prober")
+
+    def _h_ping(self, src, args):
+        return "pong"
+
+    def _loop(self):
+        while True:
+            yield from self._probe()
+
+    def _probe(self):
+        reply = yield from self.rpc.call("peer", "fx.ping", {},
+                                         timeout=1.0)
+        return reply

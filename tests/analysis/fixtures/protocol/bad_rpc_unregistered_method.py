@@ -1,0 +1,17 @@
+# Seeded fault: a call site names a method no register() site registers.
+
+
+class Node:
+    def __init__(self, rpc):
+        self.rpc = rpc
+        self.rpc.register("fx.known", self._h_known)
+
+    def _h_known(self, src, args):
+        return args["x"]
+
+    def do(self):
+        ok = yield from self.rpc.call("peer", "fx.known", {"x": 1},
+                                      timeout=1.0)
+        bad = yield from self.rpc.call("peer", "fx.missing", {"x": 1},
+                                       timeout=1.0)
+        return ok, bad

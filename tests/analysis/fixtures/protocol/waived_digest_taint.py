@@ -1,0 +1,19 @@
+# Same fault as the bad fixture, suppressed by an inline waiver.
+import time
+
+
+class History:
+    def __init__(self):
+        self.records = []
+
+    def digest(self):
+        return summarize(self.records)
+
+
+def summarize(records):
+    return stamp(len(records))
+
+
+def stamp(n):
+    # repro: allow[digest-taint, wall-clock]
+    return (n, time.time())

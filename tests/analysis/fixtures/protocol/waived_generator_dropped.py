@@ -1,0 +1,11 @@
+# Same fault as the bad fixture, suppressed by an inline waiver.
+
+
+def worker(n):
+    yield n
+
+
+def main():
+    # repro: allow[generator-dropped]
+    worker(3)
+    return "done"

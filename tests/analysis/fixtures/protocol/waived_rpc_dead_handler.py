@@ -1,0 +1,20 @@
+# Same fault as the bad fixture, suppressed by an inline waiver.
+
+
+class Node:
+    def __init__(self, rpc):
+        self.rpc = rpc
+        self.rpc.register("fx.used", self._h_used)
+        # repro: allow[rpc-dead-handler]
+        self.rpc.register("fx.dead", self._h_dead)
+
+    def _h_used(self, src, args):
+        return "ok"
+
+    def _h_dead(self, src, args):
+        return "never reached"
+
+    def do(self):
+        result = yield from self.rpc.call("peer", "fx.used", {},
+                                          timeout=1.0)
+        return result

@@ -1,0 +1,15 @@
+# Same fault as the bad fixture, suppressed by an inline waiver.
+
+
+class Node:
+    def __init__(self, rpc):
+        self.rpc = rpc
+        self.rpc.register("fx.op", self._h_op)
+
+    def _h_op(self, src, args):
+        return "ok"
+
+    def do(self):
+        # repro: allow[rpc-no-yield-from]
+        result = self.rpc.call("peer", "fx.op", {}, timeout=1.0)
+        return result

@@ -1,0 +1,17 @@
+# Same fault as the bad fixture, suppressed by an inline waiver.
+
+
+class Node:
+    def __init__(self, rpc):
+        self.rpc = rpc
+        self.rpc.register("fx.write", self._h_write)
+
+    def _h_write(self, src, args):
+        return args["key"], args["value"], args.get("mode")
+
+    def do(self):
+        # repro: allow[rpc-payload-mismatch]
+        ok = yield from self.rpc.call("peer", "fx.write",
+                                      {"key": b"k", "valu": b"v"},
+                                      timeout=1.0)
+        return ok

@@ -1,0 +1,22 @@
+# Same fault as the bad fixture, suppressed by an inline waiver.
+
+
+class Node:
+    def __init__(self, sim, rpc):
+        self.sim = sim
+        self.rpc = rpc
+        self.rpc.register("fx.ping", self._h_ping)
+        self.sim.process(self._loop(), name="prober")
+
+    def _h_ping(self, src, args):
+        return "pong"
+
+    def _loop(self):
+        while True:
+            yield from self._probe()
+
+    def _probe(self):
+        # repro: allow[rpc-unhandled-failure]
+        reply = yield from self.rpc.call("peer", "fx.ping", {},
+                                         timeout=1.0)
+        return reply

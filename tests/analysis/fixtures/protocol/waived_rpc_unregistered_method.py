@@ -1,0 +1,18 @@
+# Same fault as the bad fixture, suppressed by an inline waiver.
+
+
+class Node:
+    def __init__(self, rpc):
+        self.rpc = rpc
+        self.rpc.register("fx.known", self._h_known)
+
+    def _h_known(self, src, args):
+        return args["x"]
+
+    def do(self):
+        ok = yield from self.rpc.call("peer", "fx.known", {"x": 1},
+                                      timeout=1.0)
+        # repro: allow[rpc-unregistered-method]
+        bad = yield from self.rpc.call("peer", "fx.missing", {"x": 1},
+                                       timeout=1.0)
+        return ok, bad

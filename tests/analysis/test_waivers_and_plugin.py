@@ -1,0 +1,181 @@
+"""Waiver-dialect edge cases and pytest-plugin failure reporting.
+
+The waiver comment (``# repro: allow[rule-id]``) is shared between the
+per-file determinism lint and the interprocedural protocol analyzer,
+so its parsing edge cases get pinned here once, against the shared
+:func:`repro.analysis.lint.is_waived`, plus end-to-end through
+``lint_source``.  The second half drives the pytest plugin's *failure*
+paths in subprocess sessions — the success path runs on every tier-1
+session, so only the error reporting needs dedicated coverage.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import is_waived, lint_source
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _lint(source: str):
+    return lint_source(textwrap.dedent(source), path="waiver_fixture.py")
+
+
+class TestWaiverParsing:
+    def test_multiple_rule_ids_on_one_line(self):
+        lines = ["x = 1  # repro: allow[wall-clock, unseeded-random]"]
+        assert is_waived(lines, "wall-clock", 1)
+        assert is_waived(lines, "unseeded-random", 1)
+        assert not is_waived(lines, "builtin-hash", 1)
+
+    def test_unknown_rule_id_does_not_suppress_others(self):
+        lines = ["x = 1  # repro: allow[no-such-rule]"]
+        assert not is_waived(lines, "wall-clock", 1)
+        # A list with one unknown entry still waives the known ones.
+        mixed = ["x = 1  # repro: allow[no-such-rule, wall-clock]"]
+        assert is_waived(mixed, "wall-clock", 1)
+        assert not is_waived(mixed, "unseeded-random", 1)
+
+    def test_star_waives_every_rule(self):
+        lines = ["x = 1  # repro: allow[*]"]
+        for rule in ("wall-clock", "builtin-hash", "rpc-timeout"):
+            assert is_waived(lines, rule, 1)
+
+    def test_waiver_on_comment_only_line_above(self):
+        lines = [
+            "# repro: allow[wall-clock]",
+            "now = time.time()",
+        ]
+        assert is_waived(lines, "wall-clock", 2)
+
+    def test_waiver_two_lines_above_does_not_apply(self):
+        lines = [
+            "# repro: allow[wall-clock]",
+            "",
+            "now = time.time()",
+        ]
+        assert not is_waived(lines, "wall-clock", 3)
+
+    def test_line_numbers_out_of_range_are_harmless(self):
+        lines = ["# repro: allow[wall-clock]"]
+        assert not is_waived(lines, "wall-clock", 99)
+        assert not is_waived([], "wall-clock", 1)
+        # Line 1 has no "line above"; the lookup must not wrap around
+        # to the end of the file.
+        tail = ["x = 1", "# repro: allow[wall-clock]"]
+        assert not is_waived(tail, "wall-clock", 1)
+
+    def test_lint_source_marks_waived_not_dropped(self):
+        violations = _lint(
+            """
+            import time
+
+            def f():
+                return time.time()  # repro: allow[wall-clock]
+            """
+        )
+        hits = [v for v in violations if v.rule == "wall-clock"]
+        assert hits and all(v.waived for v in hits)
+
+    def test_lint_source_comma_list_covers_both_rules_on_one_line(self):
+        violations = _lint(
+            """
+            import time
+
+            def f():
+                # repro: allow[wall-clock, builtin-hash]
+                return hash(str(time.time()))
+            """
+        )
+        assert {v.rule for v in violations} >= {"wall-clock",
+                                                "builtin-hash"}
+        assert all(v.waived for v in violations)
+
+    def test_lint_source_unknown_id_leaves_finding_active(self):
+        violations = _lint(
+            """
+            import time
+
+            def f():
+                return time.time()  # repro: allow[not-a-rule]
+            """
+        )
+        hits = [v for v in violations if v.rule == "wall-clock"]
+        assert hits and not any(v.waived for v in hits)
+
+
+def _run_pytest(tmp_path: Path, *extra: str) -> subprocess.CompletedProcess:
+    """One isolated pytest session with the plugin loaded explicitly."""
+    (tmp_path / "test_dummy.py").write_text(
+        "def test_ok():\n    assert True\n", encoding="utf-8")
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+         "-p", "repro.analysis.pytest_plugin", *extra, "test_dummy.py"],
+        cwd=tmp_path, capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestPluginFailureReporting:
+    def test_lint_failure_aborts_session_with_usage_error(self, tmp_path):
+        bad = tmp_path / "dirty.py"
+        bad.write_text(
+            "import time\n\ndef f():\n    return time.time()\n",
+            encoding="utf-8")
+        proc = _run_pytest(tmp_path, f"--repro-lint-paths={bad}")
+        # pytest.UsageError exits with code 4 before collection.
+        assert proc.returncode == 4
+        err = proc.stderr + proc.stdout
+        assert "determinism lint failed" in err
+        assert "wall-clock" in err
+        assert "docs/protocols.md" in err
+
+    def test_protocol_failure_aborts_after_clean_lint(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "mod.py").write_text(textwrap.dedent(
+            """
+            class Client:
+                def __init__(self, rpc):
+                    self.rpc = rpc
+
+                def fetch(self):
+                    out = yield from self.rpc.call(
+                        "peer", "fx.nowhere", {}, timeout=1.0)
+                    return out
+            """), encoding="utf-8")
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n", encoding="utf-8")
+        proc = _run_pytest(
+            tmp_path, f"--repro-lint-paths={clean}", "--repro-protocol")
+        assert proc.returncode == 4
+        err = proc.stderr + proc.stdout
+        assert "protocol analysis failed" in err
+        assert "rpc-unregistered-method" in err
+        assert "docs/protocols.md" in err
+
+    def test_protocol_env_flag_reports_success_summary(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n", encoding="utf-8")
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", "-p",
+             "no:cacheprovider", "-p", "repro.analysis.pytest_plugin",
+             f"--repro-lint-paths={clean}", "test_dummy.py"],
+            cwd=_seed_dummy(tmp_path), capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin",
+                 "REPRO_PROTOCOL_ANALYSIS": "1"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "repro protocol analysis:" in proc.stdout
+        assert "0 new finding(s)" in proc.stdout
+
+
+def _seed_dummy(tmp_path: Path) -> Path:
+    (tmp_path / "test_dummy.py").write_text(
+        "def test_ok():\n    assert True\n", encoding="utf-8")
+    return tmp_path
