@@ -1,0 +1,158 @@
+"""Diagnosis-pipeline overhead: disabled and fully-enabled vs plain obs.
+
+The diagnosis pipeline (ISSUE 9) stacks on top of the PR-4 obs bundle:
+a time-series sampler riding the event queue, an SLO evaluator firing
+on every sample, and a flight recorder hooked into span finishes and
+sample deltas.  This bench pins two bounds against the **plain obs**
+baseline (live metrics registry + attached span tracer, no pipeline):
+
+* **disabled** — pipeline stages constructed (sampler, evaluator
+  subscribed) but never started, and no flight recorder.  This
+  over-approximates the shipped default, which does not construct the
+  stages at all; even so it must stay within **1.15x** of plain.
+* **enabled** — sampler running every 0.25 simulated seconds, three
+  SLO specs (one per kind) evaluated per sample, and a flight recorder
+  exporting every finished span plus filtering every sample's deltas.
+  Must stay within **3x** of plain.
+
+Workload: four staggered workers doing the obs-heavy inner loop real
+components run — one trace per iteration, a counter bump, a histogram
+observation, plus occasional failure counts and a staleness gauge so
+all three SLO kinds have live series.  All modes run the identical
+workload to a fixed simulated horizon; trials are interleaved
+(round-robin) and the best-of rate per mode is used, as in
+``test_obs_overhead.py``, to discard shared-CI scheduler noise.
+
+Results land in ``benchmarks/results/BENCH_slo.json``.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.net.simulator import Simulator
+from repro.obs import Observability
+from repro.obs.slo import SloSpec
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+MAX_DISABLED_SLOWDOWN = 1.15
+MAX_ENABLED_SLOWDOWN = 3.0
+N_TICKS = 4_000      # per worker; horizon sized so all four finish
+SIM_HORIZON = 8.0    # simulated seconds; ~32 sampler ticks when enabled
+TRIALS = 7
+
+
+def _bench_slos() -> list[SloSpec]:
+    """One spec per kind, matched to the workload's series."""
+    return [
+        SloSpec(name="bench-lat-5ms", kind="latency", objective=0.95,
+                series="*/bench.lat", threshold=0.005),
+        SloSpec(name="bench-avail", kind="error_rate", objective=0.90,
+                series="*/bench.fail", total_series="*/bench.lat"),
+        SloSpec(name="bench-lag", kind="freshness", objective=0.50,
+                series="*/bench.lag", threshold=2.0),
+    ]
+
+
+def _bundle(mode: str) -> Observability:
+    """The obs bundle for one configuration."""
+    if mode == "plain":
+        return Observability(tracing=True)
+    if mode == "disabled":
+        # Stages constructed and subscribed but never started: the
+        # per-event residue a run pays for having the pipeline armed.
+        return Observability(tracing=True, timeseries=True,
+                             slos=_bench_slos())
+    return Observability(tracing=True, timeseries=True,
+                         slos=_bench_slos(), flight=True)
+
+
+def _build_workload(sim: Simulator, obs: Observability) -> None:
+    """Obs-heavy inner loop: a span + metric bumps per iteration."""
+    counter = obs.metrics.counter("bench.ops", node="w")
+    histogram = obs.metrics.histogram("bench.lat", node="w")
+    failures = obs.metrics.counter("bench.fail", node="w")
+    lag = obs.metrics.gauge("bench.lag", node="w")
+    tracer = obs.tracer
+
+    def worker(wid: int):
+        for i in range(N_TICKS):
+            span = tracer.start_trace("bench.op", node=f"w{wid}")
+            yield sim.timeout(0.001 + wid * 0.0003)
+            counter.inc()
+            histogram.observe(0.001 * (i % 7))
+            if i % 50 == 0:
+                failures.inc()
+            if i % 20 == 0:
+                lag.set(float(i % 5))
+            tracer.finish(span)
+
+    for wid in range(4):
+        sim.process(worker(wid), name=f"w{wid}")
+
+
+def _run(mode: str) -> tuple[float, int]:
+    """One measured run; returns (wallclock seconds, kernel events)."""
+    sim = Simulator()
+    obs = _bundle(mode)
+    obs.attach(sim)
+    if mode == "enabled":
+        obs.start(sim)
+    _build_workload(sim, obs)
+    t0 = time.perf_counter()
+    sim.run(until=SIM_HORIZON)
+    elapsed = time.perf_counter() - t0
+    obs.detach()
+    if mode == "enabled":
+        assert obs.timeseries.samples_taken > 0
+        assert len(obs.flight.spans) > 0
+    return elapsed, sim.events_scheduled
+
+
+def _measure() -> dict:
+    """Interleaved best-of rates for plain/disabled/enabled."""
+    rates: dict[str, list[float]] = {"plain": [], "disabled": [],
+                                     "enabled": []}
+    for _ in range(TRIALS):
+        for mode in rates:
+            elapsed, events = _run(mode)
+            rates[mode].append(events / elapsed)
+    best = {mode: max(vals) for mode, vals in rates.items()}
+    return {
+        "events_per_sec": {m: round(r) for m, r in best.items()},
+        "median_events_per_sec": {
+            m: round(statistics.median(v)) for m, v in rates.items()},
+        "slowdown": {m: round(best["plain"] / r, 3)
+                     for m, r in best.items()},
+    }
+
+
+class TestSloOverhead:
+    def test_pipeline_overhead_bounds(self):
+        workload = _measure()
+
+        report = {
+            "bound_disabled_max_slowdown": MAX_DISABLED_SLOWDOWN,
+            "bound_enabled_max_slowdown": MAX_ENABLED_SLOWDOWN,
+            "workload": workload,
+            "trials": TRIALS,
+            "notes": (
+                "plain = live registry + attached tracer, no pipeline; "
+                "disabled = sampler/evaluator constructed but never "
+                "started (over-approximates the shipped default, which "
+                "constructs nothing); enabled = sampler every 0.25 "
+                "sim-seconds + 3 SLO specs per sample + flight recorder "
+                "on every span finish.  Workload = 4 workers, one trace "
+                "+ counter/histogram bump per iteration, to a fixed "
+                "8-simulated-second horizon; interleaved best-of "
+                f"{TRIALS} trials."),
+        }
+        text = json.dumps(report, indent=2, sort_keys=True)
+        print("\n" + text)
+        (RESULTS_DIR / "BENCH_slo.json").write_text(text + "\n")
+
+        slow = workload["slowdown"]
+        assert slow["disabled"] < MAX_DISABLED_SLOWDOWN, report
+        assert slow["enabled"] < MAX_ENABLED_SLOWDOWN, report

@@ -5,6 +5,8 @@ Examples::
     python -m repro.chaos --seed 7 --profile mixed
     python -m repro.chaos --seed 7 --hazards        # tie-hazard scan
     python -m repro.chaos --seeds 0-9 --hazards     # sweep
+    python -m repro.chaos --seed 7 --slo            # burn-rate alerts
+    python -m repro.chaos --seed 7 --record out.json  # flight recorder
 
 Exit status: 0 when every run held all invariants (and, with
 ``--hazards``, surfaced no tie hazard), 1 otherwise.
@@ -13,6 +15,7 @@ Exit status: 0 when every run held all invariants (and, with
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -61,6 +64,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "invariant), 'lww' runs the identical "
                              "concurrency pattern through plain "
                              "write_latest for comparison")
+    parser.add_argument("--slo", action="store_true",
+                        help="evaluate the default SLOs with "
+                             "multi-window burn-rate alerting "
+                             "(implies the observability bundle)")
+    parser.add_argument("--record", metavar="PATH", default=None,
+                        help="arm the flight recorder; on any hard "
+                             "invariant violation its dump is written "
+                             "to PATH (seed suffix added on sweeps)")
+    parser.add_argument("--record-always", action="store_true",
+                        help="with --record: dump even on clean runs "
+                             "(CI artifact collection)")
     args = parser.parse_args(argv)
 
     seeds = _parse_seeds(args.seeds) if args.seeds else [args.seed]
@@ -71,8 +85,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              n_nodes=args.nodes,
                              hazards=args.hazards,
                              rebalance=args.rebalance,
-                             causal=args.causal).run()
+                             causal=args.causal,
+                             slo=args.slo,
+                             record=args.record is not None,
+                             record_always=(args.record is not None
+                                            and args.record_always)).run()
         print(report.describe())
+        if args.record is not None and report.flight_dump:
+            path = args.record if len(seeds) == 1 else \
+                f"{args.record}.seed{seed}"
+            with open(path, "w") as fh:
+                json.dump(report.flight_dump, fh, indent=1, sort_keys=True)
+            print(f"  flight dump written to {path}")
         if not report.ok or report.hazards:
             failed += 1
     if len(seeds) > 1:

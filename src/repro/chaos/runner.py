@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from ..core.antientropy import AntiEntropyManager
 from ..core.cache import MappingCache
@@ -71,6 +71,13 @@ class ChaosReport:
     obs_snapshot: dict = field(default_factory=dict)
     # Rebalancer ledger rows (rebalance=True); empty when it was off.
     migrations: list = field(default_factory=list)
+    # SLO evaluation artifacts (slo=True): exported alert transitions
+    # and the whole-run per-spec status table.
+    slo_alerts: list = field(default_factory=list)
+    slo_status: dict = field(default_factory=dict)
+    # Flight-recorder dump (record=True): non-empty exactly when a
+    # hard anomaly tripped it (or record_always forced a dump).
+    flight_dump: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -117,6 +124,21 @@ class ChaosReport:
                 f"({fates['preserved']} preserved, "
                 f"{fates['superseded']} superseded, "
                 f"{fates['lost']} lost)")
+        if self.slo_status:
+            missed = sorted(name for name, entry in self.slo_status.items()
+                            if not entry["met"])
+            lines.append(f"  slo: {len(self.slo_status)} specs, "
+                         f"{len(self.slo_alerts)} alert transitions"
+                         + (f", missed: {', '.join(missed)}" if missed
+                            else ", all met"))
+        if self.flight_dump:
+            lines.append(
+                f"  flight recorder: dumped "
+                f"{len(self.flight_dump.get('recent_spans', ()))} spans, "
+                f"{len(self.flight_dump.get('samples', ()))} samples, "
+                f"{len(self.flight_dump.get('packets', ()))} packets "
+                f"({len(self.flight_dump.get('violating_traces', {}))} "
+                f"violating keys cross-referenced)")
         if self.hazard_report:
             lines.append("  " + self.hazard_report.replace("\n", "\n  "))
         return "\n".join(lines)
@@ -161,7 +183,14 @@ class ChaosRunner:
                  obs: bool = False,
                  rebalance: bool = False,
                  causal: Optional[str] = None,
-                 n_cw_keys: int = 4):
+                 n_cw_keys: int = 4,
+                 slo: Any = False,
+                 record: bool = False,
+                 record_always: bool = False,
+                 timeseries: bool = False):
+        # The diagnosis-pipeline stages ride the observability bundle:
+        # asking for any of them implies obs=True.
+        obs = obs or bool(slo) or record or record_always or timeseries
         if hazards and obs:
             # Both want the simulator's single tracer slot.
             raise ValueError("hazards and obs are mutually exclusive: "
@@ -199,6 +228,10 @@ class ChaosRunner:
         self.hazards = hazards
         self.hazard_detector = None
         self.obs = obs
+        self.slo = slo
+        self.record = record
+        self.record_always = record_always
+        self.timeseries = timeseries
         self.rebalance = rebalance
         self.rebalancer = None
         # The live Observability bundle (obs=True): span timelines stay
@@ -220,7 +253,15 @@ class ChaosRunner:
             # Local import: plain chaos runs must not pay for the
             # observability layer (same rule as the hazard detector).
             from ..obs import Observability
-            self.obs_bundle = Observability(metrics=True, tracing=True)
+            slos = None
+            if self.slo:
+                from ..obs.slo import default_slos
+                slos = (default_slos() if self.slo is True
+                        else list(self.slo))
+            flight = self.record or self.record_always
+            self.obs_bundle = Observability(metrics=True, tracing=True,
+                                            timeseries=self.timeseries,
+                                            slos=slos, flight=flight)
         self.cluster = SednaCluster(
             n_nodes=self.n_nodes, zk_size=self.zk_size, seed=self.seed,
             config=self.config, zk_config=self.zk_config,
@@ -235,6 +276,11 @@ class ChaosRunner:
                 node = self.cluster.nodes[name]
                 self.hazard_detector.track_store(name, node.store)
         self.cluster.start()
+        if self.obs_bundle is not None:
+            # Start the diagnosis pipeline (no-op without stages): the
+            # sampler joins the event queue, the flight recorder taps
+            # the network.
+            self.obs_bundle.start(sim, network=self.cluster.network)
         tap = NetworkTap(self.cluster.network, on_record=self.history.tally,
                          keep_records=False)
         # Production maintenance, minus the rebalancer: the assignment
@@ -290,8 +336,19 @@ class ChaosRunner:
             hazards = list(self.hazard_detector.hazards)
             hazard_report = self.hazard_detector.report()
         obs_snapshot: dict = {}
+        slo_alerts: list = []
+        slo_status: dict = {}
+        flight_dump: dict = {}
         if self.obs_bundle is not None:
             obs_snapshot = self.obs_bundle.snapshot()
+            if self.obs_bundle.slo is not None:
+                slo_alerts = [a.export() for a in self.obs_bundle.slo.alerts]
+                slo_status = self.obs_bundle.slo.status()
+            if self.obs_bundle.flight is not None:
+                hard = [a for a in anomalies if not a.expected]
+                if hard or self.record_always:
+                    flight_dump = self.obs_bundle.flight.dump(
+                        anomalies=hard, time=sim.now)
         return ChaosReport(seed=self.seed, profile=self.profile,
                            schedule=schedule, history=self.history,
                            anomalies=anomalies, state=state,
@@ -300,7 +357,9 @@ class ChaosRunner:
                            op_counts=dict(sorted(self._op_counts.items())),
                            hazards=hazards, hazard_report=hazard_report,
                            obs_snapshot=obs_snapshot,
-                           migrations=migrations)
+                           migrations=migrations,
+                           slo_alerts=slo_alerts, slo_status=slo_status,
+                           flight_dump=flight_dump)
 
     # -- fault execution --------------------------------------------------
     def _execute(self, schedule: Schedule, t0: float):
@@ -438,6 +497,21 @@ class ChaosRunner:
         if self.obs_bundle is not None and self.obs_bundle.tracer is not None:
             self.obs_bundle.tracer.finish(span, **tags)
 
+    def _observe_outcome(self, client, record, failed: bool) -> None:
+        """Feed the client-side end-to-end metrics for one op.
+
+        The runner drives coordinators directly (bypassing the client
+        wrapper methods that normally observe these), so it stands in
+        for that layer here — the availability SLO and the flight
+        recorder ride ``client.*_seconds`` / ``client.failures``.
+        Every handle is a no-op when obs is off."""
+        if failed:
+            client._m_failures.inc()
+        elif record.kind in ("read_latest", "read_all", "read_causal"):
+            client._m_read_lat.observe(self.sim.now - record.invoked)
+        else:
+            client._m_write_lat.observe(self.sim.now - record.invoked)
+
     def _op_write(self, client, kind: str, key: str, value):
         self._count(kind)
         encoded = FullKey.of(key).encoded()
@@ -451,9 +525,11 @@ class ChaosRunner:
             result = yield from client.coordinator.coordinate_write(args)
         except (RpcTimeout, RpcRejected):
             self._mint_end(span, status="failure")
+            self._observe_outcome(client, record, failed=True)
             self.history.complete(record, self.sim.now, "failure")
             return
         self._mint_end(span, status=result["status"])
+        self._observe_outcome(client, record, failed=False)
         self.history.complete(record, self.sim.now, result["status"],
                               acks=tuple(result.get("acks", ())))
 
@@ -468,11 +544,13 @@ class ChaosRunner:
                 {"key": encoded, "mode": "latest"})
         except (RpcTimeout, RpcRejected):
             self._mint_end(span, status="failure")
+            self._observe_outcome(client, record, failed=True)
             self.history.complete(record, self.sim.now, "failure")
             return
         self._mint_end(span, status="ok",
                        found=bool(result.get("found")),
                        ts=result.get("ts"))
+        self._observe_outcome(client, record, failed=False)
         responders = tuple(result.get("responders", ()))
         if result.get("found"):
             self.history.complete(record, self.sim.now, "found",
@@ -495,9 +573,11 @@ class ChaosRunner:
                 {"key": encoded, "mode": "all"})
         except (RpcTimeout, RpcRejected):
             self._mint_end(span, status="failure")
+            self._observe_outcome(client, record, failed=True)
             self.history.complete(record, self.sim.now, "failure")
             return
         self._mint_end(span, status="ok")
+        self._observe_outcome(client, record, failed=False)
         self.history.complete(
             record, self.sim.now, "ok",
             responders=tuple(result.get("responders", ())),
@@ -545,9 +625,11 @@ class ChaosRunner:
                 args)
         except (RpcTimeout, RpcRejected):
             self._mint_end(span, status="failure")
+            self._observe_outcome(client, record, failed=True)
             self.history.complete(record, self.sim.now, "failure")
             return
         self._mint_end(span, status=result["status"])
+        self._observe_outcome(client, record, failed=False)
         self.history.complete(record, self.sim.now, result["status"],
                               acks=tuple(result.get("acks", ())),
                               dot=tuple(result["dot"]))
@@ -562,10 +644,12 @@ class ChaosRunner:
                 {"key": encoded})
         except (RpcTimeout, RpcRejected):
             self._mint_end(span, status="failure")
+            self._observe_outcome(client, record, failed=True)
             self.history.complete(record, self.sim.now, "failure")
             return
         found = bool(result.get("found"))
         self._mint_end(span, status="ok", found=found)
+        self._observe_outcome(client, record, failed=False)
         context = tuple(tuple(p) for p in result.get("context", ()))
         self._contexts[(client.name, encoded)] = list(context)
         self.history.complete(
@@ -586,9 +670,11 @@ class ChaosRunner:
                 {"key": encoded})
         except (RpcTimeout, RpcRejected):
             self._mint_end(span, status="failure")
+            self._observe_outcome(client, record, failed=True)
             self.history.complete(record, self.sim.now, "failure")
             return
         self._mint_end(span, status=result["status"])
+        self._observe_outcome(client, record, failed=False)
         self.history.complete(record, self.sim.now, result["status"],
                               acks=tuple(result.get("acks", ())))
 
@@ -618,10 +704,12 @@ class ChaosRunner:
                 {"entries": entries})
         except (RpcTimeout, RpcRejected):
             self._mint_end(span, status="failure")
+            self._observe_outcome(client, records[0], failed=True)
             for record in records:
                 self.history.complete(record, self.sim.now, "failure")
             return
         self._mint_end(span, status="ok")
+        self._observe_outcome(client, records[0], failed=False)
         results = result["results"]
         for record, entry in zip(records, entries):
             per_key = results.get(entry["key"], {})
@@ -642,10 +730,12 @@ class ChaosRunner:
                 {"keys": encoded_keys, "mode": "latest"})
         except (RpcTimeout, RpcRejected):
             self._mint_end(span, status="failure")
+            self._observe_outcome(client, records[0], failed=True)
             for record in records:
                 self.history.complete(record, self.sim.now, "failure")
             return
         self._mint_end(span, status="ok")
+        self._observe_outcome(client, records[0], failed=False)
         results = result["results"]
         for record, encoded in zip(records, encoded_keys):
             per_key = results.get(encoded)
@@ -678,10 +768,12 @@ class ChaosRunner:
                 {"keys": encoded_keys})
         except (RpcTimeout, RpcRejected):
             self._mint_end(span, status="failure")
+            self._observe_outcome(client, records[0], failed=True)
             for record in records:
                 self.history.complete(record, self.sim.now, "failure")
             return
         self._mint_end(span, status="ok")
+        self._observe_outcome(client, records[0], failed=False)
         results = result["results"]
         for record, encoded in zip(records, encoded_keys):
             per_key = results.get(encoded, {})

@@ -143,6 +143,7 @@ class RpcNode:
         tracer = self.tracer
         trace_ctx = payload.get("tr") if tracer is not None else None
         serve_span: list[Any] = []
+        arrived = self.sim.now
 
         def respond(status: str, result: Any) -> None:
             if serve_span:
@@ -166,6 +167,14 @@ class RpcNode:
                 tracer.adopt(trace_ctx)
                 span = tracer.begin(f"rpc.{method}", node=self.name)
                 if span is not None:
+                    # The serve span opens *after* the service queue;
+                    # the wait is tagged so the critical-path analyzer
+                    # (repro.obs.critical) can attribute queue time
+                    # separately from network flight.  Tags are local
+                    # span state, never serialized onto the wire.
+                    queued = self.sim.now - arrived
+                    if queued > 0.0:
+                        span.tags["queue"] = round(queued, 9)
                     serve_span.append(span)
             self.requests_served += 1
             if handler is None:

@@ -9,6 +9,7 @@ querying helpers.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
@@ -65,12 +66,18 @@ class NetworkTap:
     def __init__(self, network: Network,
                  predicate: Optional[Callable[[TapRecord], bool]] = None,
                  on_record: Optional[Callable[[TapRecord], None]] = None,
-                 keep_records: bool = True) -> None:
+                 keep_records: bool = True,
+                 max_records: Optional[int] = None) -> None:
         self.network = network
         self.predicate = predicate
         self.on_record = on_record
         self.keep_records = keep_records
-        self.records: list[TapRecord] = []
+        #: With ``max_records`` set the buffer is a ring holding only
+        #: the most recent transmissions (flight-recorder taps stay
+        #: O(1) in memory over arbitrarily long runs); unbounded
+        #: otherwise.  Assertion helpers work on either.
+        self.records: Any = ([] if max_records is None
+                             else deque(maxlen=max_records))
         self._attached = True
         network.add_filter(self._observe)
 

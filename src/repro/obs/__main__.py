@@ -14,6 +14,15 @@ Examples::
     python -m repro.obs --seed 0 --verify              # determinism check
     python -m repro.obs --diff before.json after.json  # snapshot diff
 
+Diagnosis-pipeline subcommands (each runs one chaos schedule with the
+relevant stage enabled)::
+
+    python -m repro.obs series --seed 0                # sparklines
+    python -m repro.obs series --pattern '*/coord.*'   # filtered
+    python -m repro.obs critical --seed 0              # phase tables
+    python -m repro.obs flame --seed 0 --out out.folded  # flamegraph data
+    python -m repro.obs slo --seed 0                   # burn-rate report
+
 Exit status: 0 on success; 1 when the run broke an invariant, the
 ``--verify`` check failed, or a snapshot file could not be read.
 """
@@ -31,12 +40,54 @@ from .metrics import SNAPSHOT_SCHEMA, diff_snapshots
 from .trace import format_timeline
 
 
-def _run(args: argparse.Namespace):
+def _run(args: argparse.Namespace, **extra):
     runner = ChaosRunner(seed=args.seed, profile=args.profile,
                          duration=args.duration, n_nodes=args.nodes,
-                         obs=True)
+                         obs=True, **extra)
     report = runner.run()
     return runner, report
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    if out is None or out == "-":
+        print(text)
+    else:
+        with open(out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"written to {out}")
+
+
+def _cmd_series(args: argparse.Namespace) -> int:
+    runner, report = _run(args, timeseries=True)
+    _emit(runner.obs_bundle.timeseries.format_series(args.pattern),
+          args.out)
+    return 0 if report.ok else 1
+
+
+def _cmd_critical(args: argparse.Namespace) -> int:
+    from .critical import aggregate, format_breakdown
+    runner, report = _run(args)
+    export = runner.obs_bundle.tracer.export()
+    _emit(format_breakdown(aggregate(export)), args.out)
+    return 0 if report.ok else 1
+
+
+def _cmd_flame(args: argparse.Namespace) -> int:
+    from .critical import folded_stacks, format_flame
+    runner, report = _run(args)
+    export = runner.obs_bundle.tracer.export()
+    _emit(format_flame(folded_stacks(export)), args.out)
+    return 0 if report.ok else 1
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    runner, report = _run(args, slo=True)
+    _emit(runner.obs_bundle.slo.format_slo(), args.out)
+    return 0 if report.ok else 1
+
+
+_COMMANDS = {"series": _cmd_series, "critical": _cmd_critical,
+             "flame": _cmd_flame, "slo": _cmd_slo}
 
 
 def _slowest_traces(tracer, n: int) -> list[int]:
@@ -104,6 +155,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.obs",
         description="Run a chaos schedule with metrics + tracing on; "
                     "dump, verify, or diff the resulting snapshots.")
+    parser.add_argument("command", nargs="?", default=None,
+                        choices=sorted(_COMMANDS),
+                        help="diagnosis-pipeline subcommand: 'series' "
+                             "(time-series sparklines), 'critical' "
+                             "(critical-path phase tables), 'flame' "
+                             "(folded-stack flamegraph data), 'slo' "
+                             "(burn-rate report)")
+    parser.add_argument("--pattern", default="*",
+                        help="series: fnmatch filter over labels")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="subcommands: write output to PATH "
+                             "instead of stdout")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--profile", choices=sorted(PROFILES),
                         default="mixed")
@@ -128,6 +191,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_diff(*args.diff)
     if args.verify:
         return _cmd_verify(args)
+    if args.command is not None:
+        return _COMMANDS[args.command](args)
 
     runner, report = _run(args)
     bundle = runner.obs_bundle

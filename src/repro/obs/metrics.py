@@ -31,7 +31,8 @@ from typing import Any, Iterable, Optional
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "VnodeStatsFeed",
     "DEFAULT_BUCKETS", "NOOP", "DISABLED", "SNAPSHOT_SCHEMA",
-    "diff_snapshots",
+    "diff_snapshots", "bucket_quantile", "bucket_fraction_le",
+    "series_label",
 ]
 
 SNAPSHOT_SCHEMA = "repro.obs/1"
@@ -141,9 +142,79 @@ class Histogram:
                             for b, c in zip(self.bounds, self.counts)},
                 "inf": self.counts[-1]}
 
+    def quantile(self, q: float) -> float:
+        """Interpolated ``q``-quantile (0..1); see :func:`bucket_quantile`."""
+        return bucket_quantile(self.bounds, self.counts, q)
+
+    def fraction_le(self, threshold: float) -> float:
+        """Interpolated fraction of observations ``<= threshold``."""
+        return bucket_fraction_le(self.bounds, self.counts, threshold)
+
 
 def _bucket_label(bound: float) -> str:
     return format(bound, "g")
+
+
+def bucket_quantile(bounds: tuple[float, ...], counts: list[int],
+                    q: float) -> float:
+    """Interpolated quantile from per-bucket counts.
+
+    The estimator is the Prometheus ``histogram_quantile`` one:
+    observations are assumed uniformly spread inside their bucket, the
+    rank is located in the cumulative distribution and interpolated
+    linearly between the bucket's boundaries.  The first bucket's lower
+    edge is 0 (latencies are non-negative) and a rank landing in the
+    implicit +inf bucket is clamped to the highest finite boundary —
+    both also Prometheus conventions.  Returns 0.0 on an empty
+    histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1]: {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cum = 0
+    lo = 0.0
+    for bound, count in zip(bounds, counts):
+        if cum + count >= rank and count > 0:
+            return lo + (bound - lo) * ((rank - cum) / count)
+        cum += count
+        lo = bound
+    return bounds[-1]
+
+
+def bucket_fraction_le(bounds: tuple[float, ...], counts: list[int],
+                       threshold: float) -> float:
+    """Interpolated fraction of observations ``<= threshold``.
+
+    The SLO evaluator's "good events" estimator: buckets entirely at or
+    below the threshold count in full, the bucket straddling it
+    contributes linearly (uniform-in-bucket assumption), buckets above
+    contribute nothing.  Observations in the +inf bucket are always
+    above any finite threshold.  Returns 1.0 on an empty histogram
+    (no observations → nothing violated the target).
+    """
+    total = sum(counts)
+    if total == 0:
+        return 1.0
+    good = 0.0
+    lo = 0.0
+    for bound, count in zip(bounds, counts):
+        if bound <= threshold:
+            good += count
+        elif lo < threshold:
+            good += count * ((threshold - lo) / (bound - lo))
+        lo = bound
+    return good / total
+
+
+def series_label(node: str, vnode: Optional[int], name: str) -> str:
+    """Canonical flat label for one ``(node, vnode, name)`` series key —
+    the form snapshots, diffs and the time-series recorder all use."""
+    if vnode is None:
+        return f"{node or '-'}/{name}"
+    return f"{node or '-'}/v{vnode}/{name}"
 
 
 class VnodeStatsFeed:
@@ -157,12 +228,17 @@ class VnodeStatsFeed:
     objects via :meth:`per_vnode`.
     """
 
-    __slots__ = ("node", "_factory", "statuses")
+    __slots__ = ("node", "_factory", "statuses", "underflows")
 
     def __init__(self, node: str, status_factory: Any = None) -> None:
         self.node = node
         self._factory = status_factory or _PlainStatus
         self.statuses: dict[int, Any] = {}
+        #: Times a removal would have driven a counter below zero
+        #: (migration/GC races double-reporting a key's departure).
+        #: Clamped removals keep the imbalance row non-negative; the
+        #: counter makes the race diagnosable instead of silent.
+        self.underflows = 0
 
     def status(self, vnode_id: int) -> Any:
         """Get-or-create the live status record for a vnode."""
@@ -186,6 +262,10 @@ class VnodeStatsFeed:
         status = self.status(vnode_id)
         status.keys -= 1
         status.bytes -= size
+        if status.keys < 0 or status.bytes < 0:
+            self.underflows += 1
+            status.keys = max(status.keys, 0)
+            status.bytes = max(status.bytes, 0)
 
     def discard(self, vnode_id: int) -> None:
         self.statuses.pop(vnode_id, None)
@@ -226,17 +306,35 @@ class MetricsRegistry:
     """Series registry with cached handles and deterministic export.
 
     ``max_series`` caps label cardinality: once the cap is hit, new
-    series silently degrade to the shared no-op handle and are tallied
-    in ``dropped_series`` (visible in the snapshot) — a runaway label
-    (per-key metrics, say) degrades observability instead of memory.
+    series degrade to the shared no-op handle and their keys are
+    remembered in ``dropped_keys`` — ``dropped_series`` counts
+    *distinct* dropped series (repeated ``_handle`` calls for the same
+    over-cap key are one drop, not one per call), and the snapshot
+    lists the sorted dropped labels so a cardinality blowup is
+    diagnosable from the export alone.  A runaway label (per-key
+    metrics, say) degrades observability instead of memory.
     """
 
     def __init__(self, enabled: bool = True, max_series: int = 4096) -> None:
         self.enabled = enabled
         self.max_series = max_series
-        self.dropped_series = 0
+        self._dropped: set[tuple] = set()
         self._series: dict[tuple, Any] = {}
         self._feeds: dict[str, VnodeStatsFeed] = {}
+
+    @property
+    def dropped_series(self) -> int:
+        """Distinct series keys lost to the cardinality cap."""
+        return len(self._dropped)
+
+    @property
+    def dropped_keys(self) -> list[str]:
+        """Sorted labels of the capped-out series."""
+        ordered = sorted(self._dropped,
+                         key=lambda k: (k[0], -1 if k[1] is None else k[1],
+                                        k[2]))
+        return sorted(series_label(node, vnode, name)
+                      for (node, vnode, name) in ordered)
 
     # -- handle creation -------------------------------------------------
     def counter(self, name: str, node: str = "",
@@ -265,7 +363,7 @@ class MetricsRegistry:
                     f"requested {cls.kind}")
             return handle
         if len(self._series) >= self.max_series:
-            self.dropped_series += 1
+            self._dropped.add(key)
             return NOOP
         handle = cls(*args)
         self._series[key] = handle
@@ -290,15 +388,17 @@ class MetricsRegistry:
         for (node, vnode, name) in sorted(
                 self._series,
                 key=lambda k: (k[0], -1 if k[1] is None else k[1], k[2])):
-            label = f"{node or '-'}/{name}" if vnode is None \
-                else f"{node or '-'}/v{vnode}/{name}"
-            series[label] = self._series[(node, vnode, name)].export()
+            series[series_label(node, vnode, name)] = \
+                self._series[(node, vnode, name)].export()
         vnodes = {name: self._feeds[name].per_vnode()
                   for name in sorted(self._feeds)}
         return {
             "schema": SNAPSHOT_SCHEMA,
             "enabled": self.enabled,
             "dropped_series": self.dropped_series,
+            "dropped_keys": self.dropped_keys,
+            "feed_underflows": {name: self._feeds[name].underflows
+                                for name in sorted(self._feeds)},
             "series": series,
             "vnodes": vnodes,
         }
@@ -326,12 +426,21 @@ class MetricsRegistry:
         return "\n".join(lines)
 
 
+#: Top-level snapshot fields diffed into the ``meta`` section — series
+#: and feed rows aside, these are the bits whose drift matters
+#: (``enabled`` flips, cardinality-cap blowups, feed underflows).
+_META_FIELDS = ("enabled", "dropped_series", "dropped_keys",
+                "feed_underflows")
+
+
 def diff_snapshots(before: dict, after: dict) -> dict:
     """Series-level diff of two snapshots (CLI ``diff`` subcommand).
 
     Returns ``{"added": [...], "removed": [...], "changed": {label:
-    {"before": ..., "after": ...}}}`` over both flat series and
-    per-vnode feed rows."""
+    {"before": ..., "after": ...}}, "meta": {field: {"before": ...,
+    "after": ...}}}`` over flat series, per-vnode feed rows and the
+    top-level metadata fields (``enabled``, ``dropped_series``,
+    ``dropped_keys``, ``feed_underflows``)."""
 
     def flatten(snap: dict) -> dict:
         flat: dict[str, Any] = dict(snap.get("series", {}))
@@ -347,6 +456,10 @@ def diff_snapshots(before: dict, after: dict) -> dict:
         "changed": {label: {"before": a[label], "after": b[label]}
                     for label in sorted(set(a) & set(b))
                     if a[label] != b[label]},
+        "meta": {field: {"before": before.get(field),
+                         "after": after.get(field)}
+                 for field in _META_FIELDS
+                 if before.get(field) != after.get(field)},
     }
 
 

@@ -99,6 +99,8 @@ class SpanTracer:
         #: id(event) -> inherited (trace_id, span_id)
         self._ctx: dict[int, Context] = {}
         self._current: Optional[Context] = None
+        #: Called with each span as it finishes (flight recorder feed).
+        self.on_finish: list = []
 
     # -- attachment ------------------------------------------------------
     def attach(self, sim: Any) -> "SpanTracer":
@@ -159,6 +161,8 @@ class SpanTracer:
             span.end = self._now()
         if tags:
             span.tags.update(tags)
+        for hook in self.on_finish:
+            hook(span)
 
     def adopt(self, ctx: Any) -> None:
         """Re-enter a context carried out-of-band (an RPC envelope)."""

@@ -1,0 +1,156 @@
+"""Unit tests for critical-path analysis and flame output."""
+
+import json
+
+import pytest
+
+from repro.obs.critical import (aggregate, analyze_trace, critical_path,
+                                folded_stacks, format_breakdown,
+                                format_flame, phase_of)
+
+
+def _span(sid, parent, name, start, end, **tags):
+    return {"trace": 1, "span": sid, "parent": parent, "name": name,
+            "node": "n", "start": start, "end": end, "tags": tags}
+
+
+def _trace(spans, name="chaos.write_latest"):
+    return {"name": name, "spans": spans}
+
+
+def _quorum_spans():
+    """Root -> coord -> 3 replica RPCs; the quorum settles on r2, r3
+    is a laggard finishing after the coordinator."""
+    return [
+        _span(1, None, "chaos.write_latest", 0.0, 0.008, key="k"),
+        _span(2, 1, "coord.write", 0.001, 0.0075),
+        _span(3, 2, "rpc.replica.write", 0.002, 0.004),
+        _span(4, 2, "rpc.replica.write", 0.0028, 0.006, queue=0.0008),
+        _span(5, 2, "rpc.replica.write", 0.003, 0.009),  # laggard
+    ]
+
+
+class TestPhaseOf:
+    def test_mapping(self):
+        assert phase_of("rpc.replica.write") == "storage"
+        assert phase_of("rpc.migrate.begin") == "storage"
+        assert phase_of("rpc.zk.read") == "zk"
+        assert phase_of("rpc.heartbeat") == "serve"
+        assert phase_of("coord.write") == "coord"
+        assert phase_of("chaos.write_latest") == "client"
+        assert phase_of("client.read") == "client"
+
+
+class TestCriticalPath:
+    def test_empty(self):
+        assert critical_path([]) == []
+
+    def test_straight_chain(self):
+        spans = [_span(1, None, "a", 0.0, 1.0),
+                 _span(2, 1, "b", 0.1, 0.9),
+                 _span(3, 2, "c", 0.2, 0.8)]
+        assert [s["span"] for s in critical_path(spans)] == [1, 2, 3]
+
+    def test_laggard_excluded_and_settling_reply_chosen(self):
+        path = critical_path(_quorum_spans())
+        assert [s["span"] for s in path] == [1, 2, 4]
+
+    def test_tie_breaks_on_lowest_span_id(self):
+        spans = [_span(1, None, "a", 0.0, 1.0),
+                 _span(2, 1, "b", 0.1, 0.5),
+                 _span(3, 1, "c", 0.2, 0.5)]
+        assert [s["span"] for s in critical_path(spans)] == [1, 2]
+
+    def test_open_spans_pinned_to_trace_end(self):
+        spans = [_span(1, None, "a", 0.0, None),
+                 _span(2, 1, "b", 0.1, 0.7)]
+        path = critical_path(spans)
+        assert [s["span"] for s in path] == [1, 2]
+
+
+class TestAnalyzeTrace:
+    def test_phases_sum_to_duration(self):
+        result = analyze_trace(_trace(_quorum_spans()))
+        assert result["duration"] == pytest.approx(0.008)
+        assert result["path"] == ["chaos.write_latest", "coord.write",
+                                  "rpc.replica.write"]
+        assert sum(result["phases"].values()) == pytest.approx(0.008)
+
+    def test_queue_tag_becomes_queue_wait(self):
+        result = analyze_trace(_trace(_quorum_spans()))
+        assert result["phases"]["queue_wait"] == pytest.approx(0.0008)
+
+    def test_settle_under_coord_is_quorum_wait(self):
+        result = analyze_trace(_trace(_quorum_spans()))
+        # coord.write ends 0.0075, critical reply ends 0.006
+        assert result["phases"]["quorum_wait"] == pytest.approx(0.0015)
+
+    def test_leaf_duration_goes_to_its_phase(self):
+        result = analyze_trace(_trace(_quorum_spans()))
+        assert result["phases"]["storage"] == pytest.approx(0.0032)
+
+    def test_empty_trace(self):
+        result = analyze_trace(_trace([]))
+        assert result == {"name": "chaos.write_latest", "duration": 0.0,
+                          "path": [], "phases": {}}
+
+
+class TestAggregate:
+    def _export(self):
+        return {"traces": {
+            "1": _trace(_quorum_spans()),
+            "2": _trace([_span(1, None, "chaos.read_latest", 0.0, 0.002),
+                         _span(2, 1, "coord.read", 0.0005, 0.0015)],
+                        name="chaos.read_latest"),
+        }}
+
+    def test_rollup_per_kind(self):
+        agg = aggregate(self._export())
+        assert sorted(agg) == ["chaos.read_latest", "chaos.write_latest"]
+        row = agg["chaos.write_latest"]
+        assert row["count"] == 1
+        assert row["mean_s"] == pytest.approx(0.008)
+        assert row["max_s"] == pytest.approx(0.008)
+
+    def test_format_breakdown_table(self):
+        text = format_breakdown(aggregate(self._export()))
+        assert "chaos.write_latest" in text
+        assert "quorum_wait" in text
+        assert "op kind" in text
+        assert format_breakdown({}) == "(no traces)"
+
+    def test_deterministic(self):
+        a = json.dumps(aggregate(self._export()), sort_keys=True)
+        b = json.dumps(aggregate(self._export()), sort_keys=True)
+        assert a == b
+
+
+class TestFoldedStacks:
+    def test_self_time_subtracts_children(self):
+        export = {"traces": {"1": _trace([
+            _span(1, None, "a", 0.0, 0.010),
+            _span(2, 1, "b", 0.002, 0.008)])}}
+        folded = folded_stacks(export)
+        assert folded == {"a": 4000, "a;b": 6000}
+
+    def test_self_time_clamped_when_children_overlap(self):
+        export = {"traces": {"1": _trace([
+            _span(1, None, "a", 0.0, 0.010),
+            _span(2, 1, "b", 0.000, 0.010),
+            _span(3, 1, "c", 0.000, 0.010)])}}
+        folded = folded_stacks(export)
+        assert folded["a"] == 0
+
+    def test_dropped_parent_starts_new_root(self):
+        export = {"traces": {"1": _trace([
+            _span(2, 99, "orphan", 0.0, 0.004)])}}
+        assert folded_stacks(export) == {"orphan": 4000}
+
+    def test_stacks_merge_across_traces(self):
+        one = _trace([_span(1, None, "a", 0.0, 0.001)])
+        export = {"traces": {"1": one, "2": one}}
+        assert folded_stacks(export) == {"a": 2000}
+
+    def test_format_flame_lines(self):
+        text = format_flame({"a;b": 1500, "a": 10})
+        assert text.splitlines() == ["a 10", "a;b 1500"]

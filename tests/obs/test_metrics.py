@@ -173,3 +173,131 @@ class TestSnapshot:
     def test_snapshot_round_trips_through_json(self):
         snap = self._loaded().snapshot()
         assert json.loads(json.dumps(snap)) == snap
+
+
+class TestDroppedSeries:
+    def test_distinct_dropped_keys_counted_once(self):
+        reg = MetricsRegistry(max_series=1)
+        reg.counter("kept", node="n1")
+        for _ in range(3):  # same key re-requested: one distinct drop
+            assert reg.counter("lost", node="n2") is NOOP
+        reg.gauge("also-lost", node="n1")
+        assert reg.dropped_series == 2
+        assert reg.dropped_keys == ["n1/also-lost", "n2/lost"]
+
+    def test_snapshot_surfaces_dropped_keys(self):
+        reg = MetricsRegistry(max_series=1)
+        reg.counter("kept", node="n1")
+        reg.counter("lost", node="n2", vnode=4)
+        snap = reg.snapshot()
+        assert snap["dropped_series"] == 1
+        assert snap["dropped_keys"] == ["n2/v4/lost"]
+
+    def test_nothing_dropped_under_cap(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", node="n1")
+        assert reg.dropped_series == 0
+        assert reg.dropped_keys == []
+
+
+class TestFeedUnderflow:
+    def test_removal_clamped_at_zero_and_counted(self):
+        feed = VnodeStatsFeed("n1")
+        feed.key_added(3, 100)
+        feed.key_removed(3, 100)
+        assert feed.underflows == 0
+        feed.key_removed(3, 50)  # double-reported departure
+        assert feed.underflows == 1
+        status = feed.status(3)
+        assert status.keys == 0
+        assert status.bytes == 0
+        assert feed.row()["keys"] == 0
+
+    def test_bytes_only_underflow_also_clamped(self):
+        feed = VnodeStatsFeed("n1")
+        feed.key_added(1, 10)
+        feed.key_added(1, 10)
+        feed.key_removed(1, 30)  # keys fine (1 left), bytes negative
+        assert feed.underflows == 1
+        assert feed.status(1).keys == 1
+        assert feed.status(1).bytes == 0
+
+    def test_snapshot_reports_underflows_per_feed(self):
+        reg = MetricsRegistry()
+        feed = reg.register_feed(VnodeStatsFeed("n1"))
+        feed.key_removed(0, 5)
+        snap = reg.snapshot()
+        assert snap["feed_underflows"] == {"n1": 1}
+
+
+class TestDiffMeta:
+    def test_meta_section_tracks_registry_level_changes(self):
+        reg = MetricsRegistry(max_series=2)
+        reg.counter("a", node="n1")
+        before = reg.snapshot()
+        reg.counter("b", node="n1")
+        reg.counter("overflow", node="n2")  # dropped
+        after = reg.snapshot()
+        delta = diff_snapshots(before, after)
+        assert delta["meta"]["dropped_series"] == {"before": 0, "after": 1}
+        assert delta["meta"]["dropped_keys"] == {
+            "before": [], "after": ["n2/overflow"]}
+        assert "enabled" not in delta["meta"]
+
+    def test_meta_empty_when_nothing_changed(self):
+        reg = MetricsRegistry()
+        reg.counter("a", node="n1")
+        snap = reg.snapshot()
+        assert diff_snapshots(snap, snap)["meta"] == {}
+
+
+class TestQuantileInterpolation:
+    BOUNDS = (1.0, 2.0, 4.0, 8.0)
+
+    def _hist(self, values):
+        from repro.obs.metrics import Histogram
+        h = Histogram(self.BOUNDS)
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_quantile_matches_exact_percentiles_uniform(self):
+        # 100 uniform samples in (0, 4): exact p-th percentile is
+        # 4p/100; bucket interpolation must stay within a bucket width.
+        values = [4.0 * (i + 0.5) / 100 for i in range(100)]
+        h = self._hist(values)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            exact = 4.0 * q
+            got = h.quantile(q)
+            assert abs(got - exact) <= 1.0, (q, got, exact)
+
+    def test_quantile_exact_at_bucket_boundaries(self):
+        # 10 obs in (0,1], 10 in (1,2]: the median is exactly 1.0 and
+        # p100 exactly 2.0 under uniform-in-bucket interpolation.
+        h = self._hist([0.5] * 10 + [1.5] * 10)
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+        assert h.quantile(0.25) == pytest.approx(0.5)
+
+    def test_quantile_overflow_clamps_to_top_bound(self):
+        h = self._hist([100.0] * 5)
+        assert h.quantile(0.99) == pytest.approx(8.0)
+
+    def test_quantile_empty_and_bad_q(self):
+        h = self._hist([])
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_fraction_le_interpolates_within_bucket(self):
+        h = self._hist([0.5] * 10)  # all in (0, 1]
+        assert h.fraction_le(1.0) == pytest.approx(1.0)
+        assert h.fraction_le(0.5) == pytest.approx(0.5)
+        assert h.fraction_le(0.0) == pytest.approx(0.0)
+
+    def test_fraction_le_overflow_counts_as_bad(self):
+        h = self._hist([0.5] * 9 + [100.0])
+        assert h.fraction_le(8.0) == pytest.approx(0.9)
+
+    def test_fraction_le_empty_is_vacuously_good(self):
+        assert self._hist([]).fraction_le(1.0) == 1.0
