@@ -6,6 +6,7 @@ Examples::
     python -m repro.chaos --seed 7 --hazards        # tie-hazard scan
     python -m repro.chaos --seeds 0-9 --hazards     # sweep
     python -m repro.chaos --seed 7 --slo            # burn-rate alerts
+    python -m repro.chaos --seed 7 --scenario flash-crowd
     python -m repro.chaos --seed 7 --record out.json  # flight recorder
 
 Exit status: 0 when every run held all invariants (and, with
@@ -19,6 +20,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
+from ..workloads.scenarios import SCENARIOS
 from .runner import ChaosRunner
 from .schedule import PROFILES
 
@@ -50,6 +52,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--duration", type=float, default=8.0,
                         help="simulated seconds of faulted workload")
     parser.add_argument("--nodes", type=int, default=6)
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        default=None,
+                        help="drive a workload-matrix scenario "
+                             "(repro.workloads.scenarios) instead of "
+                             "the default chaos mix; faults and "
+                             "invariants are unchanged")
     parser.add_argument("--hazards", action="store_true",
                         help="attach the tie-hazard detector "
                              "(repro.analysis.hazards) to the run")
@@ -83,6 +91,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = ChaosRunner(seed=seed, profile=args.profile,
                              duration=args.duration,
                              n_nodes=args.nodes,
+                             scenario=args.scenario,
                              hazards=args.hazards,
                              rebalance=args.rebalance,
                              causal=args.causal,

@@ -43,6 +43,17 @@ GOLDEN_CONFIGS: dict[str, dict] = {
     "migration": {"profile": "migration", "duration": 8.0,
                   "rebalance": True},
     "causal": {"profile": "partition", "duration": 8.0, "causal": "dvv"},
+    # One workload-matrix scenario per kind (repro.workloads.scenarios):
+    # the scenario stream layers on the same seeded substrate, so its
+    # interleavings deserve the same refactor guard as the default mix.
+    "scenario-zipf": {"profile": "mixed", "duration": 5.0,
+                      "scenario": "zipf-hot"},
+    "scenario-drift": {"profile": "mixed", "duration": 5.0,
+                       "scenario": "drift-diurnal", "rebalance": True},
+    "scenario-flash": {"profile": "crash", "duration": 5.0,
+                       "scenario": "flash-crowd"},
+    "scenario-storm": {"profile": "partition", "duration": 5.0,
+                       "scenario": "trigger-storm"},
 }
 
 GOLDEN_SEEDS = tuple(range(8))

@@ -58,6 +58,9 @@ class ChaosReport:
     anomalies: list[Anomaly]
     state: FinalState
     end_time: float
+    # Scenario name when the run drove a workload-matrix scenario
+    # instead of the default chaos mix ("" otherwise).
+    scenario: str = ""
     crashes: int = 0
     restarts: int = 0
     op_counts: dict = field(default_factory=dict)
@@ -95,7 +98,8 @@ class ChaosReport:
         """Human-readable summary (bench output, failure triage)."""
         lines = [
             f"chaos seed={self.seed} profile={self.profile} "
-            f"ops={len(self.history)} digest={self.digest[:16]}…",
+            + (f"scenario={self.scenario} " if self.scenario else "")
+            + f"ops={len(self.history)} digest={self.digest[:16]}…",
             f"  faults: {len(self.schedule.events)} events "
             f"({self.crashes} crashes, {self.restarts} mid-run restarts)",
             f"  ops: " + ", ".join(f"{k}={v}" for k, v
@@ -163,6 +167,17 @@ class ChaosRunner:
     max_down:
         Cap on simultaneously unavailable nodes; default 2 keeps every
         quorum-overlap argument per-vnode sound for N=3.
+    scenario:
+        Workload-matrix scenario (a
+        :class:`~repro.workloads.scenarios.ScenarioSpec` or a preset
+        name) replacing the default chaos mix; the fault schedule,
+        history records and invariant checkers are unchanged.  ``None``
+        (the default) keeps the historical mix byte-identical.
+    rebalance_opts:
+        With ``rebalance=True``: keyword overrides for the hosted
+        :class:`~repro.core.rebalance.Rebalancer` (``pass_byte_budget``,
+        ``chunk_bytes``, ``weights``, ...).  ``None`` keeps the
+        historical defaults, digest for digest.
     """
 
     LW_PREFIX = "lw"     # write_latest keys, shared across clients
@@ -187,7 +202,9 @@ class ChaosRunner:
                  slo: Any = False,
                  record: bool = False,
                  record_always: bool = False,
-                 timeseries: bool = False):
+                 timeseries: bool = False,
+                 scenario: Any = None,
+                 rebalance_opts: Optional[dict] = None):
         # The diagnosis-pipeline stages ride the observability bundle:
         # asking for any of them implies obs=True.
         obs = obs or bool(slo) or record or record_always or timeseries
@@ -209,6 +226,13 @@ class ChaosRunner:
         self.n_del_keys = n_del_keys
         self.max_down = max_down
         self.causal = causal
+        if isinstance(scenario, str):
+            # Local import: plain chaos runs stay import-free of the
+            # workload matrix.
+            from ..workloads.scenarios import get_scenario
+            scenario = get_scenario(scenario)
+        self.scenario = scenario
+        self.rebalance_opts = rebalance_opts
         self.n_cw_keys = n_cw_keys
         # Per-(client, key) causal contexts, refreshed by causal reads.
         self._contexts: dict[tuple[str, str], list] = {}
@@ -296,9 +320,12 @@ class ChaosRunner:
             # Local import: plain chaos runs keep the §III.C/D-only
             # assignment-motion guarantee (module docstring, step 3).
             from ..core.rebalance import Rebalancer
-            self.rebalancer = Rebalancer(
-                self.cluster.nodes["node0"], interval=1.0,
-                pass_byte_budget=64 * 1024, chunk_bytes=4 * 1024)
+            opts = {"interval": 1.0, "pass_byte_budget": 64 * 1024,
+                    "chunk_bytes": 4 * 1024}
+            if self.rebalance_opts:
+                opts.update(self.rebalance_opts)
+            self.rebalancer = Rebalancer(self.cluster.nodes["node0"],
+                                         **opts)
             self.rebalancer.start()
 
         self.clients = [self.cluster.smart_client(f"chaos{i}")
@@ -350,6 +377,8 @@ class ChaosRunner:
                     flight_dump = self.obs_bundle.flight.dump(
                         anomalies=hard, time=sim.now)
         return ChaosReport(seed=self.seed, profile=self.profile,
+                           scenario=(self.scenario.name
+                                     if self.scenario is not None else ""),
                            schedule=schedule, history=self.history,
                            anomalies=anomalies, state=state,
                            end_time=sim.now, crashes=self._crashes,
@@ -411,6 +440,9 @@ class ChaosRunner:
     # -- workload ---------------------------------------------------------
     def _workload(self, client, index: int, t0: float):
         """One client's seeded op stream until the fault window closes."""
+        if self.scenario is not None:
+            yield from self._scenario_workload(client, index, t0)
+            return
         rng = random.Random(f"{self.seed}/client/{index}")
         counter = 0
         end = t0 + self.duration
@@ -466,6 +498,41 @@ class ChaosRunner:
                 keys = self._sample_keys(rng, self.DEL_PREFIX,
                                          self.n_del_keys)
                 yield from self._op_multi_delete(client, keys)
+
+    def _scenario_workload(self, client, index: int, t0: float):
+        """One client's stream of a workload-matrix scenario.
+
+        The stream draws every key and op choice itself; this wrapper
+        only owns the sim-clock pacing and routes each intent through
+        the same op helpers (and history records) the default mix uses.
+        """
+        # Local import: plain chaos runs stay import-free of scenarios.
+        from ..workloads.scenarios import ScenarioStream
+        stream = ScenarioStream(self.scenario, self.seed, index, t0=t0)
+        counter = 0
+        end = t0 + self.duration
+        while self.sim.now < end:
+            yield self.sim.timeout(stream.gap())
+            if self.sim.now >= end:
+                return
+            counter += 1
+            intent = stream.next(self.sim.now)
+            yield from self._apply_intent(client, intent,
+                                          f"{client.name}:{counter}")
+
+    def _apply_intent(self, client, intent, value: str):
+        """Dispatch one scenario op intent to the matching op helper."""
+        kind = intent.kind
+        if kind in ("write_latest", "write_all"):
+            yield from self._op_write(client, kind, intent.keys[0], value)
+        elif kind == "read_latest":
+            yield from self._op_read_latest(client, intent.keys[0])
+        elif kind == "read_all":
+            yield from self._op_read_all(client, intent.keys[0])
+        elif kind == "multi_read":
+            yield from self._op_multi_read(client, list(intent.keys))
+        else:  # pragma: no cover - OpIntent validates kinds
+            raise ValueError(f"unhandled intent kind {kind!r}")
 
     def _sample_keys(self, rng: random.Random, prefix: str,
                      pool: int) -> list[str]:

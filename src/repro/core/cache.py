@@ -141,10 +141,29 @@ class MappingCache:
         except NoNodeError:
             return 0
         fresh = []
+        newest = -1
         for name in children:
             seq = int(name.rsplit("-", 1)[1])
+            if seq > newest:
+                newest = seq
             if seq > self.last_changelog_seq:
                 fresh.append((seq, name))
+        if newest < self.last_changelog_seq:
+            # The changelog's newest entry is *older* than one we have
+            # already consumed.  Nothing ever trims the changelog, so
+            # consumed history can only vanish one way: a deposed
+            # leader's applied tail was truncated by snapshot sync
+            # (zk/server._on_commit), taking reassignments we acted on
+            # with it.  The incremental path is blind to this — it only
+            # looks forward from ``last_changelog_seq`` — so the ring
+            # would diverge permanently.  Reload everything and
+            # re-anchor the sequence.  (A rollback whose history is
+            # re-minted past our position before we look is still
+            # healed lazily by the reject→invalidate path.)
+            before = self.ring.snapshot()
+            yield from self.load_full()
+            return sum(1 for a, b in zip(before, self.ring.snapshot())
+                       if a != b)
         fresh.sort()
         touched: set[int] = set()
         for seq, name in fresh:

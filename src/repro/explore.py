@@ -1,0 +1,10 @@
+"""``python -m repro.explore`` — the scenario-matrix config explorer.
+
+Thin entry point; the implementation lives in
+:mod:`repro.tools.explorer`.
+"""
+
+from .tools.explorer import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Per-scenario fitness extraction from a chaos run's observability.
+
+The config explorer (``repro.tools.explorer``) scores every
+(scenario, config) cell with one deterministic fitness record pulled
+out of the run's :class:`~repro.chaos.runner.ChaosReport`:
+
+* ``p99_read_s`` / ``p99_write_s`` — client-side end-to-end p99s,
+  merged across every client's ``client.read_seconds`` /
+  ``client.write_seconds`` histogram (PR-4 metrics registry);
+* ``op_rate_spread`` — (max - min) / mean of per-storage-node op
+  totals from the always-on per-vnode stats feeds — the placement
+  balance the heat rebalancer is supposed to deliver;
+* ``failure_ratio`` — client ops shed or timed out over total ops;
+* ``aborts`` — migrations the rebalancer gave up on;
+* ``violations`` — hard (unexpected) invariant anomalies.
+
+``score`` folds them into one lower-is-better scalar.  Violations
+dominate by construction: a run that breaks an invariant can never
+outscore one that does not, whatever its latency.  Everything is
+rounded before export so two identical runs serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .metrics import DEFAULT_BUCKETS, bucket_quantile
+
+__all__ = ["FITNESS_SCHEMA", "SCORE_WEIGHTS", "extract_fitness",
+           "merge_histogram_series"]
+
+FITNESS_SCHEMA = "repro.obs.fitness/1"
+
+#: Scalar-score weights (docs/protocols.md §20.2).  Latencies are in
+#: seconds, the ratios dimensionless; a violation outweighs any
+#: achievable combination of the rest.
+SCORE_WEIGHTS: dict[str, float] = {
+    "violations": 1000.0,
+    "p99_read_s": 2.0,
+    "p99_write_s": 1.0,
+    "op_rate_spread": 0.5,
+    "failure_ratio": 5.0,
+    "aborts": 0.2,
+}
+
+
+def merge_histogram_series(series: dict, name: str) -> list[int]:
+    """Per-bucket counts of every ``*/<name>`` histogram, merged.
+
+    All client latency histograms use :data:`DEFAULT_BUCKETS`; the
+    merged counts list has one slot per bound plus the +inf bucket.
+    """
+    merged = [0] * (len(DEFAULT_BUCKETS) + 1)
+    for label in sorted(series):
+        data = series[label]
+        if not label.endswith(f"/{name}") or data.get("type") != "histogram":
+            continue
+        buckets = data["buckets"]
+        for i, bound in enumerate(DEFAULT_BUCKETS):
+            merged[i] += buckets.get(format(bound, "g"), 0)
+        merged[-1] += data.get("inf", 0)
+    return merged
+
+
+def _counter_sum(series: dict, name: str) -> int:
+    return sum(series[label]["value"] for label in sorted(series)
+               if label.endswith(f"/{name}")
+               and series[label].get("type") == "counter")
+
+
+def extract_fitness(report: Any) -> dict:
+    """The fitness record for one obs-enabled chaos run.
+
+    Raises ``ValueError`` on a report without an observability
+    snapshot — fitness is undefined without the metrics layer.
+    """
+    snap = report.obs_snapshot
+    if not snap:
+        raise ValueError("fitness extraction needs an obs=True run "
+                         "(empty obs_snapshot)")
+    series = snap.get("series", {})
+    read_counts = merge_histogram_series(series, "client.read_seconds")
+    write_counts = merge_histogram_series(series, "client.write_seconds")
+    p99_read = bucket_quantile(DEFAULT_BUCKETS, read_counts, 0.99)
+    p99_write = bucket_quantile(DEFAULT_BUCKETS, write_counts, 0.99)
+
+    ok_ops = sum(read_counts) + sum(write_counts)
+    failures = _counter_sum(series, "client.failures")
+    total_ops = ok_ops + failures
+    failure_ratio = failures / total_ops if total_ops else 0.0
+
+    # Per-storage-node op totals from the always-on vnode feeds.
+    rates = []
+    for node in sorted(snap.get("vnodes", {})):
+        per_vnode = snap["vnodes"][node]
+        rates.append(sum(s["reads"] + s["writes"]
+                         for s in per_vnode.values()))
+    spread = 0.0
+    if rates and sum(rates) > 0:
+        mean = sum(rates) / len(rates)
+        spread = (max(rates) - min(rates)) / mean
+
+    aborts = sum(1 for m in report.migrations if m["state"] == "aborted")
+    violations = len([a for a in report.anomalies if not a.expected])
+
+    fitness = {
+        "schema": FITNESS_SCHEMA,
+        "p99_read_s": round(p99_read, 6),
+        "p99_write_s": round(p99_write, 6),
+        "op_rate_spread": round(spread, 6),
+        "failure_ratio": round(failure_ratio, 6),
+        "ops": total_ops,
+        "failures": failures,
+        "aborts": aborts,
+        "violations": violations,
+    }
+    fitness["score"] = round(
+        sum(weight * fitness[field]
+            for field, weight in sorted(SCORE_WEIGHTS.items())), 6)
+    return fitness

@@ -9,6 +9,7 @@ reproduces exactly that.  Zipfian/uniform mixes cover the ablations.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from typing import Iterator
 
 __all__ = ["paper_keys", "PAPER_VALUE", "uniform_keys", "zipfian_keys",
@@ -37,14 +38,40 @@ def uniform_keys(n: int, space: int, seed: int = 0) -> Iterator[bytes]:
         yield f"uni-{rng.randrange(space):012d}".encode()
 
 
+#: Shared harmonic-CDF cache keyed ``(space, theta)``.  A 5x5 theta
+#: sweep builds 25 generators per client stream; without the cache each
+#: one redoes the O(space) harmonic sum.  The tables are immutable
+#: tuples, so sharing across generators cannot couple their draws.
+_CDF_CACHE: dict[tuple[int, float], tuple[float, ...]] = {}
+
+
+def _zipf_cdf(space: int, theta: float) -> tuple[float, ...]:
+    """The (cached) inverse-sampling CDF for Zipf(theta) over ``space``."""
+    key = (space, theta)
+    cdf = _CDF_CACHE.get(key)
+    if cdf is None:
+        weights = [1.0 / (rank ** theta) for rank in range(1, space + 1)]
+        total = sum(weights)
+        acc = 0.0
+        out = []
+        for w in weights:
+            acc += w / total
+            out.append(acc)
+        cdf = _CDF_CACHE[key] = tuple(out)
+    return cdf
+
+
 class ZipfGenerator:
     """Zipfian key sampler (skewed popularity, like tweet authors).
 
     Uses the classic rejection-free inverse-CDF over precomputed
-    harmonic weights; deterministic per seed.
+    harmonic weights (cached per ``(space, theta)``); deterministic
+    per seed.  ``seed`` may be an int or a string — string seeds go
+    through ``random.Random``'s sha512 path, so they are stable across
+    ``PYTHONHASHSEED`` values.
     """
 
-    def __init__(self, space: int, theta: float = 0.99, seed: int = 0):
+    def __init__(self, space: int, theta: float = 0.99, seed=0):
         if space < 1:
             raise ValueError("space must be >= 1")
         if theta <= 0:
@@ -52,18 +79,11 @@ class ZipfGenerator:
         self.space = space
         self.theta = theta
         self._rng = random.Random(seed)
-        weights = [1.0 / (rank ** theta) for rank in range(1, space + 1)]
-        total = sum(weights)
-        self._cdf: list[float] = []
-        acc = 0.0
-        for w in weights:
-            acc += w / total
-            self._cdf.append(acc)
+        self._cdf = _zipf_cdf(space, theta)
 
     def sample(self) -> int:
         """One rank in [0, space), rank 0 most popular."""
-        import bisect
-        return bisect.bisect_left(self._cdf, self._rng.random())
+        return bisect_left(self._cdf, self._rng.random())
 
 
 def zipfian_keys(n: int, space: int, theta: float = 0.99,

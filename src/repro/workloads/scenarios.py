@@ -1,0 +1,305 @@
+"""Adversarial workload scenarios for the chaos matrix.
+
+Heat rebalancing (PR 5), DVV causal mode (PR 6) and the fast kernel
+(PR 7) were each validated on one or two synthetic traffic shapes.
+Redynis (PAPERS.md) argues that traffic-aware placement only proves
+out under skewed, *drifting* and adversarial access patterns — this
+module is that matrix.  Each :class:`ScenarioSpec` is a pure, seeded
+description of one traffic shape; :class:`ScenarioStream` turns it
+into a deterministic stream of :class:`OpIntent` records that
+:class:`~repro.chaos.runner.ChaosRunner` dispatches through the exact
+same op helpers (and therefore the exact same history records and
+invariant checkers) the default chaos mix uses.
+
+Four scenario kinds:
+
+``zipf``
+    Zipf(theta) key popularity over the kv mix — the skew-sweep axis
+    (theta is the explorer's favourite dial).
+``drift``
+    Diurnal hot-set drift: the popular key-set rotates every
+    ``period`` sim-seconds (:func:`drift_hot_set` is pure, so the
+    rotation schedule is testable without a cluster).
+``flash``
+    Single-key flash crowd: background uniform traffic, then from
+    ``flash_at`` the probability of hitting the one flash key ramps
+    linearly to ``peak_prob`` over ``ramp`` seconds
+    (:func:`flash_fraction`, also pure).
+``storm``
+    Scan-heavy trigger storm on the microblog use case: Zipf-skewed
+    authors take timeline appends (``write_all`` — per-source value
+    lists, so invariant 4 covers them) while scanners hammer
+    ``read_all`` / batched multi-reads across author timelines.
+
+Determinism: every draw comes from one ``random.Random`` seeded with
+a string (Python hashes str/bytes seeds with sha512, not the
+process-randomized ``hash()``), key names are derived from integer
+ranks, and the pure helpers never touch a set — identical streams
+under any ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from .kv import ZipfGenerator
+
+__all__ = ["OpIntent", "ScenarioSpec", "ScenarioStream", "SCENARIOS",
+           "SCENARIO_KINDS", "get_scenario", "scenario_matrix",
+           "drift_hot_set", "flash_fraction"]
+
+SCENARIO_KINDS = ("zipf", "drift", "flash", "storm")
+
+#: Op kinds a stream may emit — the dispatchable subset of the chaos
+#: runner's op helpers.
+INTENT_KINDS = ("write_latest", "write_all", "read_latest", "read_all",
+                "multi_read")
+
+
+@dataclass(frozen=True)
+class OpIntent:
+    """One operation the scenario asks the runner to perform."""
+
+    kind: str
+    keys: tuple[str, ...]
+
+    def __post_init__(self):
+        if self.kind not in INTENT_KINDS:
+            raise ValueError(f"unknown intent kind {self.kind!r}")
+        if not self.keys:
+            raise ValueError("an intent needs at least one key")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One seeded traffic shape (flat and JSON-roundtrippable so
+    regression-corpus entries can embed it verbatim)."""
+
+    name: str
+    kind: str
+    n_keys: int = 48
+    """Key-pool size (``zipf``/``drift``/``flash``)."""
+
+    theta: float = 0.99
+    """Zipf skew (``zipf``/``storm``)."""
+
+    write_ratio: float = 0.45
+    """Fraction of single-key ops that are writes."""
+
+    multi_prob: float = 0.10
+    """Fraction of ops issued as batched multi-reads."""
+
+    op_gap: tuple[float, float] = (0.04, 0.18)
+    """Uniform bounds on the think time between a client's ops."""
+
+    # drift
+    period: float = 2.0
+    """Hot-set rotation period (sim-seconds)."""
+
+    hot_size: int = 4
+    """Keys in the hot set at any instant."""
+
+    hot_prob: float = 0.85
+    """Probability a drift op targets the current hot set."""
+
+    # flash
+    flash_at: float = 2.0
+    """Sim-seconds into the run when the flash crowd starts ramping."""
+
+    ramp: float = 3.0
+    """Seconds the flash takes to ramp from 0 to ``peak_prob``."""
+
+    peak_prob: float = 0.9
+    """Peak probability an op targets the flash key."""
+
+    # storm (microblog)
+    n_authors: int = 32
+    """Author population; timeline keys are ``tl-user<rank>``."""
+
+    scan_prob: float = 0.6
+    """Fraction of storm ops that are scans instead of appends."""
+
+    scan_fanout: int = 4
+    """Timelines touched by one batched scan."""
+
+    def __post_init__(self):
+        if self.kind not in SCENARIO_KINDS:
+            raise ValueError(f"unknown scenario kind {self.kind!r}")
+        if self.n_keys < 2 or self.n_authors < 2:
+            raise ValueError("need at least 2 keys/authors")
+        if not 0 < self.hot_size <= self.n_keys:
+            raise ValueError("hot_size must be in [1, n_keys]")
+        if self.period <= 0 or self.ramp <= 0:
+            raise ValueError("period and ramp must be positive")
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["op_gap"] = list(self.op_gap)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScenarioSpec":
+        d = dict(d)
+        d["op_gap"] = tuple(d.get("op_gap", (0.04, 0.18)))
+        return cls(**d)
+
+
+def drift_hot_set(spec: ScenarioSpec, elapsed: float) -> tuple[int, ...]:
+    """Hot key ranks at ``elapsed`` seconds into a drift scenario.
+
+    Pure: epoch ``e = floor(elapsed / period)`` shifts the window by
+    ``hot_size`` ranks, so the set is constant inside an epoch and
+    rotates *exactly* at every period multiple (``hot_size < n_keys``
+    guarantees consecutive epochs differ).
+    """
+    epoch = int(elapsed // spec.period)
+    base = (epoch * spec.hot_size) % spec.n_keys
+    return tuple((base + i) % spec.n_keys for i in range(spec.hot_size))
+
+
+def flash_fraction(spec: ScenarioSpec, elapsed: float) -> float:
+    """Probability an op at ``elapsed`` targets the flash key.
+
+    Pure and monotone non-decreasing in ``elapsed``: 0 before
+    ``flash_at``, a linear ramp over ``ramp`` seconds, then flat at
+    ``peak_prob``.
+    """
+    if elapsed < spec.flash_at:
+        return 0.0
+    return spec.peak_prob * min(1.0, (elapsed - spec.flash_at) / spec.ramp)
+
+
+class ScenarioStream:
+    """Deterministic per-client op stream for one scenario.
+
+    One stream per (run seed, scenario, client index); all draws come
+    from a single seeded RNG so replays are byte-identical.
+    """
+
+    def __init__(self, spec: ScenarioSpec, seed: int, stream_id: int,
+                 t0: float = 0.0):
+        self.spec = spec
+        self.t0 = t0
+        self._rng = random.Random(
+            f"{seed}/scenario/{spec.name}/{stream_id}")
+        self._zipf: Optional[ZipfGenerator] = None
+        if spec.kind in ("zipf", "storm"):
+            space = spec.n_keys if spec.kind == "zipf" else spec.n_authors
+            self._zipf = ZipfGenerator(
+                space, spec.theta,
+                seed=f"{seed}/scenario-zipf/{spec.name}/{stream_id}")
+
+    def gap(self) -> float:
+        """Think time before the next op."""
+        return self._rng.uniform(*self.spec.op_gap)
+
+    def next(self, now: float) -> OpIntent:
+        """The next op intent at sim-time ``now``."""
+        kind = self.spec.kind
+        if kind == "zipf":
+            return self._next_zipf()
+        if kind == "drift":
+            return self._next_drift(now)
+        if kind == "flash":
+            return self._next_flash(now)
+        return self._next_storm()
+
+    # -- per-kind draws --------------------------------------------------
+    def _key(self, rank: int) -> str:
+        return f"sc-{rank:04d}"
+
+    def _mix(self, rank: int, sample) -> OpIntent:
+        """Shared write/read/multi mix over a key-rank sampler."""
+        roll = self._rng.random()
+        if roll < self.spec.multi_prob:
+            count = self._rng.randint(2, min(4, self.spec.n_keys))
+            ranks = {rank}
+            while len(ranks) < count:
+                ranks.add(sample())
+            return OpIntent("multi_read",
+                            tuple(self._key(r) for r in sorted(ranks)))
+        if roll < self.spec.multi_prob + self.spec.write_ratio:
+            return OpIntent("write_latest", (self._key(rank),))
+        return OpIntent("read_latest", (self._key(rank),))
+
+    def _next_zipf(self) -> OpIntent:
+        assert self._zipf is not None
+        return self._mix(self._zipf.sample(), self._zipf.sample)
+
+    def _drift_rank(self, now: float) -> int:
+        hot = drift_hot_set(self.spec, now - self.t0)
+        if self._rng.random() < self.spec.hot_prob:
+            return hot[self._rng.randrange(len(hot))]
+        return self._rng.randrange(self.spec.n_keys)
+
+    def _next_drift(self, now: float) -> OpIntent:
+        return self._mix(self._drift_rank(now),
+                         lambda: self._drift_rank(now))
+
+    def _flash_rank(self, now: float) -> int:
+        # Rank 0 doubles as the flash key so key names stay in-pool.
+        if self._rng.random() < flash_fraction(self.spec, now - self.t0):
+            return 0
+        return self._rng.randrange(self.spec.n_keys)
+
+    def _next_flash(self, now: float) -> OpIntent:
+        return self._mix(self._flash_rank(now),
+                         lambda: self._flash_rank(now))
+
+    def _timeline(self, rank: int) -> str:
+        return f"tl-user{rank:04d}"
+
+    def _next_storm(self) -> OpIntent:
+        assert self._zipf is not None
+        roll = self._rng.random()
+        if roll < self.spec.scan_prob:
+            # Scan slice: half single-timeline read_all, half batched
+            # multi-reads fanning across timelines.
+            if self._rng.random() < 0.5:
+                return OpIntent("read_all",
+                                (self._timeline(self._zipf.sample()),))
+            count = min(self.spec.scan_fanout, self.spec.n_authors)
+            ranks: set[int] = set()
+            while len(ranks) < count:
+                ranks.add(self._zipf.sample())
+            return OpIntent("multi_read",
+                            tuple(self._timeline(r) for r in sorted(ranks)))
+        return OpIntent("write_all", (self._timeline(self._zipf.sample()),))
+
+
+#: Named presets — one per scenario kind.  These are the shapes the
+#: golden-digest guard pins and the CLI exposes (``python -m
+#: repro.chaos --scenario <name>``).
+SCENARIOS: dict[str, ScenarioSpec] = {
+    "zipf-hot": ScenarioSpec(name="zipf-hot", kind="zipf", theta=1.1),
+    "drift-diurnal": ScenarioSpec(name="drift-diurnal", kind="drift",
+                                  period=1.5, hot_size=4, hot_prob=0.85),
+    "flash-crowd": ScenarioSpec(name="flash-crowd", kind="flash",
+                                flash_at=1.5, ramp=2.0, peak_prob=0.9),
+    "trigger-storm": ScenarioSpec(name="trigger-storm", kind="storm",
+                                  theta=0.99, scan_prob=0.6),
+}
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Resolve a preset by name (helpful error on a typo)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; "
+                         f"expected one of {sorted(SCENARIOS)}") from None
+
+
+def scenario_matrix(thetas: tuple[float, ...] = (0.6, 0.99, 1.3)) \
+        -> list[ScenarioSpec]:
+    """The full explorer matrix: a zipf theta sweep plus the drift,
+    flash and storm presets."""
+    matrix = [ScenarioSpec(name=f"zipf-t{theta:g}", kind="zipf",
+                           theta=theta)
+              for theta in thetas]
+    matrix.extend(SCENARIOS[name] for name in ("drift-diurnal",
+                                               "flash-crowd",
+                                               "trigger-storm"))
+    return matrix

@@ -123,6 +123,19 @@ class ZkClient:
         last: Exception = RpcTimeout("unreachable")
         for _ in range(attempts):
             self.ops_sent += 1
+            if isinstance(args, dict) and "zxid" in args and "epoch" in args:
+                # Re-stamp the read frontier at every attempt.  A retry
+                # can go out long after the call was built, and other
+                # processes multiplexed over this session (lease
+                # refresh vs. targeted invalidation) may have advanced
+                # the frontier meanwhile; carrying the original
+                # snapshot would let a lagging member pass the
+                # server-behind check and serve data that un-happens
+                # state this session already observed.  (A real
+                # ZooKeeper session cannot race itself like this — its
+                # ops are serialized on one connection.)
+                args = dict(args, epoch=self.last_epoch,
+                            zxid=self.last_zxid)
             try:
                 result = yield from self.rpc.call(
                     self.current_server(), method, args,

@@ -563,6 +563,16 @@ class ZkServer:
         self.epoch = epoch
         self.leader_name = self.name
         self._electing = False
+        # Proposals and buffered commits we logged as a *follower* of
+        # the previous reign are orphans now, exactly as in
+        # _adopt_leader: the zxids they sit at are about to be
+        # re-allocated by our own reign (next_zxid below restarts from
+        # the applied frontier).  Keeping them lets a stale buffered
+        # commit apply on the leader alone the moment the new reign's
+        # frontier reaches its zxid — same zxid, different op on
+        # leader vs followers, and the ensemble diverges permanently.
+        self._pending.clear()
+        self._commit_buffer.clear()
         # Continue the zxid sequence from our applied history — a fresh
         # leader proposing from zxid 1 would never commit (ordering
         # gap), and zxids allocated under a previous reign of ours that

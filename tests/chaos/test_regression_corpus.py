@@ -1,0 +1,52 @@
+"""Replay the seeded regression corpus (tier-1).
+
+Every ``tests/chaos/regressions/*.json`` entry is a (scenario, config,
+seed) cell the explorer once flagged — an invariant violation, a
+fitness regression, or a pin on a fixed bug.  Each replay must hold
+every invariant AND reproduce the recorded end-state digest
+byte-for-byte: a digest drift here means the deterministic
+interleaving changed, exactly the regression class the corpus exists
+to catch.
+
+Entries are auto-discovered; landing a new regression is just dropping
+the explorer's JSON into the corpus directory (``python -m
+repro.explore`` does it on promotion).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.tools.explorer import (CORPUS_SCHEMA, load_corpus,
+                                  replay_corpus_entry)
+
+CORPUS_DIR = Path(__file__).resolve().parent / "regressions"
+
+CORPUS = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_stocked():
+    """The PR that lands the corpus ships at least three entries."""
+    assert len(CORPUS) >= 3
+
+
+def test_entries_well_formed():
+    for path, entry in CORPUS:
+        assert entry["schema"] == CORPUS_SCHEMA, path.name
+        for field in ("name", "reason", "runner", "scenario", "config",
+                      "digest", "fitness"):
+            assert field in entry, f"{path.name} missing {field!r}"
+
+
+@pytest.mark.parametrize(
+    "path,entry", CORPUS, ids=[p.stem for p, _ in CORPUS])
+def test_replay_holds_invariants_and_digest(path, entry):
+    report = replay_corpus_entry(entry)
+    hard = [a for a in report.anomalies if not a.expected]
+    assert report.ok, (
+        f"{path.name}: replay violated invariants: "
+        + "; ".join(str(a) for a in hard))
+    assert report.digest == entry["digest"], (
+        f"{path.name}: end-state digest drifted — the recorded "
+        f"interleaving no longer reproduces (recorded "
+        f"{entry['digest'][:12]}…, got {report.digest[:12]}…)")

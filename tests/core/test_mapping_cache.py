@@ -1,13 +1,17 @@
 """MappingCache regression tests: changelog trimming and lease-loop
 lifecycle.
 
-Two churn bugs pinned down here:
+Three churn bugs pinned down here:
 
 * a *trimmed* changelog entry — listed by ``get_children`` but gone by
   the time the entry is read (the list/get race a changelog GC
   produces) — must still advance ``last_changelog_seq``; otherwise
   every later refresh re-lists and re-fetches the same dead entries
   forever;
+* a *rolled-back* changelog — consumed entries vanishing outright when
+  a deposed leader's applied tail is truncated by snapshot sync — must
+  force a full reload; the forward-only incremental path would never
+  revisit the reverted assignments;
 * ``stop()`` followed by ``start_lease_loop()`` before the old loop's
   next wakeup must not revive the old loop through the shared running
   flag — only one sync process may run at a time.
@@ -51,6 +55,14 @@ class FakeZk:
 
     def trim(self, seq: int) -> None:
         self.changelog[f"e-{seq:010d}"] = None
+
+    def rollback(self, seq: int) -> None:
+        """Erase an entry *entirely* — gone from the listing, not just
+        unreadable.  Models a deposed leader's applied tail being
+        truncated by snapshot sync: history the cache already consumed
+        un-happens.  Distinct from ``trim``, which keeps the name
+        listed."""
+        del self.changelog[f"e-{seq:010d}"]
 
     def set_vnode(self, vnode_id: int, owner: str) -> None:
         self.vnodes[ZkLayout.vnode(vnode_id)] = owner.encode()
@@ -149,6 +161,96 @@ class TestChangelogTrim:
         assert drive(sim, refresh()) == 1
         assert cache.ring.owner(3) == "node3"
         assert cache.last_changelog_seq == 1
+
+
+class TestChangelogRollback:
+    """Consumed changelog history vanishing (a deposed leader's applied
+    tail truncated by snapshot sync) must force a full reload — the
+    incremental path only ever looks *forward* from
+    ``last_changelog_seq`` and would miss the reverted assignments
+    forever."""
+
+    def consumed(self, sim, zk, cache):
+        """Feed two reassignments through the incremental path."""
+        zk.add_entry(0, 1)
+        zk.set_vnode(1, "node1")
+        zk.add_entry(1, 2)
+        zk.set_vnode(2, "node2")
+        assert drive(sim, self.refresh(cache)) == 2
+        assert cache.last_changelog_seq == 1
+
+    @staticmethod
+    def refresh(cache):
+        def gen():
+            return (yield from cache.refresh())
+        return gen()
+
+    def test_rollback_reloads_and_repairs_ring(self):
+        sim = Simulator()
+        zk, cache = build(sim)
+        self.consumed(sim, zk, cache)
+
+        # The tail truncation un-happens entry 1: the entry vanishes
+        # from the listing AND vnode 2's reassignment is reverted.
+        zk.rollback(1)
+        zk.set_vnode(2, "node0")
+
+        full_loads = cache.full_loads
+        assert drive(sim, self.refresh(cache)) == 1, \
+            "exactly the reverted vnode changes back"
+        assert cache.full_loads == full_loads + 1, \
+            "newest < last must trigger a full reload"
+        assert cache.ring.owner(2) == "node0"
+        # Re-anchored to the surviving newest, not left at 1.
+        assert cache.last_changelog_seq == 0
+
+    def test_rollback_to_empty_changelog(self):
+        sim = Simulator()
+        zk, cache = build(sim)
+        self.consumed(sim, zk, cache)
+        zk.rollback(0)
+        zk.rollback(1)
+        zk.set_vnode(1, "node0")
+        zk.set_vnode(2, "node0")
+        assert drive(sim, self.refresh(cache)) == 2
+        assert cache.last_changelog_seq == -1
+
+    def test_refresh_stays_incremental_after_rollback(self):
+        """The re-anchored sequence lets a re-minted entry at an old
+        position be consumed by the normal forward path."""
+        sim = Simulator()
+        zk, cache = build(sim)
+        self.consumed(sim, zk, cache)
+        zk.rollback(1)
+        zk.set_vnode(2, "node0")
+        drive(sim, self.refresh(cache))
+
+        zk.add_entry(1, 3)          # seq 1 re-minted by the new reign
+        zk.set_vnode(3, "node3")
+        full_loads = cache.full_loads
+        assert drive(sim, self.refresh(cache)) == 1
+        assert cache.full_loads == full_loads, "forward path suffices"
+        assert cache.ring.owner(3) == "node3"
+        assert cache.last_changelog_seq == 1
+
+    def test_remint_past_position_skips_reload(self):
+        """If the rolled-back range is re-minted *past* our position
+        before we look, newest >= last and no reload fires — that gap
+        is healed lazily by the reject→invalidate path, and the
+        forward path consumes the re-minted entries normally."""
+        sim = Simulator()
+        zk, cache = build(sim)
+        self.consumed(sim, zk, cache)
+        zk.rollback(1)
+        zk.add_entry(1, 4)          # re-minted before we ever listed
+        zk.add_entry(2, 5)
+        zk.set_vnode(4, "node4")
+        zk.set_vnode(5, "node5")
+        full_loads = cache.full_loads
+        assert drive(sim, self.refresh(cache)) == 1, \
+            "only seq 2 is new; re-minted seq 1 is behind the anchor"
+        assert cache.full_loads == full_loads
+        assert cache.ring.owner(5) == "node5"
 
 
 class TestLeaseLoopLifecycle:

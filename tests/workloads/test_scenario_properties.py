@@ -1,0 +1,236 @@
+"""Property tests for the adversarial scenario matrix.
+
+The scenario streams feed the chaos runner, so their guarantees are
+load-bearing for every digest in the regression corpus: rotation
+schedules must be exact, ramps monotone, and every draw independent of
+``PYTHONHASHSEED``.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.kv import _CDF_CACHE, ZipfGenerator, _zipf_cdf
+from repro.workloads.scenarios import (SCENARIOS, OpIntent, ScenarioSpec,
+                                       ScenarioStream, drift_hot_set,
+                                       flash_fraction, get_scenario,
+                                       scenario_matrix)
+
+
+def stream_trace(spec: ScenarioSpec, seed: int = 7, stream_id: int = 0,
+                 n: int = 200, dt: float = 0.1) -> list[tuple]:
+    """A flattened (gap, kind, keys) trace for equality comparisons."""
+    stream = ScenarioStream(spec, seed, stream_id)
+    out = []
+    now = 0.0
+    for _ in range(n):
+        now += dt
+        intent = stream.next(now)
+        out.append((round(stream.gap(), 12), intent.kind, intent.keys))
+    return out
+
+
+class TestZipfDistribution:
+    @settings(max_examples=20, deadline=None)
+    @given(theta=st.floats(min_value=0.3, max_value=1.5))
+    def test_rank_order_head_beats_tail(self, theta):
+        """Low ranks must be sampled at least as often as high ranks,
+        aggregated over halves (exact per-rank ordering is noisy)."""
+        gen = ZipfGenerator(space=20, theta=theta, seed=3)
+        counts = [0] * 20
+        for _ in range(6000):
+            counts[gen.sample()] += 1
+        head, tail = sum(counts[:10]), sum(counts[10:])
+        assert head > tail, f"theta={theta}: head {head} <= tail {tail}"
+
+    def test_tail_mass_shrinks_with_theta(self):
+        """Higher theta concentrates mass: the tail half's share must
+        strictly drop across a wide theta sweep."""
+        shares = []
+        for theta in (0.3, 0.99, 1.6):
+            gen = ZipfGenerator(space=32, theta=theta, seed=11)
+            counts = [0] * 32
+            for _ in range(8000):
+                counts[gen.sample()] += 1
+            shares.append(sum(counts[16:]) / 8000)
+        assert shares[0] > shares[1] > shares[2], shares
+
+    def test_cdf_is_normalized_and_monotone(self):
+        cdf = _zipf_cdf(64, 0.99)
+        assert abs(cdf[-1] - 1.0) < 1e-9
+        assert all(a < b for a, b in zip(cdf, cdf[1:]))
+
+
+class TestZipfCdfCache:
+    def test_cached_and_fresh_streams_identical(self):
+        """The harmonic-table cache is a pure memoization: samples with
+        a cold cache equal samples with a warm one."""
+        params = (48, 0.99)
+        _zipf_cdf(*params)  # warm
+        warm = [ZipfGenerator(*params, seed=5).sample() for _ in range(500)]
+        _CDF_CACHE.pop(params)  # cold
+        cold = [ZipfGenerator(*params, seed=5).sample() for _ in range(500)]
+        assert warm == cold
+
+    def test_cache_keyed_per_params(self):
+        _CDF_CACHE.clear()
+        _zipf_cdf(10, 0.5)
+        _zipf_cdf(10, 0.9)
+        _zipf_cdf(12, 0.5)
+        assert len(_CDF_CACHE) == 3
+        assert _zipf_cdf(10, 0.5) is _CDF_CACHE[(10, 0.5)]
+
+
+class TestDriftRotation:
+    @settings(max_examples=50, deadline=None)
+    @given(period=st.floats(min_value=0.1, max_value=10.0),
+           epoch=st.integers(min_value=0, max_value=50),
+           frac=st.floats(min_value=0.01, max_value=0.99))
+    def test_constant_within_epoch(self, period, epoch, frac):
+        """Interior points of one epoch share a hot set.  (Exact
+        boundary instants are excluded: with arbitrary float periods
+        ``(e * p) // p`` may land an ulp under ``e``, which is float
+        behaviour, not a rotation-schedule property.)"""
+        spec = ScenarioSpec(name="d", kind="drift", period=period)
+        early = drift_hot_set(spec, (epoch + 0.01) * period)
+        inside = drift_hot_set(spec, (epoch + frac) * period)
+        assert early == inside
+
+    @settings(max_examples=50, deadline=None)
+    @given(epoch=st.integers(min_value=0, max_value=50))
+    def test_rotates_exactly_at_period_multiples(self, epoch):
+        spec = SCENARIOS["drift-diurnal"]
+        before = drift_hot_set(spec, (epoch + 1) * spec.period - 1e-9)
+        after = drift_hot_set(spec, (epoch + 1) * spec.period)
+        assert before != after, "hot set must change at the boundary"
+        assert before == drift_hot_set(spec, epoch * spec.period)
+
+    def test_window_shape(self):
+        spec = ScenarioSpec(name="d", kind="drift", n_keys=10, hot_size=3)
+        assert drift_hot_set(spec, 0.0) == (0, 1, 2)
+        assert drift_hot_set(spec, spec.period) == (3, 4, 5)
+        # Wraps modulo the pool.
+        assert drift_hot_set(spec, 3 * spec.period) == (9, 0, 1)
+
+
+class TestFlashRamp:
+    @settings(max_examples=50, deadline=None)
+    @given(ts=st.lists(st.floats(min_value=0.0, max_value=20.0),
+                       min_size=2, max_size=20))
+    def test_monotone_nondecreasing(self, ts):
+        spec = SCENARIOS["flash-crowd"]
+        ts = sorted(ts)
+        fracs = [flash_fraction(spec, t) for t in ts]
+        assert all(a <= b for a, b in zip(fracs, fracs[1:]))
+
+    def test_shape(self):
+        spec = ScenarioSpec(name="f", kind="flash", flash_at=2.0,
+                            ramp=4.0, peak_prob=0.8)
+        assert flash_fraction(spec, 0.0) == 0.0
+        assert flash_fraction(spec, 1.999) == 0.0
+        assert flash_fraction(spec, 4.0) == pytest.approx(0.4)
+        assert flash_fraction(spec, 6.0) == pytest.approx(0.8)
+        assert flash_fraction(spec, 60.0) == pytest.approx(0.8)
+
+    def test_flash_concentrates_traffic(self):
+        spec = SCENARIOS["flash-crowd"]
+        stream = ScenarioStream(spec, seed=3, stream_id=0)
+        late = sum(1 for _ in range(600)
+                   if "sc-0000" in stream.next(100.0).keys)
+        stream2 = ScenarioStream(spec, seed=3, stream_id=0)
+        early = sum(1 for _ in range(600)
+                    if "sc-0000" in stream2.next(0.5).keys)
+        assert late > 3 * max(early, 1)
+
+
+class TestStormMix:
+    def test_storm_emits_scans_and_appends(self):
+        spec = SCENARIOS["trigger-storm"]
+        stream = ScenarioStream(spec, seed=1, stream_id=0)
+        kinds = [stream.next(0.0).kind for _ in range(400)]
+        assert all(k in ("write_all", "read_all", "multi_read")
+                   for k in kinds), "storm ops live on timelines only"
+        scans = sum(k in ("read_all", "multi_read") for k in kinds)
+        assert 0.4 < scans / len(kinds) < 0.8, "scan_prob=0.6 mix"
+
+    def test_storm_keys_are_timelines(self):
+        spec = SCENARIOS["trigger-storm"]
+        stream = ScenarioStream(spec, seed=1, stream_id=0)
+        for _ in range(100):
+            intent = stream.next(0.0)
+            assert all(k.startswith("tl-user") for k in intent.keys)
+
+    def test_multi_read_fanout_bounded(self):
+        spec = SCENARIOS["trigger-storm"]
+        stream = ScenarioStream(spec, seed=2, stream_id=1)
+        for _ in range(300):
+            intent = stream.next(0.0)
+            if intent.kind == "multi_read":
+                assert 2 <= len(intent.keys) <= spec.scan_fanout
+                assert list(intent.keys) == sorted(set(intent.keys))
+
+
+class TestDeterminism:
+    def test_identical_streams_same_seed(self):
+        for spec in scenario_matrix():
+            assert stream_trace(spec, seed=9) == stream_trace(spec, seed=9)
+
+    def test_streams_differ_across_seed_and_id(self):
+        spec = SCENARIOS["zipf-hot"]
+        base = stream_trace(spec, seed=9, stream_id=0)
+        assert base != stream_trace(spec, seed=10, stream_id=0)
+        assert base != stream_trace(spec, seed=9, stream_id=1)
+
+    @pytest.mark.parametrize("hashseed", ["0", "1", "31337"])
+    def test_streams_stable_across_pythonhashseed(self, hashseed):
+        """Spawn a fresh interpreter per PYTHONHASHSEED and compare a
+        trace digest — process-randomized hashing must not leak in."""
+        code = (
+            "import hashlib, sys\n"
+            "sys.path.insert(0, 'src')\n"
+            "from tests.workloads.test_scenario_properties import "
+            "stream_trace\n"
+            "from repro.workloads.scenarios import scenario_matrix\n"
+            "h = hashlib.sha256()\n"
+            "for spec in scenario_matrix():\n"
+            "    h.update(repr(stream_trace(spec, seed=4, n=120)).encode())\n"
+            "print(h.hexdigest())\n"
+        )
+        env = dict(os.environ, PYTHONHASHSEED=hashseed,
+                   PYTHONPATH="src")
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, timeout=120)
+        assert out.returncode == 0, out.stderr
+        digest = out.stdout.strip()
+        # Every hashseed must agree with the in-process trace.
+        import hashlib
+        h = hashlib.sha256()
+        for spec in scenario_matrix():
+            h.update(repr(stream_trace(spec, seed=4, n=120)).encode())
+        assert digest == h.hexdigest(), hashseed
+
+
+class TestSpecPlumbing:
+    def test_roundtrip(self):
+        for spec in scenario_matrix():
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", kind="nope")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", kind="drift", hot_size=0)
+        with pytest.raises(ValueError):
+            OpIntent("launder_money", ("k",))
+        with pytest.raises(ValueError):
+            OpIntent("read_latest", ())
+        with pytest.raises(ValueError):
+            get_scenario("zipf-t9.99")
+
+    def test_matrix_covers_all_kinds(self):
+        kinds = {spec.kind for spec in scenario_matrix()}
+        assert kinds == {"zipf", "drift", "flash", "storm"}
